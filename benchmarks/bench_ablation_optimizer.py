@@ -1,0 +1,76 @@
+"""Ablation — optimizer algorithms: LP greedy vs degree greedy vs exact DP.
+
+Times the assignment search itself (not the walks) and checks solution
+quality: LP greedy should land between the exact DP optimum and the
+degree-based baselines.
+"""
+
+import pytest
+
+from repro import degree_greedy, dp_optimal, lp_greedy
+from repro.optimizer.lp_greedy import lmckp_lower_bound
+
+
+@pytest.fixture(scope="module")
+def budget(youtube_table):
+    return 0.2 * youtube_table.max_memory()
+
+
+@pytest.mark.benchmark(group="ablation-optimizer")
+def test_lp_greedy_runtime(benchmark, youtube_table, budget):
+    assignment = benchmark(lp_greedy, youtube_table, budget)
+    assert assignment.used_memory <= budget
+
+
+@pytest.mark.benchmark(group="ablation-optimizer")
+@pytest.mark.parametrize("increasing", [True, False], ids=["deg-inc", "deg-dec"])
+def test_degree_greedy_runtime(
+    benchmark, youtube_graph, youtube_table, budget, increasing
+):
+    assignment = benchmark(
+        degree_greedy, youtube_table, budget, youtube_graph.degrees,
+        increasing=increasing,
+    )
+    assert assignment.used_memory <= budget
+
+
+@pytest.mark.benchmark(group="ablation-optimizer")
+def test_lmckp_bound_runtime(benchmark, youtube_table, budget):
+    bound = benchmark(lmckp_lower_bound, youtube_table, budget)
+    assert bound > 0
+
+
+def test_solution_quality_ordering(youtube_graph, youtube_table, budget):
+    """LP greedy within a whisker of the LP lower bound; degree baselines
+    behind it (the paper's Figure 7 quality story, deterministic form)."""
+    lp = lp_greedy(youtube_table, budget).total_time
+    lower = lmckp_lower_bound(youtube_table, budget)
+    inc = degree_greedy(
+        youtube_table, budget, youtube_graph.degrees, increasing=True
+    ).total_time
+    dec = degree_greedy(
+        youtube_table, budget, youtube_graph.degrees, increasing=False
+    ).total_time
+    assert lower <= lp + 1e-6
+    assert lp <= 1.05 * lower  # greedy is near-optimal in practice
+    assert lp <= inc + 1e-6 and lp <= dec + 1e-6
+
+
+@pytest.mark.benchmark(group="ablation-optimizer-exact")
+def test_dp_runtime_small(benchmark, youtube_table):
+    """Exact DP on a 40-node slice — the pseudo-polynomial cost the paper
+    rejects for big graphs is visible even at this size."""
+    from repro.cost import CostTable
+
+    sliced = CostTable(
+        time=youtube_table.time[:40],
+        memory=youtube_table.memory[:40],
+        params=youtube_table.params,
+        available=youtube_table.available[:40],
+    )
+    budget = 0.3 * sliced.max_memory()
+    assignment = benchmark.pedantic(
+        dp_optimal, args=(sliced, budget), kwargs={"resolution": 8.0},
+        rounds=2, iterations=1,
+    )
+    assert assignment.used_memory <= budget

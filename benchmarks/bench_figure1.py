@@ -1,0 +1,24 @@
+"""Figure 1 bench — alias-method memory-explosion ratios.
+
+Times the analytic footprint computation over all six stand-ins and
+asserts the figure's shape (every ratio far above 1).
+"""
+
+from repro.cost import CostParams
+from repro.experiments import figure1
+
+
+def test_figure1_report(benchmark):
+    report = benchmark(figure1.run, scale=0.3, rng=0)
+    ratios = report.table("Alias memory explosion").column("ratio")
+    assert len(ratios) == 6
+    assert all(r > 10 for r in ratios)
+
+
+def test_figure1_footprint_kernel(benchmark, twitter_graph):
+    """The per-graph kernel: alias footprint from the degree sequence."""
+    from repro.experiments.common import alias_footprint
+
+    params = CostParams()
+    result = benchmark(alias_footprint, twitter_graph.degrees, params)
+    assert result > 10 * twitter_graph.memory_bytes()

@@ -1,0 +1,75 @@
+"""Figure 7 bench — sampling cost of the greedy algorithms across budgets.
+
+One benchmark per (algorithm, budget-ratio) cell on the LiveJournal
+stand-in; the group comparison reproduces the figure's ordering: LP-std
+beats the degree-based baselines at the small ratio, everyone converges at
+ratio 1.0.
+"""
+
+import numpy as np
+import pytest
+
+from repro import MemoryAwareFramework
+from repro.walks import node2vec_walk_task
+
+RATIOS = (0.1, 1.0)
+ALGORITHMS = ("lp", "deg-inc", "deg-dec")
+
+
+def _build(graph, model, constants, table, algorithm, ratio):
+    return MemoryAwareFramework(
+        graph,
+        model,
+        budget=table.max_memory() * ratio,
+        optimizer=algorithm,
+        bounding_constants=constants,
+        rng=0,
+    )
+
+
+@pytest.mark.benchmark(group="figure7-sampling")
+@pytest.mark.parametrize("ratio", RATIOS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_sampling_cost(
+    benchmark, youtube_graph, nv_model, youtube_constants, youtube_table,
+    algorithm, ratio,
+):
+    fw = _build(
+        youtube_graph, nv_model, youtube_constants, youtube_table, algorithm, ratio
+    )
+    rng = np.random.default_rng(1)
+
+    def task():
+        return node2vec_walk_task(
+            fw.walk_engine, num_walks=1, length=8, rng=rng
+        )
+
+    result = benchmark.pedantic(task, rounds=3, iterations=1)
+    assert result.num_walks > 0
+
+
+@pytest.mark.benchmark(group="figure7-init")
+@pytest.mark.parametrize("ratio", RATIOS)
+def test_init_cost_grows_with_budget(
+    benchmark, youtube_graph, nv_model, youtube_constants, youtube_table, ratio
+):
+    """T_NS: framework construction (optimizer + sampler build)."""
+    fw = benchmark.pedantic(
+        _build,
+        args=(youtube_graph, nv_model, youtube_constants, youtube_table, "lp", ratio),
+        rounds=3,
+        iterations=1,
+    )
+    assert fw.assignment.used_memory <= youtube_table.max_memory() * ratio + 1e-9
+
+
+def test_figure7_shape_modeled(youtube_graph, nv_model, youtube_constants, youtube_table):
+    """Non-timing shape assertion: LP dominates at low budget in modeled cost."""
+    modeled = {}
+    for algorithm in ALGORITHMS:
+        fw = _build(
+            youtube_graph, nv_model, youtube_constants, youtube_table, algorithm, 0.1
+        )
+        modeled[algorithm] = fw.modeled_task_time(1)
+    assert modeled["lp"] <= modeled["deg-inc"]
+    assert modeled["lp"] <= modeled["deg-dec"]

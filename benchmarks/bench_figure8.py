@@ -1,0 +1,94 @@
+"""Figure 8 bench — MA framework vs rejection on the Twitter stand-in.
+
+Benchmarks the node2vec walk task under the all-rejection baseline and the
+MA framework at increasing budget multiples of the graph size; asserts the
+figure's shape (modeled cost falls with budget; naive times out; alias
+OOMs against the simulated physical memory).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostParams,
+    MemoryAwareFramework,
+    SamplerKind,
+    SimulatedOOMError,
+    compute_bounding_constants,
+)
+from repro.experiments.common import alias_footprint, graph_footprint
+from repro.walks import node2vec_walk_task
+
+
+@pytest.fixture(scope="module")
+def twitter_setup(twitter_graph, nv_fast_model):
+    constants = compute_bounding_constants(twitter_graph, nv_fast_model)
+    m_g = graph_footprint(twitter_graph, CostParams())
+    return constants, m_g
+
+
+@pytest.mark.benchmark(group="figure8-sampling")
+def test_rejection_baseline(benchmark, twitter_graph, nv_fast_model, twitter_setup):
+    constants, _ = twitter_setup
+    fw = MemoryAwareFramework.memory_unaware(
+        twitter_graph, nv_fast_model, SamplerKind.REJECTION,
+        bounding_constants=constants, rng=0,
+    )
+    rng = np.random.default_rng(2)
+    result = benchmark.pedantic(
+        lambda: node2vec_walk_task(fw.walk_engine, num_walks=1, length=8, rng=rng),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.num_walks == twitter_graph.num_nodes
+
+
+@pytest.mark.benchmark(group="figure8-sampling")
+@pytest.mark.parametrize("multiplier", [2, 6, 10])
+def test_ma_framework(
+    benchmark, twitter_graph, nv_fast_model, twitter_setup, multiplier
+):
+    constants, m_g = twitter_setup
+    fw = MemoryAwareFramework(
+        twitter_graph, nv_fast_model, budget=multiplier * m_g,
+        bounding_constants=constants, rng=0,
+    )
+    rng = np.random.default_rng(2)
+    result = benchmark.pedantic(
+        lambda: node2vec_walk_task(fw.walk_engine, num_walks=1, length=8, rng=rng),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.num_walks == twitter_graph.num_nodes
+
+
+def test_figure8_gates(twitter_graph, nv_fast_model, twitter_setup):
+    """Non-timing gates: naive modeled cost explodes, alias OOMs."""
+    constants, m_g = twitter_setup
+    physical = 0.5 * alias_footprint(twitter_graph.degrees, CostParams())
+
+    rejection = MemoryAwareFramework.memory_unaware(
+        twitter_graph, nv_fast_model, SamplerKind.REJECTION,
+        bounding_constants=constants, rng=0,
+    )
+    naive = MemoryAwareFramework.memory_unaware(
+        twitter_graph, nv_fast_model, SamplerKind.NAIVE,
+        bounding_constants=constants, rng=0,
+    )
+    assert naive.modeled_task_time(1) > 10 * rejection.modeled_task_time(1)
+
+    with pytest.raises(SimulatedOOMError):
+        MemoryAwareFramework.memory_unaware(
+            twitter_graph, nv_fast_model, SamplerKind.ALIAS,
+            physical_memory=physical, rng=0,
+        )
+
+    # Modeled cost decreases monotonically with the budget multiplier.
+    costs = []
+    for multiplier in (2, 4, 6, 8, 10):
+        fw = MemoryAwareFramework(
+            twitter_graph, nv_fast_model, budget=multiplier * m_g,
+            bounding_constants=constants, rng=0,
+        )
+        costs.append(fw.modeled_task_time(1))
+    assert costs == sorted(costs, reverse=True)

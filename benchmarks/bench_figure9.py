@@ -1,0 +1,53 @@
+"""Figure 9 bench — assignment update cost under dynamic budgets.
+
+Compares a from-scratch LP greedy build against trace-based increase and
+decrease updates; the adaptive path must be substantially cheaper.
+"""
+
+import pytest
+
+from repro import AdaptiveOptimizer, lp_greedy
+
+
+@pytest.mark.benchmark(group="figure9-update")
+def test_from_scratch(benchmark, youtube_table):
+    budget = 0.6 * youtube_table.max_memory()
+    assignment = benchmark(lp_greedy, youtube_table, budget)
+    assert assignment.used_memory <= budget
+
+
+@pytest.mark.benchmark(group="figure9-update")
+def test_increase_update(benchmark, youtube_table):
+    max_mem = youtube_table.max_memory()
+
+    def setup():
+        return (AdaptiveOptimizer(youtube_table, 0.5 * max_mem),), {}
+
+    def increase(adaptive):
+        return adaptive.set_budget(0.6 * max_mem)
+
+    update = benchmark.pedantic(increase, setup=setup, rounds=10)
+    assert update.steps_applied >= 0
+
+
+@pytest.mark.benchmark(group="figure9-update")
+def test_decrease_update(benchmark, youtube_table):
+    max_mem = youtube_table.max_memory()
+
+    def setup():
+        return (AdaptiveOptimizer(youtube_table, 0.6 * max_mem),), {}
+
+    def decrease(adaptive):
+        return adaptive.set_budget(0.5 * max_mem)
+
+    update = benchmark.pedantic(decrease, setup=setup, rounds=10)
+    assert update.steps_reverted > 0
+
+
+def test_update_touches_fewer_steps(youtube_table):
+    """Shape: one 10% step touches a fraction of the full trace."""
+    max_mem = youtube_table.max_memory()
+    adaptive = AdaptiveOptimizer(youtube_table, 0.5 * max_mem)
+    full_trace = len(adaptive.trace)
+    update = adaptive.set_budget(0.6 * max_mem)
+    assert update.steps_touched < full_trace

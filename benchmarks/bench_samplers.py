@@ -1,0 +1,92 @@
+"""Micro-benchmarks — the three sampling primitives and per-node samplers.
+
+Ground truth for the cost model's time column: alias O(1), rejection
+O(C), naive O(d) per draw.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AliasTable, CumulativeSampler, NaiveSampler, RejectionSampler
+from repro.cost import SamplerKind
+from repro.framework import build_node_sampler
+
+N_OUTCOMES = 256
+DRAWS = 2000
+
+
+@pytest.fixture(scope="module")
+def target_weights():
+    rng = np.random.default_rng(7)
+    return rng.uniform(0.1, 1.0, size=N_OUTCOMES)
+
+
+@pytest.mark.benchmark(group="primitive-draws")
+def test_alias_draws(benchmark, target_weights):
+    sampler = AliasTable(target_weights)
+    rng = np.random.default_rng(0)
+    samples = benchmark(sampler.sample_many, DRAWS, rng)
+    assert len(samples) == DRAWS
+
+
+@pytest.mark.benchmark(group="primitive-draws")
+def test_cumulative_binary_draws(benchmark, target_weights):
+    sampler = CumulativeSampler(target_weights, search="binary")
+    rng = np.random.default_rng(0)
+    samples = benchmark(sampler.sample_many, DRAWS, rng)
+    assert len(samples) == DRAWS
+
+
+@pytest.mark.benchmark(group="primitive-draws-scalar")
+def test_naive_scalar_draws(benchmark, target_weights):
+    sampler = NaiveSampler(target_weights)
+    rng = np.random.default_rng(0)
+
+    def draw_many():
+        return [sampler.sample(rng) for _ in range(200)]
+
+    samples = benchmark(draw_many)
+    assert len(samples) == 200
+
+
+@pytest.mark.benchmark(group="primitive-draws-scalar")
+def test_alias_scalar_draws(benchmark, target_weights):
+    sampler = AliasTable(target_weights)
+    rng = np.random.default_rng(0)
+
+    def draw_many():
+        return [sampler.sample(rng) for _ in range(200)]
+
+    samples = benchmark(draw_many)
+    assert len(samples) == 200
+
+
+@pytest.mark.benchmark(group="primitive-draws-scalar")
+def test_rejection_scalar_draws(benchmark, target_weights):
+    proposal = np.ones(N_OUTCOMES)
+    sampler = RejectionSampler.from_distributions(
+        target_weights, proposal, AliasTable(proposal)
+    )
+    rng = np.random.default_rng(0)
+
+    def draw_many():
+        return [sampler.sample(rng) for _ in range(200)]
+
+    samples = benchmark(draw_many)
+    assert len(samples) == 200
+
+
+@pytest.mark.benchmark(group="node-sampler-e2e")
+@pytest.mark.parametrize("kind", list(SamplerKind), ids=lambda k: k.name.lower())
+def test_node_sampler_e2e_draws(benchmark, youtube_graph, nv_model, kind):
+    """Per-node e2e sampling at the hub — where the costs diverge most."""
+    hub = int(np.argmax(youtube_graph.degrees))
+    previous = int(youtube_graph.neighbors(hub)[0])
+    sampler = build_node_sampler(kind, youtube_graph, nv_model, hub)
+    rng = np.random.default_rng(0)
+
+    def draw_many():
+        return [sampler.sample(previous, rng) for _ in range(100)]
+
+    samples = benchmark(draw_many)
+    assert all(youtube_graph.has_edge(hub, z) for z in samples)

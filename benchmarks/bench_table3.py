@@ -1,0 +1,40 @@
+"""Table 3 bench — T_Cv: exact enumeration vs threshold estimation.
+
+The LP-est variant must touch asymptotically fewer neighbour pairs; on the
+dense Flickr stand-in this already shows up in wall-clock.
+"""
+
+import pytest
+
+from repro import compute_bounding_constants, estimate_bounding_constants
+
+
+@pytest.mark.benchmark(group="table3-tcv")
+@pytest.mark.parametrize("model_name", ["nv", "auto"])
+def test_lp_std(benchmark, flickr_graph, nv_model, auto_model, model_name):
+    model = nv_model if model_name == "nv" else auto_model
+    constants = benchmark(compute_bounding_constants, flickr_graph, model)
+    assert constants.exact
+
+
+@pytest.mark.benchmark(group="table3-tcv")
+@pytest.mark.parametrize("model_name", ["nv", "auto"])
+def test_lp_est(benchmark, flickr_graph, nv_model, auto_model, model_name):
+    model = nv_model if model_name == "nv" else auto_model
+    constants = benchmark(
+        estimate_bounding_constants, flickr_graph, model,
+        degree_threshold=25, rng=0,
+    )
+    assert constants.estimated_nodes > 0
+
+
+def test_estimation_reduces_work(flickr_graph, nv_model):
+    exact = compute_bounding_constants(flickr_graph, nv_model)
+    estimated = estimate_bounding_constants(
+        flickr_graph, nv_model, degree_threshold=25, rng=0
+    )
+    save = 1 - estimated.meta["ratio_evaluations"] / exact.meta["ratio_evaluations"]
+    assert save > 0.5  # > 50% of pair evaluations avoided
+    # ... without drifting far from the exact constants.
+    drift = abs(exact.values - estimated.values).mean()
+    assert drift < 0.3 * exact.mean

@@ -1,0 +1,48 @@
+"""Table 4 bench — memory footprints and initialisation of the
+memory-unaware solutions.
+
+Times the three all-one-sampler builds (naive ~free, rejection moderate,
+alias heaviest — the paper's T_init ordering) and asserts the footprint
+ordering naive << rejection << alias.
+"""
+
+import pytest
+
+from repro import (
+    CostParams,
+    MemoryAwareFramework,
+    SamplerKind,
+)
+from repro.experiments.common import (
+    alias_footprint,
+    graph_footprint,
+    naive_footprint,
+    rejection_footprint,
+)
+
+
+@pytest.mark.benchmark(group="table4-init")
+@pytest.mark.parametrize("kind", list(SamplerKind), ids=lambda k: k.name.lower())
+def test_memory_unaware_build(
+    benchmark, youtube_graph, nv_model, youtube_constants, kind
+):
+    fw = benchmark.pedantic(
+        MemoryAwareFramework.memory_unaware,
+        args=(youtube_graph, nv_model, kind),
+        kwargs={"bounding_constants": youtube_constants, "rng": 0},
+        rounds=3,
+        iterations=1,
+    )
+    assert fw.assignment.algorithm == f"all-{kind.name.lower()}"
+
+
+def test_footprint_ordering(youtube_graph):
+    params = CostParams()
+    degrees = youtube_graph.degrees
+    naive = naive_footprint(degrees, params)
+    rejection = rejection_footprint(degrees, params)
+    alias = alias_footprint(degrees, params)
+    size = graph_footprint(youtube_graph, params)
+    assert naive < 0.1 * size            # naive is negligible
+    assert 0.5 * size < rejection < 10 * size  # rejection ~ graph size
+    assert alias > 10 * size             # alias explodes

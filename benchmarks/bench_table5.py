@@ -1,0 +1,58 @@
+"""Table 5 bench — end-to-end sampling cost of every method.
+
+Benchmarks the node2vec walk task under naive, rejection, alias,
+LP-std(0.1) and LP-std(1.0) on the Youtube stand-in and asserts the
+paper's T_s ordering.
+"""
+
+import numpy as np
+import pytest
+
+from repro import MemoryAwareFramework, SamplerKind
+from repro.walks import node2vec_walk_task
+
+METHODS = ("naive", "rejection", "alias", "lp-0.1", "lp-1.0")
+
+
+def build_method(method, graph, model, constants, table):
+    if method in ("naive", "rejection", "alias"):
+        return MemoryAwareFramework.memory_unaware(
+            graph, model, SamplerKind.from_name(method),
+            bounding_constants=constants, rng=0,
+        )
+    ratio = float(method.split("-")[1])
+    return MemoryAwareFramework(
+        graph, model, budget=table.max_memory() * ratio,
+        bounding_constants=constants, rng=0,
+    )
+
+
+@pytest.mark.benchmark(group="table5-sampling")
+@pytest.mark.parametrize("method", METHODS)
+def test_sampling_cost(
+    benchmark, youtube_graph, nv_model, youtube_constants, youtube_table, method
+):
+    fw = build_method(method, youtube_graph, nv_model, youtube_constants, youtube_table)
+    rng = np.random.default_rng(3)
+    result = benchmark.pedantic(
+        lambda: node2vec_walk_task(fw.walk_engine, num_walks=1, length=8, rng=rng),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.num_walks > 0
+
+
+def test_table5_modeled_ordering(
+    youtube_graph, nv_model, youtube_constants, youtube_table
+):
+    """The paper's T_s ordering, on modeled cost (deterministic)."""
+    modeled = {
+        method: build_method(
+            method, youtube_graph, nv_model, youtube_constants, youtube_table
+        ).modeled_task_time(1)
+        for method in METHODS
+    }
+    assert modeled["alias"] <= modeled["lp-1.0"]
+    assert modeled["lp-1.0"] < modeled["lp-0.1"]
+    assert modeled["lp-0.1"] < modeled["rejection"]
+    assert modeled["rejection"] < modeled["naive"]

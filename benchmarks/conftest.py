@@ -1,0 +1,71 @@
+"""Shared fixtures for the benchmark suite.
+
+Graphs, models, and bounding constants are session-scoped: the benchmarks
+time the operation under study, not fixture setup.  Scales are kept small
+so the full suite finishes in minutes; the CLI (``python -m repro.cli``)
+runs the same experiments at full stand-in scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AutoregressiveModel,
+    CostParams,
+    Node2VecModel,
+    build_cost_table,
+    compute_bounding_constants,
+)
+from repro.datasets import load_dataset
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(99)
+
+
+@pytest.fixture(scope="session")
+def youtube_graph():
+    return load_dataset("youtube", scale=0.15, rng=0)
+
+
+@pytest.fixture(scope="session")
+def livejournal_graph():
+    return load_dataset("livejournal", scale=0.12, rng=0)
+
+
+@pytest.fixture(scope="session")
+def twitter_graph():
+    return load_dataset("twitter", scale=0.1, rng=0)
+
+
+@pytest.fixture(scope="session")
+def flickr_graph():
+    return load_dataset("flickr", scale=0.15, rng=0)
+
+
+@pytest.fixture(scope="session")
+def nv_model():
+    return Node2VecModel(a=0.25, b=4.0)
+
+
+@pytest.fixture(scope="session")
+def nv_fast_model():
+    return Node2VecModel(a=4.0, b=0.25)
+
+
+@pytest.fixture(scope="session")
+def auto_model():
+    return AutoregressiveModel(alpha=0.2)
+
+
+@pytest.fixture(scope="session")
+def youtube_constants(youtube_graph, nv_model):
+    return compute_bounding_constants(youtube_graph, nv_model)
+
+
+@pytest.fixture(scope="session")
+def youtube_table(youtube_graph, youtube_constants):
+    return build_cost_table(youtube_graph, youtube_constants, CostParams())

@@ -1,0 +1,51 @@
+"""Capacity planning: how much memory buys how much sampling speed?
+
+Sweeps memory budgets on a Twitter-like graph and prints the trade-off
+curve the cost-based optimizer navigates, including the "knee" — the
+budget beyond which extra memory stops paying.  This is the operational
+question the paper's framework answers for a deployment.
+
+Run:  python examples/memory_planning.py
+"""
+
+from repro import Node2VecModel, format_bytes
+from repro.analysis import sweep_budgets
+from repro.datasets import load_dataset
+
+
+def main() -> None:
+    graph = load_dataset("twitter", scale=0.25, rng=0)
+    model = Node2VecModel(a=0.25, b=4.0)
+    print(
+        f"graph: {graph.num_nodes} nodes, {graph.num_edges} stored edges, "
+        f"d_max={graph.max_degree}"
+    )
+
+    sweep = sweep_budgets(
+        graph,
+        model,
+        ratios=(0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0),
+    )
+    print(
+        f"budget range: {format_bytes(sweep.min_budget)} (all naive) to "
+        f"{format_bytes(sweep.max_budget)} (saturated)\n"
+    )
+    print(sweep.render())
+
+    knee = sweep.knee_ratio(threshold=0.9)
+    print(
+        f"\nknee: {knee:.0%} of the saturating budget already captures 90% "
+        f"of the achievable speedup "
+        f"({sweep.speedup_at(knee):.1f}x over the cheapest assignment; "
+        f"{sweep.speedup_at(1.0):.1f}x at full budget)."
+    )
+    print(
+        "Reading the mix columns: the optimizer upgrades cheap low-degree "
+        "nodes to alias tables first (steepest time-per-byte gradients), "
+        "keeps mid-degree nodes on rejection, and only buys the giant "
+        "hubs' quadratic alias tables when memory is plentiful."
+    )
+
+
+if __name__ == "__main__":
+    main()

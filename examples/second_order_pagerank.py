@@ -1,0 +1,53 @@
+"""Second-order PageRank queries over the autoregressive model.
+
+The paper's second benchmark (Section 6.1, following Wu et al. VLDB'16):
+personalised PageRank estimated by second-order walks with restart.  The
+example also shows how the memory strength α changes the ranking —
+higher α makes the walk "remember where it came from".
+
+Run:  python examples/second_order_pagerank.py
+"""
+
+from repro import AutoregressiveModel, MemoryAwareFramework, second_order_pagerank
+from repro.graph import powerlaw_cluster_graph
+
+
+def main() -> None:
+    graph = powerlaw_cluster_graph(300, 3, 0.6, rng=0)
+    query = int(graph.degrees.argmax())
+    print(
+        f"graph: {graph.num_nodes} nodes; querying PageRank around the "
+        f"hub node {query} (degree {graph.degree(query)})"
+    )
+
+    for alpha in (0.0, 0.4, 0.8):
+        model = AutoregressiveModel(alpha=alpha)
+        probe = MemoryAwareFramework(graph, model, budget=1e12)
+        budget = 0.2 * probe.cost_table.max_memory()
+        framework = MemoryAwareFramework(graph, model, budget=budget)
+
+        result = second_order_pagerank(
+            framework.walk_engine,
+            query,
+            decay=0.85,
+            max_length=20,
+            num_samples=4 * graph.num_nodes,  # the paper's 4|V|
+            rng=1,
+        )
+        top = result.top(5)
+        print(
+            f"Auto({alpha}): query took {result.query_seconds:.2f}s over "
+            f"{result.num_samples} walks; top-5 = "
+            + ", ".join(f"{node}:{score:.3f}" for node, score in top)
+        )
+
+    print(
+        "\nWith alpha = 0 this is the classical first-order personalised "
+        "PageRank; larger alpha mixes in the previous node's transition "
+        "distribution, concentrating mass on nodes that share neighbours "
+        "with the walk's recent history."
+    )
+
+
+if __name__ == "__main__":
+    main()

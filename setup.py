@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All project metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` on offline machines that lack the
+``wheel`` package required by PEP 660 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

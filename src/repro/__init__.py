@@ -1,0 +1,161 @@
+"""repro — memory-aware framework for efficient second-order random walks.
+
+A faithful, pure-Python reproduction of the SIGMOD 2020 paper
+"Memory-Aware Framework for Efficient Second-Order Random Walk on Large
+Graphs" (Shao, Huang, Miao, Cui, Chen).
+
+Quickstart
+----------
+>>> from repro import CSRGraph, Node2VecModel, MemoryAwareFramework
+>>> graph = CSRGraph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+>>> model = Node2VecModel(a=0.25, b=4.0)
+>>> fw = MemoryAwareFramework(graph, model, budget=500)
+>>> walk = fw.walk(start=0, length=10)
+
+See ``DESIGN.md`` for the architecture and ``EXPERIMENTS.md`` for the
+reproduced tables and figures.
+"""
+
+from .constants import (
+    DEFAULT_DEGREE_THRESHOLD,
+    DEFAULT_WALK_LENGTH,
+    DEFAULT_WALKS_PER_NODE,
+)
+from .exceptions import (
+    AssignmentError,
+    BoundingConstantError,
+    BudgetError,
+    CostModelError,
+    DatasetError,
+    DistributionError,
+    GraphFormatError,
+    InfeasibleBudgetError,
+    ModelError,
+    OptimizerError,
+    ReproError,
+    SamplerError,
+    SimulatedOOMError,
+    SimulatedTimeoutError,
+    WalkError,
+)
+from .graph import CSRGraph, GraphBuilder, from_edges
+from .sampling import AliasTable, CumulativeSampler, NaiveSampler, RejectionSampler
+from .models import (
+    AutoregressiveModel,
+    EdgeSimilarityModel,
+    FirstOrderModel,
+    Node2VecModel,
+    SecondOrderModel,
+    available_models,
+    get_model,
+    register_model,
+)
+from .bounding import (
+    BoundingConstants,
+    compute_bounding_constants,
+    estimate_bounding_constants,
+)
+from .cost import CostParams, CostTable, SamplerKind, build_cost_table
+from .optimizer import (
+    AdaptiveOptimizer,
+    Assignment,
+    degree_greedy,
+    dp_optimal,
+    exhaustive_optimal,
+    lp_greedy,
+    min_memory_for_time,
+)
+from .framework import (
+    MemoryAwareFramework,
+    MemoryBudget,
+    MemoryMeter,
+    NodeSampler,
+    WalkEngine,
+    format_bytes,
+    linear_budget_trace,
+)
+from .walks import (
+    WalkCorpus,
+    exact_second_order_pagerank,
+    node2vec_walk_task,
+    parallel_walks,
+    second_order_pagerank,
+)
+from .analysis import diagnose_walks, profile_assignment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graph
+    "CSRGraph",
+    "GraphBuilder",
+    "from_edges",
+    # sampling
+    "AliasTable",
+    "NaiveSampler",
+    "CumulativeSampler",
+    "RejectionSampler",
+    # models
+    "SecondOrderModel",
+    "Node2VecModel",
+    "AutoregressiveModel",
+    "FirstOrderModel",
+    "register_model",
+    "get_model",
+    "available_models",
+    # bounding
+    "BoundingConstants",
+    "compute_bounding_constants",
+    "estimate_bounding_constants",
+    # cost
+    "CostParams",
+    "CostTable",
+    "SamplerKind",
+    "build_cost_table",
+    # optimizer
+    "Assignment",
+    "lp_greedy",
+    "degree_greedy",
+    "dp_optimal",
+    "exhaustive_optimal",
+    "AdaptiveOptimizer",
+    "min_memory_for_time",
+    # framework
+    "MemoryAwareFramework",
+    "NodeSampler",
+    "WalkEngine",
+    "MemoryBudget",
+    "MemoryMeter",
+    "format_bytes",
+    "linear_budget_trace",
+    # walks
+    "WalkCorpus",
+    "node2vec_walk_task",
+    "second_order_pagerank",
+    "exact_second_order_pagerank",
+    "parallel_walks",
+    "EdgeSimilarityModel",
+    "diagnose_walks",
+    "profile_assignment",
+    # constants
+    "DEFAULT_WALKS_PER_NODE",
+    "DEFAULT_WALK_LENGTH",
+    "DEFAULT_DEGREE_THRESHOLD",
+    # exceptions
+    "ReproError",
+    "GraphFormatError",
+    "DistributionError",
+    "SamplerError",
+    "BoundingConstantError",
+    "CostModelError",
+    "BudgetError",
+    "InfeasibleBudgetError",
+    "SimulatedOOMError",
+    "SimulatedTimeoutError",
+    "OptimizerError",
+    "AssignmentError",
+    "ModelError",
+    "WalkError",
+    "DatasetError",
+]

@@ -1,0 +1,34 @@
+"""Analysis utilities: assignment introspection and walk diagnostics.
+
+These answer the questions the paper's evaluation narrates —
+*which* nodes got which sampler and why (§6.2-6.4), and whether generated
+walks are statistically faithful to the model.
+"""
+
+from .assignment_profile import (
+    AssignmentProfile,
+    DegreeBucket,
+    profile_assignment,
+)
+from .sweep import BudgetSweep, SweepPoint, sweep_budgets
+from .walk_stats import (
+    ContextDeviation,
+    WalkDiagnostics,
+    diagnose_walks,
+    expected_multinomial_tv,
+    transition_deviation,
+)
+
+__all__ = [
+    "AssignmentProfile",
+    "DegreeBucket",
+    "profile_assignment",
+    "WalkDiagnostics",
+    "ContextDeviation",
+    "expected_multinomial_tv",
+    "diagnose_walks",
+    "transition_deviation",
+    "BudgetSweep",
+    "SweepPoint",
+    "sweep_budgets",
+]

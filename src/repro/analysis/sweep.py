@@ -1,0 +1,133 @@
+"""Budget sweeps: the time/memory trade-off curve of a graph+model pair.
+
+The paper's evaluation methodology in API form: given a graph and a model,
+sweep memory budgets and report the optimizer's modeled cost and sampler
+mix at each point.  Useful for capacity planning ("how much memory buys
+how much speed?") before committing to a deployment budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bounding import BoundingConstants, compute_bounding_constants
+from ..cost import CostParams, SamplerKind, build_cost_table
+from ..exceptions import OptimizerError
+from ..graph import CSRGraph
+from ..models import SecondOrderModel
+from ..optimizer import AdaptiveOptimizer
+from ..rng import RngLike
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One budget point on the trade-off curve."""
+
+    ratio: float
+    budget_bytes: float
+    used_bytes: float
+    modeled_time: float
+    naive_nodes: int
+    rejection_nodes: int
+    alias_nodes: int
+
+    @property
+    def speedup_headroom(self) -> float:
+        """Modeled time relative to the all-alias floor (1.0 = saturated)."""
+        return self.modeled_time
+
+
+@dataclass(frozen=True)
+class BudgetSweep:
+    """A full budget sweep with its context."""
+
+    points: list[SweepPoint]
+    max_budget: float
+    min_budget: float
+
+    def speedup_at(self, ratio: float) -> float:
+        """Modeled-time improvement of the closest point vs the cheapest."""
+        if not self.points:
+            raise OptimizerError("empty sweep")
+        baseline = self.points[0].modeled_time
+        closest = min(self.points, key=lambda p: abs(p.ratio - ratio))
+        return baseline / closest.modeled_time if closest.modeled_time else np.inf
+
+    def knee_ratio(self, threshold: float = 0.9) -> float:
+        """Smallest swept ratio achieving ``threshold`` of the total
+        modeled-time reduction — the budget beyond which returns diminish."""
+        if len(self.points) < 2:
+            return self.points[0].ratio if self.points else 0.0
+        first = self.points[0].modeled_time
+        last = self.points[-1].modeled_time
+        full_gain = first - last
+        if full_gain <= 0:
+            return self.points[0].ratio
+        for point in self.points:
+            if (first - point.modeled_time) >= threshold * full_gain:
+                return point.ratio
+        return self.points[-1].ratio
+
+    def render(self) -> str:
+        """Text table of the curve."""
+        lines = [
+            f"{'ratio':>6}  {'budget':>12}  {'used':>12}  "
+            f"{'modeled time':>12}  {'N':>5}  {'R':>5}  {'A':>5}"
+        ]
+        for p in self.points:
+            lines.append(
+                f"{p.ratio:>6.2f}  {p.budget_bytes:>12.0f}  {p.used_bytes:>12.0f}  "
+                f"{p.modeled_time:>12.1f}  {p.naive_nodes:>5}  "
+                f"{p.rejection_nodes:>5}  {p.alias_nodes:>5}"
+            )
+        return "\n".join(lines)
+
+
+def sweep_budgets(
+    graph: CSRGraph,
+    model: SecondOrderModel,
+    *,
+    ratios: tuple[float, ...] = (0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0),
+    params: CostParams | None = None,
+    constants: BoundingConstants | None = None,
+    rng: RngLike = None,
+) -> BudgetSweep:
+    """Sweep budget ratios of the saturating budget and collect the curve.
+
+    Reuses one adaptive optimizer across the whole sweep (ascending
+    ratios), so the cost is one schedule build plus incremental updates —
+    the same trick as the paper's dynamic-budget evaluation.
+    """
+    if not ratios or any(r < 0 for r in ratios):
+        raise OptimizerError("ratios must be non-negative and non-empty")
+    params = params or CostParams()
+    if constants is None:
+        constants = compute_bounding_constants(graph, model)
+    table = build_cost_table(graph, constants, params)
+    max_budget = table.max_memory()
+    min_budget = table.min_memory()
+
+    ordered = sorted(set(ratios))
+    first_budget = max(min_budget, ordered[0] * max_budget)
+    adaptive = AdaptiveOptimizer(table, first_budget)
+
+    points: list[SweepPoint] = []
+    for ratio in ordered:
+        budget = max(min_budget, ratio * max_budget)
+        adaptive.set_budget(budget)
+        assignment = adaptive.assignment
+        counts = assignment.counts()
+        points.append(
+            SweepPoint(
+                ratio=ratio,
+                budget_bytes=budget,
+                used_bytes=assignment.used_memory,
+                modeled_time=assignment.total_time,
+                naive_nodes=counts.get(SamplerKind.NAIVE, 0),
+                rejection_nodes=counts.get(SamplerKind.REJECTION, 0),
+                alias_nodes=counts.get(SamplerKind.ALIAS, 0),
+            )
+        )
+    return BudgetSweep(points=points, max_budget=max_budget, min_budget=min_budget)

@@ -1,0 +1,131 @@
+"""Walk diagnostics: statistical faithfulness of generated corpora.
+
+Implements the checks the test suite and the users of a sampling system
+both need: do empirical second-order transition frequencies match the
+model's exact e2e distributions, and does the corpus cover the graph?
+
+Faithfulness is judged *noise-aware*: the total-variation distance of an
+``n``-sample multinomial from its own distribution is not zero — its
+expectation is approximately ``Σ_i sqrt(p_i (1 - p_i) / (2 π n))``.  Each
+context's observed TV is therefore normalised by that expected noise, and
+a corpus is declared faithful when no context deviates by more than a few
+noise units, independent of the sample count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import WalkError
+from ..graph import CSRGraph
+from ..models import SecondOrderModel
+from ..sampling.utils import total_variation_distance
+from ..walks import WalkCorpus
+
+
+def expected_multinomial_tv(probabilities: np.ndarray, samples: int) -> float:
+    """Expected TV distance of an ``samples``-draw empirical distribution
+    from its own generating distribution (normal approximation)."""
+    p = np.asarray(probabilities, dtype=np.float64)
+    if samples < 1:
+        raise WalkError("samples must be >= 1")
+    return float(0.5 * np.sqrt(2.0 / math.pi) * np.sqrt(p * (1 - p) / samples).sum())
+
+
+@dataclass(frozen=True)
+class ContextDeviation:
+    """TV deviation of one ``(previous, current)`` transition context."""
+
+    previous: int
+    current: int
+    tv: float
+    expected_tv: float      # sampling noise floor at this sample count
+    samples: int
+
+    @property
+    def noise_ratio(self) -> float:
+        """Observed deviation in units of expected sampling noise."""
+        return self.tv / max(self.expected_tv, 1e-12)
+
+
+@dataclass(frozen=True)
+class WalkDiagnostics:
+    """Summary of a corpus-vs-model comparison."""
+
+    contexts_checked: int          # (u, v) pairs with enough samples
+    max_tv: float                  # worst absolute total-variation distance
+    mean_tv: float
+    max_noise_ratio: float         # worst TV in units of expected noise
+    node_coverage: float           # fraction of non-isolated nodes visited
+    total_steps: int
+
+    def is_faithful(self, max_noise_units: float = 3.0) -> bool:
+        """Whether every well-sampled context stays within
+        ``max_noise_units`` of its expected sampling noise."""
+        return self.contexts_checked > 0 and self.max_noise_ratio < max_noise_units
+
+
+def transition_deviation(
+    graph: CSRGraph,
+    model: SecondOrderModel,
+    corpus: WalkCorpus,
+    *,
+    min_samples: int = 100,
+) -> list[ContextDeviation]:
+    """Per-context deviations for every ``(u, v)`` transition context
+    observed at least ``min_samples`` times."""
+    if min_samples < 1:
+        raise WalkError("min_samples must be >= 1")
+    results: list[ContextDeviation] = []
+    for (u, v), counter in corpus.second_order_transition_counts().items():
+        total = sum(counter.values())
+        if total < min_samples:
+            continue
+        neighbors = graph.neighbors(v)
+        empirical = np.array(
+            [counter.get(int(z), 0) for z in neighbors], dtype=np.float64
+        )
+        exact = model.e2e_distribution(graph, u, v)
+        results.append(
+            ContextDeviation(
+                previous=u,
+                current=v,
+                tv=total_variation_distance(empirical / total, exact),
+                expected_tv=expected_multinomial_tv(exact, total),
+                samples=total,
+            )
+        )
+    return results
+
+
+def diagnose_walks(
+    graph: CSRGraph,
+    model: SecondOrderModel,
+    corpus: WalkCorpus,
+    *,
+    min_samples: int = 100,
+) -> WalkDiagnostics:
+    """Full corpus diagnosis: transition faithfulness + coverage."""
+    deviations = transition_deviation(
+        graph, model, corpus, min_samples=min_samples
+    )
+    tvs = [d.tv for d in deviations]
+    ratios = [d.noise_ratio for d in deviations]
+    visited = corpus.visit_counts(graph.num_nodes) > 0
+    eligible = graph.degrees > 0
+    coverage = (
+        float((visited & eligible).sum()) / max(int(eligible.sum()), 1)
+        if graph.num_nodes
+        else 0.0
+    )
+    return WalkDiagnostics(
+        contexts_checked=len(deviations),
+        max_tv=max(tvs) if tvs else 0.0,
+        mean_tv=float(np.mean(tvs)) if tvs else 0.0,
+        max_noise_ratio=max(ratios) if ratios else 0.0,
+        node_coverage=coverage,
+        total_steps=corpus.total_steps,
+    )

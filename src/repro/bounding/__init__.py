@@ -1,0 +1,40 @@
+"""Bounding constants for the rejection node sampler (paper Section 3).
+
+The bounding constant ``C_uv`` of an edge controls the expected number of
+proposal draws per accepted sample when walking from ``(u, v)``.  This
+subpackage computes it exactly (Equation 3), estimates it by neighbourhood
+sampling (Section 3.3), checks the Theorem 1 degree bounds, and builds the
+Figure 4 histograms.
+"""
+
+from .exact import (
+    BoundingConstants,
+    edge_bounding_constant,
+    edge_max_ratio,
+    node_bounding_constant,
+    compute_bounding_constants,
+)
+from .estimate import estimate_bounding_constants, estimate_edge_bounding_constant
+from .bounds import (
+    theorem1_bound,
+    verify_theorem1,
+    verify_weighted_bound,
+    weighted_bound,
+)
+from .histogram import BoundingHistogram, bounding_histogram
+
+__all__ = [
+    "BoundingConstants",
+    "edge_bounding_constant",
+    "edge_max_ratio",
+    "node_bounding_constant",
+    "compute_bounding_constants",
+    "estimate_bounding_constants",
+    "estimate_edge_bounding_constant",
+    "theorem1_bound",
+    "verify_theorem1",
+    "weighted_bound",
+    "verify_weighted_bound",
+    "BoundingHistogram",
+    "bounding_histogram",
+]

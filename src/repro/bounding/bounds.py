@@ -1,0 +1,162 @@
+"""Theoretical bounds on bounding constants (paper Theorem 1).
+
+For an **unweighted** graph and an edge ``(u, v)`` with ``θ_uv`` common
+neighbours, the bounding constant is degree-bounded:
+
+node2vec ``NV(a, b)``::
+
+    C_uv ≤ d_v / θ_uv              if a ≥ 1 and b ≥ 1           (case 1)
+    C_uv ≤ d_v                     if 0 < a < 1 and b ≥ a        (case 2)
+    C_uv ≤ d_v / (d_v - 1 - θ_uv)  if 0 < b < 1 and a ≥ b        (case 3)
+
+autoregressive ``Auto(α)``::
+
+    C_uv ≤ d_v / θ_uv   (θ_uv ≥ 1);   C_uv = 1 when θ_uv = 0
+
+The special cases from the paper's discussion are honoured: with
+``θ_uv = 0`` the case-1 and autoregressive bounds fall back to ``d_v`` and
+``1`` respectively, and with ``θ_uv = d_v - 1`` case 3 degenerates to
+case 1/2 behaviour (bounded by ``d_v``).
+"""
+
+from __future__ import annotations
+
+from ..exceptions import BoundingConstantError
+from ..graph import CSRGraph
+from ..graph.stats import common_neighbor_count
+from ..models import AutoregressiveModel, Node2VecModel, SecondOrderModel
+from .exact import edge_bounding_constant
+
+
+def theorem1_bound(
+    graph: CSRGraph, model: SecondOrderModel, u: int, v: int
+) -> float:
+    """The Theorem 1 upper bound on ``C_uv`` for an unweighted graph."""
+    if not graph.is_unit_weight:
+        raise BoundingConstantError("Theorem 1 applies to unweighted graphs")
+    d_v = graph.degree(v)
+    if d_v == 0:
+        raise BoundingConstantError(f"node {v} has no neighbours")
+    theta = common_neighbor_count(graph, u, v)
+
+    if isinstance(model, Node2VecModel):
+        a, b = model.a, model.b
+        if a >= 1 and b >= 1:
+            # Case 1; θ = 0 falls back to d_v per the paper's discussion.
+            return d_v / theta if theta >= 1 else float(d_v)
+        if a < 1 and b >= a:
+            return float(d_v)  # case 2
+        # Case 3 (b < 1, a >= b); the denominator counts distance-2
+        # candidates and the bound degenerates to d_v when there are none.
+        far = d_v - 1 - theta
+        return d_v / far if far >= 1 else float(d_v)
+
+    if isinstance(model, AutoregressiveModel):
+        return d_v / theta if theta >= 1 else 1.0
+
+    raise BoundingConstantError(
+        f"no Theorem 1 bound is defined for model {model.name!r}"
+    )
+
+
+def weighted_bound(
+    graph: CSRGraph, model: SecondOrderModel, u: int, v: int
+) -> float:
+    """A degree-free bound on ``C_uv`` valid for **weighted** graphs.
+
+    The paper notes Theorem 1 "can be extended to the weighted graph with
+    more complex analysis"; this is that extension, via ratio extremes
+    instead of common-neighbour counts:
+
+    * node2vec: ratios lie in ``{1/a, 1, 1/b}``, so
+      ``C_uv = (W_v / W'_v) max_z r_z ≤ max_r / min_r``
+      with ``max_r = max(1/a, 1/b, 1)`` and ``min_r = min(1/a, 1/b, 1)``
+      (because ``W'_v ≥ W_v · min_r``).
+    * autoregressive: ``r_z = (1-α) + α p_uz / p_vz`` with
+      ``p_uz ≤ w_max(u)/W_u`` and ``p_vz ≥ w_min(v)/W_v``; the ratio's
+      weighted mean is at least ``1 - α``, giving
+      ``C_uv ≤ [(1-α) + α · w_max(u) W_v / (W_u w_min(v))] / (1-α)``.
+
+    Both bounds also hold on unweighted graphs (where Theorem 1 is usually
+    tighter for node2vec when common neighbours abound).
+    """
+    d_v = graph.degree(v)
+    if d_v == 0:
+        raise BoundingConstantError(f"node {v} has no neighbours")
+
+    if isinstance(model, Node2VecModel):
+        ratios = (1.0 / model.a, 1.0 / model.b, 1.0)
+        return max(ratios) / min(ratios)
+
+    if isinstance(model, AutoregressiveModel):
+        alpha = model.alpha
+        if alpha == 0.0:
+            return 1.0
+        w_u = graph.weight_sum(u)
+        w_max_u = float(graph.neighbor_weights(u).max()) if graph.degree(u) else 0.0
+        w_min_v = float(graph.neighbor_weights(v).min())
+        if w_u <= 0 or w_min_v <= 0:
+            raise BoundingConstantError(
+                f"edge ({u}, {v}) has degenerate weights for the bound"
+            )
+        p_uz_max = w_max_u / w_u
+        p_vz_min = w_min_v / graph.weight_sum(v)
+        return ((1.0 - alpha) + alpha * p_uz_max / p_vz_min) / (1.0 - alpha)
+
+    bound = model.max_ratio_bound(graph)
+    if bound is not None:
+        # Generic: C = (Σw · max r) / Σ(r·w) ≤ max r / min r; with only the
+        # upper bound known, fall back to max_r / r_min via the model's
+        # actual per-edge minimum.
+        ratios = model.target_ratios(graph, u, v)
+        r_min = float(ratios.min())
+        if r_min <= 0:
+            raise BoundingConstantError(
+                "weighted bound requires strictly positive ratios"
+            )
+        return bound / r_min
+    raise BoundingConstantError(
+        f"no weighted bound is defined for model {model.name!r}"
+    )
+
+
+def verify_weighted_bound(
+    graph: CSRGraph,
+    model: SecondOrderModel,
+    *,
+    tolerance: float = 1e-9,
+) -> list[tuple[int, int, float, float]]:
+    """Check ``C_uv ≤ weighted_bound`` on every stored edge.
+
+    Works on weighted and unweighted graphs alike; returns violations
+    (always empty when the analysis above is right — exists for the
+    property-based tests).
+    """
+    violations: list[tuple[int, int, float, float]] = []
+    for u, v, _ in graph.edges():
+        actual = edge_bounding_constant(graph, model, u, v)
+        bound = weighted_bound(graph, model, u, v)
+        if actual > bound + tolerance:
+            violations.append((u, v, actual, bound))
+    return violations
+
+
+def verify_theorem1(
+    graph: CSRGraph,
+    model: SecondOrderModel,
+    *,
+    tolerance: float = 1e-9,
+) -> list[tuple[int, int, float, float]]:
+    """Check ``C_uv ≤ bound`` on every stored edge of an unweighted graph.
+
+    Returns the list of violations as ``(u, v, C_uv, bound)`` tuples —
+    empty when the theorem holds (it always should; this exists for the
+    property-based test suite).
+    """
+    violations: list[tuple[int, int, float, float]] = []
+    for u, v, _ in graph.edges():
+        actual = edge_bounding_constant(graph, model, u, v)
+        bound = theorem1_bound(graph, model, u, v)
+        if actual > bound + tolerance:
+            violations.append((u, v, actual, bound))
+    return violations

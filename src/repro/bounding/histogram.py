@@ -1,0 +1,94 @@
+"""Bucketed bounding-constant distributions (paper Figure 4).
+
+The figure divides the range of ``C_v`` values uniformly into 10 buckets
+(``(max - min) / 10`` wide) and plots the node count per bucket for the
+exact constants and for estimates at several thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import BOUNDING_HISTOGRAM_BUCKETS
+from ..exceptions import BoundingConstantError
+from .exact import BoundingConstants
+
+
+@dataclass(frozen=True)
+class BoundingHistogram:
+    """Histogram of per-node bounding constants.
+
+    ``edges`` has ``buckets + 1`` entries; bucket ``i`` covers
+    ``[edges[i], edges[i+1])`` (last bucket inclusive on the right).
+    """
+
+    edges: np.ndarray
+    counts: np.ndarray
+    label: str = ""
+
+    @property
+    def buckets(self) -> int:
+        return len(self.counts)
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    def mode_bucket(self) -> int:
+        """Index of the most populated bucket."""
+        return int(np.argmax(self.counts))
+
+    def fraction_below(self, value: float) -> float:
+        """Fraction of nodes whose ``C_v`` falls strictly below ``value``.
+
+        Bucket-resolution approximation: whole buckets below ``value`` count
+        fully, the straddling bucket proportionally.
+        """
+        if self.total == 0:
+            return 0.0
+        covered = 0.0
+        for i in range(self.buckets):
+            lo, hi = self.edges[i], self.edges[i + 1]
+            if hi <= value:
+                covered += self.counts[i]
+            elif lo < value:
+                width = hi - lo
+                covered += self.counts[i] * ((value - lo) / width if width > 0 else 1.0)
+        return covered / self.total
+
+    def rows(self) -> list[tuple[float, float, int]]:
+        """``(low, high, count)`` rows, ready for table rendering."""
+        return [
+            (float(self.edges[i]), float(self.edges[i + 1]), int(self.counts[i]))
+            for i in range(self.buckets)
+        ]
+
+
+def bounding_histogram(
+    constants: BoundingConstants,
+    *,
+    buckets: int = BOUNDING_HISTOGRAM_BUCKETS,
+    label: str = "",
+    edges: np.ndarray | None = None,
+) -> BoundingHistogram:
+    """Bucket ``C_v`` values Figure-4 style.
+
+    Pass explicit ``edges`` to histogram several series (exact vs estimated)
+    on a shared x-axis, as the figure does.
+    """
+    if buckets < 1:
+        raise BoundingConstantError("buckets must be >= 1")
+    values = constants.values
+    if edges is None:
+        lo, hi = float(values.min()), float(values.max())
+        if hi <= lo:
+            hi = lo + 1.0  # all-equal constants: a single degenerate bucket
+        edges = np.linspace(lo, hi, buckets + 1)
+    else:
+        edges = np.asarray(edges, dtype=np.float64)
+        if len(edges) < 2 or np.any(np.diff(edges) <= 0):
+            raise BoundingConstantError("edges must be strictly increasing")
+    counts, _ = np.histogram(values, bins=edges)
+    return BoundingHistogram(edges=edges, counts=counts.astype(np.int64), label=label)

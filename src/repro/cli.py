@@ -1,0 +1,213 @@
+"""Command-line interface.
+
+Two call styles:
+
+* experiment reproduction (the original interface)::
+
+      python -m repro.cli table4
+      python -m repro.cli figure7 --scale 0.5 --seed 7
+      python -m repro.cli all
+
+* library subcommands on real edge lists::
+
+      python -m repro.cli info youtube
+      python -m repro.cli optimize graph.txt --budget 5e8 --model node2vec \\
+          --param a=0.25 --param b=4
+      python -m repro.cli walk graph.txt --budget 5e8 --num-walks 10 \\
+          --length 80 --output walks.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import available_experiments, run_experiment
+
+
+# ----------------------------------------------------------------------
+# experiment mode (backward-compatible single positional)
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Parser for the experiment-reproduction mode."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the tables and figures of 'Memory-Aware Framework "
+            "for Efficient Second-Order Random Walk on Large Graphs' "
+            "(SIGMOD 2020) on scaled synthetic stand-ins."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=available_experiments() + ["all"],
+        help="which table/figure to regenerate ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="stand-in graph scale factor (default 1.0)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="random seed (default: library default, deterministic)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        default=None,
+        help="also export every table as CSV into this directory",
+    )
+    return parser
+
+
+def _run_experiments(argv: list[str]) -> int:
+    args = build_parser().parse_args(argv)
+    names = available_experiments() if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.perf_counter()
+        report = run_experiment(name, scale=args.scale, rng=args.seed)
+        elapsed = time.perf_counter() - started
+        print(report.render())
+        if args.output_dir:
+            paths = report.to_csv(args.output_dir)
+            print(f"[{len(paths)} CSV file(s) written to {args.output_dir}]")
+        print(f"[{name} completed in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# library subcommands
+# ----------------------------------------------------------------------
+def _parse_params(pairs: list[str]) -> dict[str, float]:
+    params: dict[str, float] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep:
+            raise SystemExit(f"--param expects key=value, got {pair!r}")
+        try:
+            params[key] = float(value)
+        except ValueError:
+            raise SystemExit(f"--param value must be numeric, got {pair!r}") from None
+    return params
+
+
+def build_tool_parser() -> argparse.ArgumentParser:
+    """Parser for the info/optimize/walk subcommands."""
+    parser = argparse.ArgumentParser(prog="repro")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="dataset statistics (paper + stand-in)")
+    info.add_argument("dataset", help="paper dataset name, e.g. youtube")
+    info.add_argument("--scale", type=float, default=1.0)
+    info.add_argument("--seed", type=int, default=None)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("edgelist", help="whitespace edge-list file")
+    common.add_argument("--budget", type=float, required=True, help="bytes")
+    common.add_argument("--model", default="node2vec")
+    common.add_argument(
+        "--param", action="append", default=[], help="model hyper-parameter key=value"
+    )
+    common.add_argument(
+        "--optimizer", default="lp", choices=["lp", "deg-inc", "deg-dec"]
+    )
+    common.add_argument("--seed", type=int, default=None)
+
+    sub.add_parser(
+        "optimize",
+        parents=[common],
+        help="run the cost-based optimizer and print the assignment profile",
+    )
+
+    walk = sub.add_parser(
+        "walk", parents=[common], help="generate second-order random walks"
+    )
+    walk.add_argument("--num-walks", type=int, default=10)
+    walk.add_argument("--length", type=int, default=80)
+    walk.add_argument("--output", default=None, help="write walks to this file")
+
+    return parser
+
+
+def _build_framework(args):
+    from .framework import MemoryAwareFramework
+    from .graph import load_edge_list
+    from .models import get_model
+
+    params = _parse_params(args.param)  # validate before any file IO
+    graph = load_edge_list(args.edgelist)
+    model = get_model(args.model, **params)
+    return MemoryAwareFramework(
+        graph,
+        model,
+        budget=args.budget,
+        optimizer=args.optimizer,
+        rng=args.seed,
+    )
+
+
+def _run_tool(argv: list[str]) -> int:
+    args = build_tool_parser().parse_args(argv)
+
+    if args.command == "info":
+        from .datasets import load_dataset, paper_graph_info
+        from .graph import compute_stats
+
+        info = paper_graph_info(args.dataset)
+        print(
+            f"{info.name}: |V|={info.num_nodes:,} |E|={info.num_edges:,} "
+            f"d_avg={info.average_degree} M_g={info.memory_bytes / 1e6:.0f}MB (paper Table 2)"
+        )
+        standin = load_dataset(args.dataset, scale=args.scale, rng=args.seed)
+        print(f"stand-in ({args.scale}x): {compute_stats(standin).describe()}")
+        return 0
+
+    framework = _build_framework(args)
+    print(framework.assignment.describe())
+
+    if args.command == "optimize":
+        from .analysis import profile_assignment
+
+        profile = profile_assignment(
+            framework.graph, framework.assignment, framework.cost_table
+        )
+        print(profile.render())
+        return 0
+
+    # walk
+    from .walks import WalkCorpus
+
+    walks = framework.generate_walks(
+        num_walks=args.num_walks, length=args.length, rng=args.seed
+    )
+    corpus = WalkCorpus.from_walks(walks)
+    print(
+        f"generated {len(corpus)} walks, {corpus.total_steps} steps, "
+        f"avg length {corpus.average_length:.1f}"
+    )
+    if args.output:
+        corpus.save(args.output)
+        print(f"written to {args.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    experiment_names = set(available_experiments()) | {"all"}
+    if argv and argv[0] in experiment_names:
+        return _run_experiments(argv)
+    if argv and argv[0] in ("info", "optimize", "walk"):
+        return _run_tool(argv)
+    # Fall through to the experiment parser for its help/error message.
+    return _run_experiments(argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Package-wide constants mirroring the paper's experimental defaults.
+
+Section and table references point at the SIGMOD 2020 paper this package
+reproduces ("Memory-Aware Framework for Efficient Second-Order Random Walk
+on Large Graphs").
+"""
+
+from __future__ import annotations
+
+#: Bytes used to store one probability value (``b_f`` in Table 1).  The
+#: paper's instantiation stores probabilities as 4-byte floats.
+DEFAULT_FLOAT_BYTES = 4
+
+#: Bytes used to store one node identifier (``b_i`` in Table 1).
+DEFAULT_INT_BYTES = 4
+
+#: The abstract unit of time cost (``K`` in Table 1).  All sampler time
+#: costs are multiples of this unit, so its absolute value only matters when
+#: converting modeled cost to (simulated) seconds.
+DEFAULT_TIME_UNIT = 1.0
+
+#: Default degree threshold above which bounding constants are estimated by
+#: sampling instead of exact enumeration (Section 3.3; the paper's default).
+DEFAULT_DEGREE_THRESHOLD = 600
+
+#: node2vec benchmark parameters (Section 6.1): walks per node and length.
+DEFAULT_WALKS_PER_NODE = 10
+DEFAULT_WALK_LENGTH = 80
+
+#: Second-order PageRank query parameters (Section 6.1, following Wu et al.).
+DEFAULT_PAGERANK_DECAY = 0.85
+DEFAULT_PAGERANK_MAX_LENGTH = 20
+DEFAULT_PAGERANK_SAMPLES_PER_NODE = 4
+DEFAULT_PAGERANK_QUERY_NODES = 100
+
+#: Hyper-parameter grid used in the paper's evaluation (Section 6.1).
+NODE2VEC_PARAM_GRID = (0.25, 1.0, 4.0)
+AUTOREGRESSIVE_PARAM_GRID = (0.0, 0.2, 0.4, 0.6, 0.8)
+
+#: Memory budget ratios explored in Figure 7.
+BUDGET_RATIOS = (0.1, 0.3, 0.5, 0.7, 0.9, 1.0)
+
+#: Number of histogram buckets used in Figure 4.
+BOUNDING_HISTOGRAM_BUCKETS = 10
+
+#: Default seed so that library-level results are reproducible unless the
+#: caller supplies a seed explicitly.
+DEFAULT_SEED = 20200614  # SIGMOD'20 opening day.

@@ -1,0 +1,70 @@
+"""Cost-model parameters (the instantiation knobs of paper Section 4.2)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import DEFAULT_FLOAT_BYTES, DEFAULT_INT_BYTES, DEFAULT_TIME_UNIT
+from ..exceptions import CostModelError
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Parameters that instantiate the cost model.
+
+    Attributes
+    ----------
+    float_bytes:
+        ``b_f`` — bytes per stored probability (paper default: 4).
+    int_bytes:
+        ``b_i`` — bytes per stored node id (paper default: 4).
+    time_unit:
+        ``K`` — the abstract unit of sampling time.
+    neighbor_checker:
+        Strategy for the common-neighbour check that determines ``c``:
+        ``"binary"`` gives ``c = log2(d_v)`` (clamped at 1), ``"hash"`` and
+        ``"merge"`` give ``c = 1``.
+    fixed_check_cost:
+        When set, overrides the checker-derived ``c`` with a constant —
+        the paper's Figure 5 worked example uses ``c = 1`` this way.
+    """
+
+    float_bytes: int = DEFAULT_FLOAT_BYTES
+    int_bytes: int = DEFAULT_INT_BYTES
+    time_unit: float = DEFAULT_TIME_UNIT
+    neighbor_checker: str = "binary"
+    fixed_check_cost: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.float_bytes < 1 or self.int_bytes < 1:
+            raise CostModelError("byte widths must be positive integers")
+        if self.time_unit <= 0:
+            raise CostModelError("time_unit must be positive")
+        if self.neighbor_checker not in ("binary", "hash", "merge"):
+            raise CostModelError(
+                f"unknown neighbor_checker {self.neighbor_checker!r}"
+            )
+        if self.fixed_check_cost is not None and self.fixed_check_cost <= 0:
+            raise CostModelError("fixed_check_cost must be positive")
+
+    def check_cost(self, degree: int) -> float:
+        """``c`` — the cost of one edge-existence check at the given degree."""
+        if self.fixed_check_cost is not None:
+            return self.fixed_check_cost
+        if self.neighbor_checker == "binary":
+            return max(1.0, math.log2(degree)) if degree > 0 else 1.0
+        return 1.0
+
+    def check_costs(self, degrees: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`check_cost`."""
+        degrees = np.asarray(degrees)
+        if self.fixed_check_cost is not None:
+            return np.full(len(degrees), self.fixed_check_cost, dtype=np.float64)
+        if self.neighbor_checker == "binary":
+            with np.errstate(divide="ignore"):
+                logs = np.log2(np.maximum(degrees, 1).astype(np.float64))
+            return np.maximum(1.0, logs)
+        return np.ones(len(degrees), dtype=np.float64)

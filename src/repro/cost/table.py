@@ -1,0 +1,122 @@
+"""Whole-graph cost tables: the optimizer's problem input.
+
+A :class:`CostTable` holds, for every node ``i`` and sampler ``j``, the
+time cost ``T_ij`` and memory cost ``M_ij`` of Definition 1.  Columns are
+ordered by the :class:`~repro.cost.model.SamplerKind` order — increasing
+memory, decreasing time — which is the pre-sorted form Algorithm 2 assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bounding import BoundingConstants
+from ..exceptions import CostModelError
+from ..graph import CSRGraph
+from .model import SamplerKind
+from .params import CostParams
+
+
+@dataclass
+class CostTable:
+    """``(T_ij, M_ij)`` matrices of shape ``(num_nodes, num_samplers)``.
+
+    ``available[i, j]`` masks samplers a node may use — degree-0 nodes are
+    naive-only (they never emit a sample, and rejection/alias tables over an
+    empty neighbourhood are meaningless).
+    """
+
+    time: np.ndarray
+    memory: np.ndarray
+    params: CostParams
+    available: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.time = np.asarray(self.time, dtype=np.float64)
+        self.memory = np.asarray(self.memory, dtype=np.float64)
+        if self.time.shape != self.memory.shape or self.time.ndim != 2:
+            raise CostModelError(
+                f"time {self.time.shape} and memory {self.memory.shape} "
+                "must be equal 2-D shapes"
+            )
+        if self.available is None:
+            self.available = np.ones(self.time.shape, dtype=bool)
+        else:
+            self.available = np.asarray(self.available, dtype=bool)
+            if self.available.shape != self.time.shape:
+                raise CostModelError("availability mask shape mismatch")
+        if not self.available[:, SamplerKind.NAIVE].all():
+            raise CostModelError("the naive sampler must be available everywhere")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.time.shape[0]
+
+    @property
+    def num_samplers(self) -> int:
+        return self.time.shape[1]
+
+    def min_memory(self) -> float:
+        """Footprint of the cheapest feasible assignment (all naive)."""
+        return float(self.memory[:, SamplerKind.NAIVE].sum())
+
+    def max_memory(self) -> float:
+        """Footprint of the most expensive per-node choices (the budget at
+        which the optimizer saturates; the paper's "maximum memory budget")."""
+        masked = np.where(self.available, self.memory, -np.inf)
+        return float(masked.max(axis=1).sum())
+
+    def assignment_memory(self, assignment: np.ndarray) -> float:
+        """Total memory of a per-node sampler assignment."""
+        return float(self.memory[np.arange(self.num_nodes), assignment].sum())
+
+    def assignment_time(self, assignment: np.ndarray) -> float:
+        """Total time cost of a per-node sampler assignment."""
+        return float(self.time[np.arange(self.num_nodes), assignment].sum())
+
+
+def build_cost_table(
+    graph: CSRGraph,
+    constants: BoundingConstants,
+    params: CostParams | None = None,
+) -> CostTable:
+    """Vectorised construction of the cost table for a whole graph.
+
+    ``constants`` supplies ``C_v`` (exact or estimated — the optimizer does
+    not care, which is what enables the LP-est variant).
+    """
+    params = params or CostParams()
+    n = graph.num_nodes
+    if len(constants) != n:
+        raise CostModelError(
+            f"{len(constants)} bounding constants for {n} nodes"
+        )
+    degrees = graph.degrees.astype(np.float64)
+    d_max = float(degrees.max()) if n else 0.0
+    c = params.check_costs(graph.degrees)
+
+    time = np.empty((n, 3), dtype=np.float64)
+    memory = np.empty((n, 3), dtype=np.float64)
+
+    time[:, SamplerKind.NAIVE] = degrees * (c + 1.0) * params.time_unit
+    time[:, SamplerKind.REJECTION] = constants.values * c * params.time_unit
+    time[:, SamplerKind.ALIAS] = params.time_unit
+
+    memory[:, SamplerKind.NAIVE] = params.float_bytes * d_max / max(n, 1)
+    memory[:, SamplerKind.REJECTION] = (
+        2 * params.float_bytes + params.int_bytes
+    ) * degrees
+    memory[:, SamplerKind.ALIAS] = (params.float_bytes + params.int_bytes) * (
+        degrees * degrees + degrees
+    )
+
+    available = np.ones((n, 3), dtype=bool)
+    isolated = degrees == 0
+    available[isolated, SamplerKind.REJECTION] = False
+    available[isolated, SamplerKind.ALIAS] = False
+    # A degree-0 node never draws a sample.
+    time[isolated, SamplerKind.NAIVE] = 0.0
+
+    return CostTable(time=time, memory=memory, params=params, available=available)

@@ -1,0 +1,30 @@
+"""Dataset registry: the paper's six graphs and their scaled stand-ins.
+
+The paper evaluates on Blogcatalog, Flickr, Youtube, LiveJournal, Twitter
+and UK200705 (Table 2) — up to 6.6 B edges.  Those datasets cannot ship
+with this reproduction, so each is represented by
+
+* its **published statistics** (:class:`PaperGraphInfo`), used by the
+  analytic memory experiments (Figure 1 / Table 4 reference columns), and
+* a **synthetic stand-in** whose generator and parameters are chosen to
+  match the original's degree shape (power-law social graphs, clustered
+  web graph) at a laptop-friendly scale.
+"""
+
+from .registry import (
+    PAPER_GRAPHS,
+    PaperGraphInfo,
+    available_datasets,
+    figure5_toy_graph,
+    load_dataset,
+    paper_graph_info,
+)
+
+__all__ = [
+    "PaperGraphInfo",
+    "PAPER_GRAPHS",
+    "paper_graph_info",
+    "available_datasets",
+    "load_dataset",
+    "figure5_toy_graph",
+]

@@ -1,0 +1,25 @@
+"""Partitioned deployment of the memory-aware framework.
+
+The paper's related-work discussion (§7.1) argues the framework "can be
+applied to help improve the sampling efficiency for each worker" of
+Pregel-like distributed second-order walk systems.  This subpackage
+simulates that deployment: the graph's nodes are partitioned across
+workers, each worker runs the cost-based optimizer against **its own**
+memory budget for **its own** nodes, and walks migrate freely between
+partitions (every worker holds the full graph structure, as the
+distributed node2vec systems do, but sampler state is partition-local).
+"""
+
+from .partition import (
+    PartitionedFramework,
+    WorkerStats,
+    degree_balanced_partition,
+    hash_partition,
+)
+
+__all__ = [
+    "PartitionedFramework",
+    "WorkerStats",
+    "hash_partition",
+    "degree_balanced_partition",
+]

@@ -1,0 +1,38 @@
+"""Graph embedding from walk corpora.
+
+node2vec's end product is an embedding learned by skip-gram with negative
+sampling over the generated walks; :class:`SkipGramModel` provides a
+NumPy implementation so the library is usable end to end (walks →
+embeddings → similarity queries).
+"""
+
+from .skipgram import SkipGramModel, train_embeddings
+from .classify import (
+    LogisticClassifier,
+    train_classifier,
+    train_test_split_indices,
+)
+from .linkpred import (
+    EDGE_FEATURES,
+    LinkPredictionResult,
+    edge_features,
+    evaluate_link_prediction,
+    roc_auc,
+    sample_non_edges,
+    split_edges,
+)
+
+__all__ = [
+    "SkipGramModel",
+    "train_embeddings",
+    "LogisticClassifier",
+    "train_classifier",
+    "train_test_split_indices",
+    "split_edges",
+    "sample_non_edges",
+    "edge_features",
+    "roc_auc",
+    "evaluate_link_prediction",
+    "LinkPredictionResult",
+    "EDGE_FEATURES",
+]

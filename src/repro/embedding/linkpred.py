@@ -1,0 +1,154 @@
+"""Link prediction on embeddings (node2vec's second downstream task).
+
+Pipeline matching the node2vec evaluation protocol: hold out a fraction of
+edges, train embeddings on the residual graph, score held-out edges
+against an equal number of non-edges with an edge feature (Hadamard
+product by default), and report ROC-AUC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ModelError
+from ..graph import CSRGraph, from_edges
+from ..rng import RngLike, ensure_rng
+
+EDGE_FEATURES = ("hadamard", "average", "l1", "l2", "dot")
+
+
+def split_edges(
+    graph: CSRGraph, holdout_fraction: float, rng: RngLike = None
+) -> tuple[CSRGraph, np.ndarray]:
+    """Remove a random fraction of undirected edges.
+
+    Returns the residual graph (same node set) and the held-out edges as
+    an ``(m, 2)`` array.  Only edges whose removal leaves both endpoints
+    with at least one neighbour are eligible, so the residual graph stays
+    walkable everywhere.
+    """
+    if not 0.0 < holdout_fraction < 1.0:
+        raise ModelError("holdout_fraction must be in (0, 1)")
+    gen = ensure_rng(rng)
+    undirected = [(u, v) for u, v, _ in graph.edges() if u < v]
+    gen.shuffle(undirected)
+    target = int(round(holdout_fraction * len(undirected)))
+    residual_degree = {v: graph.degree(v) for v in range(graph.num_nodes)}
+    held_out: list[tuple[int, int]] = []
+    kept: list[tuple[int, int]] = []
+    for u, v in undirected:
+        removable = (
+            len(held_out) < target
+            and residual_degree[u] > 1
+            and residual_degree[v] > 1
+        )
+        if removable:
+            held_out.append((u, v))
+            residual_degree[u] -= 1
+            residual_degree[v] -= 1
+        else:
+            kept.append((u, v))
+    residual = from_edges(kept, num_nodes=graph.num_nodes)
+    return residual, np.asarray(held_out, dtype=np.int64).reshape(-1, 2)
+
+
+def sample_non_edges(
+    graph: CSRGraph, count: int, rng: RngLike = None, *, max_tries: int = 100
+) -> np.ndarray:
+    """Uniformly sample ``count`` node pairs that are NOT edges."""
+    gen = ensure_rng(rng)
+    n = graph.num_nodes
+    if n < 2:
+        raise ModelError("graph too small to sample non-edges")
+    result: list[tuple[int, int]] = []
+    for _ in range(count * max_tries):
+        if len(result) >= count:
+            break
+        u = int(gen.integers(n))
+        v = int(gen.integers(n))
+        if u != v and not graph.has_edge(u, v):
+            result.append((min(u, v), max(u, v)))
+    if len(result) < count:
+        raise ModelError("could not sample enough non-edges (graph too dense?)")
+    return np.asarray(result, dtype=np.int64)
+
+
+def edge_features(
+    vectors: np.ndarray, pairs: np.ndarray, *, feature: str = "hadamard"
+) -> np.ndarray:
+    """Combine endpoint embeddings into edge features (node2vec Table 1)."""
+    if feature not in EDGE_FEATURES:
+        raise ModelError(f"unknown edge feature {feature!r}; choose from {EDGE_FEATURES}")
+    a = vectors[pairs[:, 0]]
+    b = vectors[pairs[:, 1]]
+    if feature == "hadamard":
+        return a * b
+    if feature == "average":
+        return (a + b) / 2.0
+    if feature == "l1":
+        return np.abs(a - b)
+    if feature == "l2":
+        return (a - b) ** 2
+    return np.sum(a * b, axis=1, keepdims=True)  # dot
+
+
+def roc_auc(scores_positive: np.ndarray, scores_negative: np.ndarray) -> float:
+    """ROC-AUC via the rank-sum (Mann-Whitney) formulation, tie-aware."""
+    pos = np.asarray(scores_positive, dtype=np.float64)
+    neg = np.asarray(scores_negative, dtype=np.float64)
+    if len(pos) == 0 or len(neg) == 0:
+        raise ModelError("need scores for both classes")
+    combined = np.concatenate((pos, neg))
+    order = np.argsort(combined, kind="mergesort")
+    ranks = np.empty(len(combined), dtype=np.float64)
+    # Average ranks across ties.
+    sorted_scores = combined[order]
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    rank_sum_positive = ranks[: len(pos)].sum()
+    u_statistic = rank_sum_positive - len(pos) * (len(pos) + 1) / 2.0
+    return float(u_statistic / (len(pos) * len(neg)))
+
+
+@dataclass(frozen=True)
+class LinkPredictionResult:
+    """Outcome of one link-prediction evaluation."""
+
+    auc: float
+    num_positive: int
+    num_negative: int
+    feature: str
+
+
+def evaluate_link_prediction(
+    vectors: np.ndarray,
+    held_out_edges: np.ndarray,
+    non_edges: np.ndarray,
+    *,
+    feature: str = "dot",
+) -> LinkPredictionResult:
+    """Score held-out edges vs non-edges by the embedding edge feature.
+
+    For multi-dimensional features the score is the feature-vector sum
+    (equivalent to a dot product for ``hadamard``); ``dot`` uses the raw
+    inner product directly.  The distance-like features ``l1``/``l2`` are
+    negated so that "higher score = more likely edge" holds for every
+    feature (close embeddings mean small distances).
+    """
+    positive = edge_features(vectors, held_out_edges, feature=feature).sum(axis=1)
+    negative = edge_features(vectors, non_edges, feature=feature).sum(axis=1)
+    if feature in ("l1", "l2"):
+        positive, negative = -positive, -negative
+    return LinkPredictionResult(
+        auc=roc_auc(positive, negative),
+        num_positive=len(held_out_edges),
+        num_negative=len(non_edges),
+        feature=feature,
+    )

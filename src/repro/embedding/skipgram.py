@@ -1,0 +1,136 @@
+"""Skip-gram with negative sampling (SGNS) over walk corpora.
+
+A compact NumPy implementation of the word2vec objective node2vec trains:
+for each (centre, context) pair from the walks, maximise
+``log σ(in_c · out_x)`` plus ``k`` negative samples drawn from the
+unigram^0.75 distribution.  Mini-batched SGD with vectorised gradient
+updates keeps it fast enough for the scaled stand-in graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ModelError
+from ..rng import RngLike, ensure_rng
+from ..sampling import AliasTable
+from ..walks import WalkCorpus
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    # Clipping keeps exp() finite; gradients saturate anyway beyond ±12.
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -12.0, 12.0)))
+
+
+@dataclass
+class SkipGramModel:
+    """Trained node embeddings.
+
+    ``in_vectors`` are the embeddings normally consumed downstream;
+    ``out_vectors`` are the context-side parameters.
+    """
+
+    in_vectors: np.ndarray
+    out_vectors: np.ndarray
+
+    @property
+    def num_nodes(self) -> int:
+        return self.in_vectors.shape[0]
+
+    @property
+    def dimensions(self) -> int:
+        return self.in_vectors.shape[1]
+
+    def vector(self, node: int) -> np.ndarray:
+        """Embedding of ``node``."""
+        return self.in_vectors[node]
+
+    def similarity(self, u: int, v: int) -> float:
+        """Cosine similarity between two node embeddings."""
+        a, b = self.in_vectors[u], self.in_vectors[v]
+        denom = float(np.linalg.norm(a) * np.linalg.norm(b))
+        if denom == 0:
+            return 0.0
+        return float(a @ b) / denom
+
+    def most_similar(self, node: int, k: int = 10) -> list[tuple[int, float]]:
+        """``k`` nearest nodes by cosine similarity (excluding ``node``)."""
+        vectors = self.in_vectors
+        norms = np.linalg.norm(vectors, axis=1)
+        norms[norms == 0] = 1.0
+        scores = (vectors @ vectors[node]) / (norms * max(norms[node], 1e-12))
+        scores[node] = -np.inf
+        order = np.argsort(scores)[::-1][:k]
+        return [(int(i), float(scores[i])) for i in order]
+
+
+def train_embeddings(
+    corpus: WalkCorpus,
+    num_nodes: int,
+    *,
+    dimensions: int = 64,
+    window: int = 5,
+    negative: int = 5,
+    epochs: int = 1,
+    learning_rate: float = 0.025,
+    batch_size: int = 1024,
+    rng: RngLike = None,
+) -> SkipGramModel:
+    """Train SGNS embeddings from a walk corpus.
+
+    Parameters mirror the node2vec defaults (dimension 64-128, window 5-10,
+    5 negatives).  Training is deterministic given ``rng``.
+    """
+    if dimensions < 1 or window < 1 or negative < 0 or epochs < 1:
+        raise ModelError("invalid skip-gram hyper-parameters")
+    if len(corpus) == 0:
+        raise ModelError("cannot train on an empty corpus")
+    gen = ensure_rng(rng)
+
+    pairs = np.asarray(list(corpus.context_pairs(window)), dtype=np.int64)
+    if len(pairs) == 0:
+        raise ModelError("corpus produced no context pairs (walks too short?)")
+    if pairs.max() >= num_nodes:
+        raise ModelError("corpus references nodes beyond num_nodes")
+
+    # Negative-sampling distribution: unigram counts ** 0.75.
+    counts = corpus.visit_counts(num_nodes).astype(np.float64)
+    counts = np.maximum(counts, 1e-12) ** 0.75
+    negative_table = AliasTable(counts)
+
+    scale = 0.5 / dimensions
+    in_vectors = (gen.random((num_nodes, dimensions)) - 0.5) * scale
+    out_vectors = np.zeros((num_nodes, dimensions), dtype=np.float64)
+
+    for _ in range(epochs):
+        order = gen.permutation(len(pairs))
+        for start in range(0, len(order), batch_size):
+            batch = pairs[order[start : start + batch_size]]
+            centres, contexts = batch[:, 0], batch[:, 1]
+            m = len(batch)
+
+            v_in = in_vectors[centres]                       # (m, d)
+            v_pos = out_vectors[contexts]                    # (m, d)
+            pos_grad = 1.0 - _sigmoid(np.sum(v_in * v_pos, axis=1))  # (m,)
+
+            grad_in = pos_grad[:, None] * v_pos
+            grad_pos = pos_grad[:, None] * v_in
+
+            if negative > 0:
+                negs = negative_table.sample_many(m * negative, gen).reshape(
+                    m, negative
+                )
+                v_neg = out_vectors[negs]                    # (m, k, d)
+                neg_score = _sigmoid(np.einsum("md,mkd->mk", v_in, v_neg))
+                grad_in -= np.einsum("mk,mkd->md", neg_score, v_neg)
+                grad_neg = -neg_score[..., None] * v_in[:, None, :]
+
+            lr = learning_rate
+            np.add.at(in_vectors, centres, lr * grad_in)
+            np.add.at(out_vectors, contexts, lr * grad_pos)
+            if negative > 0:
+                np.add.at(out_vectors, negs.ravel(), lr * grad_neg.reshape(-1, dimensions))
+
+    return SkipGramModel(in_vectors=in_vectors, out_vectors=out_vectors)

@@ -1,0 +1,30 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each module exposes ``run(...) -> Report`` regenerating the corresponding
+result on the scaled stand-in graphs; :mod:`repro.experiments.runner`
+registers them all for the CLI and the benchmark suite.
+
+=============  ====================================================
+Experiment     Paper content
+=============  ====================================================
+``figure1``    alias-method memory footprint vs graph size
+``figure4``    exact vs estimated bounding-constant distributions
+``figure7``    greedy-algorithm efficiency across memory budgets
+``figure8``    memory-aware framework on billion-edge stand-ins
+``figure9``    assignment-update cost under dynamic budgets
+``table3``     bounding computation cost: LP-std vs LP-est
+``table4``     memory footprint of memory-unaware solutions
+``table5``     end-to-end efficiency comparison
+=============  ====================================================
+"""
+
+from .reporting import Report, Table
+from .runner import available_experiments, get_experiment, run_experiment
+
+__all__ = [
+    "Report",
+    "Table",
+    "available_experiments",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,130 @@
+"""Ablation study — the design choices DESIGN.md calls out.
+
+Three axes, each isolated on the same stand-in graph:
+
+1. **Common-neighbour check** (``c = log d`` binary search vs ``c = 1``
+   hash set): how the cost-model parameter shifts the optimizer's
+   break-even points and the modeled task cost.
+2. **Optimizer algorithm** (LP greedy vs Deg-inc/Deg-dec vs the LMCKP
+   lower bound): solution quality across budgets.
+3. **Bounding-constant estimation threshold**: work saved vs drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bounding import compute_bounding_constants, estimate_bounding_constants
+from ..cost import CostParams, build_cost_table
+from ..datasets import load_dataset
+from ..optimizer import degree_greedy, lp_greedy
+from ..optimizer.lp_greedy import lmckp_lower_bound
+from ..rng import RngLike, ensure_rng
+from .common import standard_models
+from .reporting import Report, Table
+
+
+def run(
+    *,
+    dataset: str = "livejournal",
+    scale: float = 0.3,
+    budget_ratios: tuple[float, ...] = (0.05, 0.1, 0.3, 0.6),
+    thresholds: tuple[int, ...] = (25, 50, 100, 200),
+    rng: RngLike = None,
+) -> Report:
+    """Run all three ablations on one stand-in graph."""
+    gen = ensure_rng(rng)
+    graph = load_dataset(dataset, scale=scale, rng=gen)
+    model = standard_models()["NV(0.25,4)"]
+    constants = compute_bounding_constants(graph, model)
+
+    report = Report(
+        name="ablation",
+        description=(
+            f"Design-choice ablations on the {dataset} stand-in "
+            f"(|V|={graph.num_nodes}, d_max={graph.max_degree}), model NV(0.25,4)."
+        ),
+    )
+
+    # ------------------------------------------------------------------
+    # 1. Neighbour-check strategy.
+    # ------------------------------------------------------------------
+    check_table = report.add_table(
+        Table(
+            "Neighbour-check strategy (budget ratio 0.1)",
+            ["checker", "c at d_max", "modeled cost", "naive share", "alias share"],
+        )
+    )
+    for checker in ("binary", "hash"):
+        params = CostParams(neighbor_checker=checker)
+        table = build_cost_table(graph, constants, params)
+        assignment = lp_greedy(table, 0.1 * table.max_memory())
+        counts = assignment.counts()
+        total = len(assignment)
+        check_table.add_row(
+            checker,
+            round(params.check_cost(graph.max_degree), 2),
+            assignment.total_time,
+            round(counts[0] / total, 3),
+            round(counts[2] / total, 3),
+        )
+    report.add_note(
+        "Checker ablation: the hash checker (c = 1) shrinks every "
+        "sampler's time cost, but the binary checker penalises naive and "
+        "rejection harder (their costs scale with c), shifting the "
+        "optimizer toward alias tables at equal budgets."
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Optimizer algorithm quality across budgets.
+    # ------------------------------------------------------------------
+    params = CostParams()
+    table = build_cost_table(graph, constants, params)
+    quality = report.add_table(
+        Table(
+            "Optimizer quality (time cost vs LMCKP lower bound)",
+            ["budget ratio", "LP greedy", "Deg-inc", "Deg-dec", "LP lower bound",
+             "LP gap %"],
+        )
+    )
+    for ratio in budget_ratios:
+        budget = ratio * table.max_memory()
+        lp = lp_greedy(table, budget).total_time
+        inc = degree_greedy(table, budget, graph.degrees, increasing=True).total_time
+        dec = degree_greedy(table, budget, graph.degrees, increasing=False).total_time
+        lower = lmckp_lower_bound(table, budget)
+        quality.add_row(
+            ratio, lp, inc, dec, lower,
+            round(100 * (lp / lower - 1), 3) if lower > 0 else None,
+        )
+    report.add_note(
+        "Optimizer ablation: LP greedy hugs the LP lower bound (sub-percent "
+        "gaps) at every budget, while the degree heuristics trail it most "
+        "at small budgets — the paper's Figure 7 in objective-value form."
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Estimation threshold sweep.
+    # ------------------------------------------------------------------
+    sweep = report.add_table(
+        Table(
+            "Bounding-constant estimation threshold",
+            ["D_th", "evals saved %", "mean |ΔC_v|", "max |ΔC_v|"],
+        )
+    )
+    exact_evals = constants.meta["ratio_evaluations"]
+    for threshold in thresholds:
+        estimated = estimate_bounding_constants(
+            graph, model, degree_threshold=threshold, rng=gen
+        )
+        saved = 100 * (1 - estimated.meta["ratio_evaluations"] / exact_evals)
+        drift = np.abs(constants.values - estimated.values)
+        sweep.add_row(
+            threshold, round(saved, 1), float(drift.mean()), float(drift.max())
+        )
+    report.add_note(
+        "Threshold ablation: smaller D_th saves more ratio evaluations at "
+        "the price of underestimated C_v (a sampled maximum only falls); "
+        "the knee sits where D_th reaches the typical hub degree."
+    )
+    return report

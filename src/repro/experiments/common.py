@@ -1,0 +1,57 @@
+"""Shared helpers for the experiment modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cost import CostParams
+from ..graph import CSRGraph
+from ..models import AutoregressiveModel, Node2VecModel, SecondOrderModel
+
+
+def standard_models() -> dict[str, SecondOrderModel]:
+    """The four representative models of the evaluation (Section 6.2)."""
+    return {
+        "NV(0.25,4)": Node2VecModel(a=0.25, b=4.0),
+        "NV(4,0.25)": Node2VecModel(a=4.0, b=0.25),
+        "Auto(0.2)": AutoregressiveModel(alpha=0.2),
+        "Auto(0.8)": AutoregressiveModel(alpha=0.8),
+    }
+
+
+def node2vec_models() -> dict[str, SecondOrderModel]:
+    """Just the node2vec pair (used by the walk-task experiments)."""
+    return {
+        "NV(0.25,4)": Node2VecModel(a=0.25, b=4.0),
+        "NV(4,0.25)": Node2VecModel(a=4.0, b=0.25),
+    }
+
+
+# ----------------------------------------------------------------------
+# analytic memory footprints over a degree sequence (Table 1 aggregates)
+# ----------------------------------------------------------------------
+
+def naive_footprint(degrees: np.ndarray, params: CostParams) -> float:
+    """Total naive-method memory: the single shared ``d_max`` buffer."""
+    degrees = np.asarray(degrees, dtype=np.float64)
+    d_max = float(degrees.max()) if len(degrees) else 0.0
+    return params.float_bytes * d_max
+
+
+def rejection_footprint(degrees: np.ndarray, params: CostParams) -> float:
+    """Total rejection-method memory: ``(2 b_f + b_i) Σ d_v``."""
+    degrees = np.asarray(degrees, dtype=np.float64)
+    return (2 * params.float_bytes + params.int_bytes) * float(degrees.sum())
+
+
+def alias_footprint(degrees: np.ndarray, params: CostParams) -> float:
+    """Total alias-method memory: ``(b_f + b_i) Σ (d_v² + d_v)``."""
+    degrees = np.asarray(degrees, dtype=np.float64)
+    return (params.float_bytes + params.int_bytes) * float(
+        (degrees * degrees + degrees).sum()
+    )
+
+
+def graph_footprint(graph: CSRGraph, params: CostParams) -> float:
+    """Modeled CSR size ``M_g`` under the cost-model byte widths."""
+    return float(graph.memory_bytes(params.int_bytes, params.float_bytes))

@@ -1,0 +1,186 @@
+"""Figure 7 — sampling and initialisation cost of the greedy algorithms.
+
+For budget ratios in [0.1 … 1.0] of the saturating budget, the four
+framework variants (LP-std, LP-est, Deg-inc, Deg-dec) are built and the
+benchmark task is timed: node2vec walks for the NV models, second-order
+PageRank queries for the Auto models.  ``T_init`` decomposes into
+``T_Cv`` (LP variants only, Equation 11) and ``T_NS``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..bounding import (
+    BoundingConstants,
+    compute_bounding_constants,
+    estimate_bounding_constants,
+)
+from ..constants import BUDGET_RATIOS
+from ..cost import CostParams, build_cost_table
+from ..datasets import load_dataset
+from ..framework import MemoryAwareFramework
+from ..graph import CSRGraph
+from ..models import Node2VecModel, SecondOrderModel
+from ..rng import RngLike, ensure_rng
+from ..walks import node2vec_walk_task, second_order_pagerank
+from .common import standard_models
+from .reporting import Report, Table
+
+ALGORITHMS = ("LP-std", "LP-est", "Deg-inc", "Deg-dec")
+DATASETS = ("youtube", "livejournal")
+
+
+@dataclass(frozen=True)
+class TaskConfig:
+    """Scaled-down workload knobs (paper: 10 walks x len 80, 100 queries)."""
+
+    walks_per_node: int = 1
+    walk_length: int = 10
+    pagerank_queries: int = 5
+    pagerank_samples: int = 200
+
+
+def _build_variant(
+    algorithm: str,
+    graph: CSRGraph,
+    model: SecondOrderModel,
+    budget: float,
+    exact: BoundingConstants,
+    estimated: BoundingConstants,
+    t_cv_exact: float,
+    t_cv_estimated: float,
+    rng,
+) -> tuple[MemoryAwareFramework, float]:
+    """Instantiate one framework variant; returns it plus its ``T_Cv``."""
+    if algorithm == "LP-std":
+        fw = MemoryAwareFramework(
+            graph, model, budget, optimizer="lp", bounding_constants=exact, rng=rng
+        )
+        return fw, t_cv_exact
+    if algorithm == "LP-est":
+        fw = MemoryAwareFramework(
+            graph, model, budget, optimizer="lp", bounding_constants=estimated, rng=rng
+        )
+        return fw, t_cv_estimated
+    optimizer = "deg-inc" if algorithm == "Deg-inc" else "deg-dec"
+    # Degree-based variants do not pay T_Cv (Equation 11); they still need
+    # constants to price rejection in the cost table, so reuse the exact
+    # ones without charging for them.
+    fw = MemoryAwareFramework(
+        graph, model, budget, optimizer=optimizer, bounding_constants=exact, rng=rng
+    )
+    return fw, 0.0
+
+
+def _run_task(
+    fw: MemoryAwareFramework,
+    model: SecondOrderModel,
+    config: TaskConfig,
+    rng,
+) -> float:
+    """Run the benchmark task matching the model family; returns ``T_s``."""
+    if isinstance(model, Node2VecModel):
+        result = node2vec_walk_task(
+            fw.walk_engine,
+            num_walks=config.walks_per_node,
+            length=config.walk_length,
+            rng=rng,
+        )
+        return result.sampling_seconds
+    total = 0.0
+    num_queries = min(config.pagerank_queries, fw.graph.num_nodes)
+    queries = rng.choice(fw.graph.num_nodes, size=num_queries, replace=False)
+    for q in queries:
+        result = second_order_pagerank(
+            fw.walk_engine,
+            int(q),
+            num_samples=config.pagerank_samples,
+            rng=rng,
+        )
+        total += result.query_seconds
+    return total / max(num_queries, 1)
+
+
+def run(
+    *,
+    datasets: tuple[str, ...] = DATASETS,
+    ratios: tuple[float, ...] = BUDGET_RATIOS,
+    scale: float = 1.0,
+    degree_threshold: int = 60,
+    config: TaskConfig | None = None,
+    models: dict[str, SecondOrderModel] | None = None,
+    rng: RngLike = None,
+) -> Report:
+    """Regenerate Figure 7 on the scaled stand-ins."""
+    config = config or TaskConfig()
+    models = models or standard_models()
+    gen = ensure_rng(rng)
+    report = Report(
+        name="figure7",
+        description=(
+            "T_s and T_init (seconds) of the greedy algorithms across "
+            f"memory budget ratios {list(ratios)}."
+        ),
+    )
+    for dataset in datasets:
+        graph = load_dataset(dataset, scale=scale, rng=gen)
+        table = report.add_table(
+            Table(
+                f"{dataset} (|V|={graph.num_nodes}, d_max={graph.max_degree})",
+                [
+                    "model",
+                    "algorithm",
+                    "ratio",
+                    "T_s",
+                    "modeled cost",
+                    "T_init",
+                    "T_Cv",
+                    "T_NS",
+                    "samplers N/R/A",
+                ],
+            )
+        )
+        for model_label, model in models.items():
+            started = time.perf_counter()
+            exact = compute_bounding_constants(graph, model)
+            t_cv_exact = time.perf_counter() - started
+            started = time.perf_counter()
+            estimated = estimate_bounding_constants(
+                graph, model, degree_threshold=degree_threshold, rng=gen
+            )
+            t_cv_estimated = time.perf_counter() - started
+
+            max_budget = build_cost_table(graph, exact, CostParams()).max_memory()
+            for algorithm in ALGORITHMS:
+                for ratio in ratios:
+                    budget = max_budget * ratio
+                    fw, t_cv = _build_variant(
+                        algorithm, graph, model, budget,
+                        exact, estimated, t_cv_exact, t_cv_estimated, gen,
+                    )
+                    t_ns = fw.timings.sampler_seconds
+                    t_s = _run_task(fw, model, config, gen)
+                    modeled = fw.modeled_task_time(
+                        config.walks_per_node * config.walk_length
+                    )
+                    counts = fw.assignment.counts()
+                    table.add_row(
+                        model_label,
+                        algorithm,
+                        ratio,
+                        t_s,
+                        modeled,
+                        t_cv + t_ns,
+                        t_cv,
+                        t_ns,
+                        "/".join(str(c) for c in counts.values()),
+                    )
+    report.add_note(
+        "Shape check: T_s falls as the budget ratio rises for every "
+        "algorithm; LP-std/LP-est beat Deg-inc/Deg-dec at small ratios and "
+        "all converge at ratio 1.0; T_NS grows with the ratio (more alias "
+        "tables); LP variants pay an extra T_Cv that LP-est shrinks."
+    )
+    return report

@@ -1,0 +1,89 @@
+"""Figure 9 — assignment-update cost under dynamic memory budgets.
+
+The budget follows a synthetic trace: linear increase to the maximum in
+steps of ``M_max / 10``, then linear decrease (the figure's red line).
+Each budget change is served by the adaptive optimizer plus the
+incremental sampler rebuild, and the per-step wall-clock update cost is
+reported (``T_Cv`` excluded — it is computed once, as in the paper).
+"""
+
+from __future__ import annotations
+
+from ..bounding import compute_bounding_constants
+from ..cost import CostParams, build_cost_table
+from ..datasets import load_dataset
+from ..framework import MemoryAwareFramework, linear_budget_trace
+from ..models import SecondOrderModel
+from ..rng import RngLike, ensure_rng
+from .common import standard_models
+from .reporting import Report, Table
+
+DATASETS = ("blogcatalog", "youtube", "livejournal")
+
+
+def run(
+    *,
+    datasets: tuple[str, ...] = DATASETS,
+    scale: float = 1.0,
+    steps: int = 10,
+    models: dict[str, SecondOrderModel] | None = None,
+    rng: RngLike = None,
+) -> Report:
+    """Regenerate Figure 9 on the scaled stand-ins."""
+    models = models or standard_models()
+    gen = ensure_rng(rng)
+    params = CostParams()
+    report = Report(
+        name="figure9",
+        description=(
+            "Node-sampler assignment update cost (seconds) while the "
+            f"memory budget ramps up and down in steps of M_max/{steps}."
+        ),
+    )
+    for dataset in datasets:
+        graph = load_dataset(dataset, scale=scale, rng=gen)
+        table = report.add_table(
+            Table(
+                f"{dataset} (|V|={graph.num_nodes})",
+                [
+                    "model",
+                    "step",
+                    "budget",
+                    "direction",
+                    "steps applied",
+                    "steps reverted",
+                    "update s",
+                ],
+            )
+        )
+        for model_label, model in models.items():
+            constants = compute_bounding_constants(graph, model)
+            max_budget = build_cost_table(graph, constants, params).max_memory()
+            trace = linear_budget_trace(max_budget, steps=steps)
+
+            # Initial from-scratch build at the first trace point.
+            fw = MemoryAwareFramework(
+                graph, model, trace[0],
+                optimizer="lp", bounding_constants=constants, rng=gen,
+            )
+            table.add_row(
+                model_label, 0, trace[0], "init",
+                len(fw.assignment.trace), 0, fw.timings.sampler_seconds,
+            )
+            previous = trace[0]
+            for step_index, budget in enumerate(trace[1:], start=1):
+                direction = "increase" if budget >= previous else "decrease"
+                update, rebuild_seconds = fw.set_budget(budget)
+                table.add_row(
+                    model_label, step_index, budget, direction,
+                    update.steps_applied, update.steps_reverted, rebuild_seconds,
+                )
+                previous = budget
+    report.add_note(
+        "Shape check: every update is far cheaper than the step-0 "
+        "from-scratch initialisation; decreases are cheaper than increases "
+        "(reverting pops the trace, no sampler construction); occasional "
+        "bursts appear when an increase first affords a huge node's alias "
+        "table."
+    )
+    return report

@@ -1,0 +1,168 @@
+"""Plain-text tables and reports for experiment output.
+
+The harness prints the same rows/series the paper reports, so every
+experiment produces :class:`Table` objects (column-aligned ASCII) bundled
+into a :class:`Report` with free-text notes about expected shape.
+Reports also export to CSV (one file per table) for plotting pipelines.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from ..exceptions import ExperimentError
+
+
+def _slugify(title: str) -> str:
+    slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")
+    return slug or "table"
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled, column-aligned text table."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row; must match the column count."""
+        if len(values) != len(self.columns):
+            raise ExperimentError(
+                f"{len(values)} cells for {len(self.columns)} columns "
+                f"in table {self.title!r}"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column (for assertions in tests/benches)."""
+        try:
+            index = list(self.columns).index(name)
+        except ValueError:
+            raise ExperimentError(
+                f"no column {name!r} in table {self.title!r}"
+            ) from None
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        """Column-aligned ASCII rendering."""
+        cells = [[_format_cell(c) for c in row] for row in self.rows]
+        headers = [str(c) for c in self.columns]
+        widths = [
+            max(len(headers[j]), *(len(r[j]) for r in cells)) if cells else len(headers[j])
+            for j in range(len(headers))
+        ]
+        lines = [self.title, "-" * len(self.title)]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    log_scale: bool = False,
+    unit: str = "",
+) -> str:
+    """A horizontal ASCII bar chart (the offline stand-in for the paper's
+    figures).  ``log_scale`` bars by log10, which is how Figure 1's
+    memory-ratio axis is best read."""
+    import math
+
+    if len(labels) != len(values):
+        raise ExperimentError(
+            f"{len(labels)} labels for {len(values)} values"
+        )
+    if not values:
+        return "(empty chart)"
+    magnitudes = [
+        math.log10(max(v, 1.0)) if log_scale else max(float(v), 0.0)
+        for v in values
+    ]
+    peak = max(magnitudes) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value, magnitude in zip(labels, values, magnitudes):
+        bar = "#" * max(1, int(round(width * magnitude / peak)))
+        lines.append(
+            f"{str(label):>{label_width}}  {bar} {_format_cell(value)}{unit}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class Report:
+    """One experiment's output: tables plus shape notes."""
+
+    name: str
+    description: str
+    tables: list[Table] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_table(self, table: Table) -> Table:
+        """Attach a table and return it (builder style)."""
+        self.tables.append(table)
+        return table
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-text observation."""
+        self.notes.append(note)
+
+    def table(self, title: str) -> Table:
+        """Look up an attached table by title."""
+        for table in self.tables:
+            if table.title == title:
+                return table
+        raise ExperimentError(f"report {self.name!r} has no table {title!r}")
+
+    def render(self) -> str:
+        """Full text rendering of the report."""
+        parts = [f"=== {self.name} ===", self.description, ""]
+        for table in self.tables:
+            parts.append(table.render())
+            parts.append("")
+        if self.notes:
+            parts.append("Notes:")
+            parts.extend(f"  - {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def to_csv(self, directory: str | os.PathLike) -> list[Path]:
+        """Write every table to ``<directory>/<name>--<table-slug>.csv``.
+
+        Returns the written paths.  ``None`` cells become empty fields.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written: list[Path] = []
+        for table in self.tables:
+            path = directory / f"{self.name}--{_slugify(table.title)}.csv"
+            with open(path, "w", newline="", encoding="utf-8") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(table.columns)
+                for row in table.rows:
+                    writer.writerow(
+                        ["" if cell is None else cell for cell in row]
+                    )
+            written.append(path)
+        return written

@@ -1,0 +1,53 @@
+"""Experiment registry: name → runner."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..exceptions import ExperimentError
+from . import (
+    ablation,
+    figure1,
+    figure4,
+    figure7,
+    figure8,
+    figure9,
+    table3,
+    table4,
+    table5,
+    validation,
+)
+from .reporting import Report
+
+_EXPERIMENTS: dict[str, Callable[..., Report]] = {
+    "figure1": figure1.run,
+    "figure4": figure4.run,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+    "figure9": figure9.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "ablation": ablation.run,
+    "validation": validation.run,
+}
+
+
+def available_experiments() -> list[str]:
+    """Sorted names of all registered experiments."""
+    return sorted(_EXPERIMENTS)
+
+
+def get_experiment(name: str) -> Callable[..., Report]:
+    """The runner callable for ``name``."""
+    try:
+        return _EXPERIMENTS[name.lower()]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; available: {available_experiments()}"
+        ) from None
+
+
+def run_experiment(name: str, **kwargs) -> Report:
+    """Run one experiment by name with runner-specific keyword options."""
+    return get_experiment(name)(**kwargs)

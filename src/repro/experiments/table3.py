@@ -1,0 +1,88 @@
+"""Table 3 — bounding-constant computation cost: LP-std vs LP-est.
+
+``T_Cv`` is the wall-clock cost of computing every ``C_v``; LP-est
+replaces exact enumeration with threshold-based sampling (Section 3.3) and
+the table reports the percentage saved per dataset/model.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..bounding import compute_bounding_constants, estimate_bounding_constants
+from ..datasets import load_dataset
+from ..rng import RngLike, ensure_rng
+from .common import standard_models
+from .reporting import Report, Table
+
+DATASETS = ("blogcatalog", "flickr", "youtube", "livejournal")
+
+
+def run(
+    *,
+    datasets: tuple[str, ...] = DATASETS,
+    scale: float = 1.0,
+    degree_threshold: int = 60,
+    rng: RngLike = None,
+) -> Report:
+    """Regenerate Table 3 on the scaled stand-ins.
+
+    ``degree_threshold`` plays the role of the paper's default ``D_th=600``
+    scaled to the stand-ins' degree range.
+    """
+    gen = ensure_rng(rng)
+    report = Report(
+        name="table3",
+        description=(
+            "Bounding-constant computation cost T_Cv (seconds): exact "
+            "LP-std enumeration vs LP-est sampling at "
+            f"D_th={degree_threshold}."
+        ),
+    )
+    table = report.add_table(
+        Table(
+            "T_Cv comparison",
+            [
+                "graph",
+                "model",
+                "LP-std s",
+                "LP-est s",
+                "save %",
+                "evals std",
+                "evals est",
+                "eval save %",
+                "mean |ΔC_v|",
+            ],
+        )
+    )
+    for name in datasets:
+        graph = load_dataset(name, scale=scale, rng=gen)
+        for label, model in standard_models().items():
+            started = time.perf_counter()
+            exact = compute_bounding_constants(graph, model)
+            t_std = time.perf_counter() - started
+
+            started = time.perf_counter()
+            estimated = estimate_bounding_constants(
+                graph, model, degree_threshold=degree_threshold, rng=gen
+            )
+            t_est = time.perf_counter() - started
+
+            save = (1.0 - t_est / t_std) * 100.0 if t_std > 0 else 0.0
+            evals_std = exact.meta["ratio_evaluations"]
+            evals_est = estimated.meta["ratio_evaluations"]
+            eval_save = (1.0 - evals_est / evals_std) * 100.0 if evals_std else 0.0
+            drift = float(abs(exact.values - estimated.values).mean())
+            table.add_row(
+                name, label, t_std, t_est, round(save, 1),
+                evals_std, evals_est, round(eval_save, 1), drift,
+            )
+    report.add_note(
+        "Shape check: estimation cuts the ratio-evaluation count from "
+        "Σ d_v² to Σ d_v·D_th wherever nodes exceed the threshold; "
+        "wall-clock savings follow on graphs whose degrees are large enough "
+        "for the vector work to dominate the per-edge overhead (the paper's "
+        "graphs have d_max in the tens of thousands).  Graphs whose d_max "
+        "is below the threshold show ~0% saving by construction."
+    )
+    return report

@@ -1,0 +1,145 @@
+"""Table 5 — efficiency of the framework vs memory-unaware solutions.
+
+Compares naive, rejection, alias, LP-std(0.1) and LP-std(1.0) on four
+stand-ins and four models.  The alias method is run behind the simulated
+physical-memory gate, reproducing the paper's OOM failure on the largest
+graph while the memory-aware framework keeps working.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..bounding import compute_bounding_constants
+from ..cost import CostParams, SamplerKind, build_cost_table
+from ..datasets import load_dataset
+from ..exceptions import SimulatedOOMError
+from ..framework import MemoryAwareFramework
+from ..models import Node2VecModel, SecondOrderModel
+from ..rng import RngLike, ensure_rng
+from ..walks import node2vec_walk_task, second_order_pagerank
+from .common import alias_footprint, standard_models
+from .figure7 import TaskConfig
+from .reporting import Report, Table
+
+DATASETS = ("blogcatalog", "flickr", "youtube", "livejournal")
+METHODS = ("naive", "rejection", "alias", "LP-std(0.1)", "LP-std(1.0)")
+
+
+def _task_time(fw: MemoryAwareFramework, model, config: TaskConfig, rng) -> float:
+    if isinstance(model, Node2VecModel):
+        result = node2vec_walk_task(
+            fw.walk_engine,
+            num_walks=config.walks_per_node,
+            length=config.walk_length,
+            rng=rng,
+        )
+        return result.sampling_seconds
+    total = 0.0
+    queries = rng.choice(
+        fw.graph.num_nodes,
+        size=min(config.pagerank_queries, fw.graph.num_nodes),
+        replace=False,
+    )
+    for q in queries:
+        total += second_order_pagerank(
+            fw.walk_engine, int(q), num_samples=config.pagerank_samples, rng=rng
+        ).query_seconds
+    return total / max(len(queries), 1)
+
+
+def run(
+    *,
+    datasets: tuple[str, ...] = DATASETS,
+    scale: float = 1.0,
+    config: TaskConfig | None = None,
+    models: dict[str, SecondOrderModel] | None = None,
+    oom_dataset: str = "livejournal",
+    rng: RngLike = None,
+) -> Report:
+    """Regenerate Table 5 on the scaled stand-ins.
+
+    The simulated physical memory is sized to 80% of the alias footprint
+    of ``oom_dataset``'s stand-in — large enough for every other method,
+    small enough that all-alias OOMs there, mirroring the paper's 96 GB
+    server vs LiveJournal's ~109 GB alias requirement.
+    """
+    config = config or TaskConfig()
+    models = models or standard_models()
+    gen = ensure_rng(rng)
+    params = CostParams()
+
+    graphs = {name: load_dataset(name, scale=scale, rng=gen) for name in datasets}
+    physical_memory = None
+    if oom_dataset in graphs:
+        physical_memory = 0.8 * alias_footprint(
+            graphs[oom_dataset].degrees, params
+        )
+
+    report = Report(
+        name="table5",
+        description=(
+            "T_init / T_s (seconds) of memory-unaware methods vs the "
+            "memory-aware framework at budget ratios 0.1 and 1.0; "
+            f"simulated physical memory = {physical_memory and round(physical_memory)} bytes."
+        ),
+    )
+    for name, graph in graphs.items():
+        table = report.add_table(
+            Table(
+                f"{name} (|V|={graph.num_nodes})",
+                ["model", "method", "T_init", "T_s", "status"],
+            )
+        )
+        for model_label, model in models.items():
+            started = time.perf_counter()
+            constants = compute_bounding_constants(graph, model)
+            t_cv = time.perf_counter() - started
+            max_budget = build_cost_table(graph, constants, params).max_memory()
+            # Paper Section 6.2: when the ideal maximum budget exceeds the
+            # physical memory (LiveJournal: 109 GB vs 96 GB), the maximum
+            # budget is capped below it (90 GB there, 90% here).
+            if physical_memory is not None:
+                max_budget = min(max_budget, 0.9 * physical_memory)
+
+            for method in METHODS:
+                try:
+                    if method == "naive":
+                        fw = MemoryAwareFramework.memory_unaware(
+                            graph, model, SamplerKind.NAIVE,
+                            physical_memory=physical_memory, rng=gen,
+                        )
+                        t_init = fw.timings.init_seconds
+                    elif method == "rejection":
+                        fw = MemoryAwareFramework.memory_unaware(
+                            graph, model, SamplerKind.REJECTION,
+                            physical_memory=physical_memory,
+                            bounding_constants=constants, rng=gen,
+                        )
+                        t_init = fw.timings.init_seconds
+                    elif method == "alias":
+                        fw = MemoryAwareFramework.memory_unaware(
+                            graph, model, SamplerKind.ALIAS,
+                            physical_memory=physical_memory, rng=gen,
+                        )
+                        t_init = fw.timings.init_seconds
+                    else:
+                        ratio = 0.1 if method.endswith("(0.1)") else 1.0
+                        fw = MemoryAwareFramework(
+                            graph, model, max_budget * ratio,
+                            optimizer="lp", bounding_constants=constants,
+                            physical_memory=physical_memory, rng=gen,
+                        )
+                        t_init = t_cv + fw.timings.sampler_seconds
+                except SimulatedOOMError:
+                    table.add_row(model_label, method, None, None, "OOM")
+                    continue
+                t_s = _task_time(fw, model, config, gen)
+                table.add_row(model_label, method, t_init, t_s, "ok")
+    report.add_note(
+        "Shape check: T_s ordering alias <= LP-std(1.0) < LP-std(0.1) < "
+        "rejection << naive; the alias method OOMs on the largest graph "
+        "while both LP-std budgets keep working; naive has near-zero "
+        "T_init, alias the largest."
+    )
+    return report

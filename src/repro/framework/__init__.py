@@ -1,0 +1,54 @@
+"""The memory-aware second-order random walk framework (paper Section 5).
+
+:class:`MemoryAwareFramework` wires everything together: it computes
+bounding constants, runs the cost-based optimizer to pick a node sampler
+per node under the memory budget, materialises those samplers, and exposes
+walk generation.  The per-node samplers implement the paper's
+``NodeSampler`` programming interface (Figure 6).
+"""
+
+from .interfaces import NodeSampler
+from .node_samplers import (
+    AliasNodeSampler,
+    NaiveNodeSampler,
+    RejectionNodeSampler,
+    build_node_sampler,
+)
+from .memory import MemoryBudget, MemoryMeter, format_bytes, linear_budget_trace
+from .walker import WalkEngine
+from .framework import FrameworkTimings, MemoryAwareFramework
+from .extra_samplers import (
+    BinaryCdfNodeSampler,
+    SamplerSpec,
+    binary_cdf_spec,
+    extend_cost_table,
+)
+from .serialize import (
+    load_assignment,
+    load_bounding_constants,
+    save_assignment,
+    save_bounding_constants,
+)
+
+__all__ = [
+    "NodeSampler",
+    "NaiveNodeSampler",
+    "RejectionNodeSampler",
+    "AliasNodeSampler",
+    "build_node_sampler",
+    "MemoryBudget",
+    "MemoryMeter",
+    "format_bytes",
+    "linear_budget_trace",
+    "WalkEngine",
+    "MemoryAwareFramework",
+    "FrameworkTimings",
+    "save_assignment",
+    "load_assignment",
+    "save_bounding_constants",
+    "load_bounding_constants",
+    "SamplerSpec",
+    "BinaryCdfNodeSampler",
+    "binary_cdf_spec",
+    "extend_cost_table",
+]

@@ -1,0 +1,159 @@
+"""First-class user-defined node samplers (paper §5.1 / §5.4).
+
+The paper's optimizer is defined over an *extensible* sampler set: "Users
+can further extend the node sampler set by defining new samplers on the
+basis of our flexible programming interface."  A :class:`SamplerSpec`
+bundles everything the framework needs to treat a custom sampler exactly
+like the built-in trio — its cost-model row (so the MCKP can price it),
+its constructor, and its availability rule.
+
+One spec ships with the library: :func:`binary_cdf_spec`, a cumulative
+table + binary search sampler sitting *between* rejection and alias on
+the memory/time frontier (``b_f·(d² + d)`` bytes — half an alias table —
+at ``log2(d)·K`` per draw).  On skewed graphs the optimizer slots it onto
+mid-degree nodes where half-price tables buy most of alias's speed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..cost import CostParams
+from ..exceptions import CostModelError
+from ..graph import CSRGraph
+from ..models import SecondOrderModel
+from ..sampling import CumulativeSampler
+from .interfaces import NodeSampler
+
+
+@dataclass(frozen=True)
+class SamplerSpec:
+    """Everything needed to enrol a custom sampler in the optimizer.
+
+    Attributes
+    ----------
+    name:
+        Display name (used in assignment profiles and traces).
+    memory_fn:
+        ``(params, degree) -> bytes`` — the sampler's ``M`` column.
+    time_fn:
+        ``(params, degree, c_v) -> time`` — the sampler's ``T`` column
+        (``c_v`` is the node's average bounding constant, for specs whose
+        cost depends on it).
+    build:
+        ``(graph, model, node) -> NodeSampler`` constructor.
+    min_degree:
+        Nodes below this degree are marked unavailable for the spec.
+    """
+
+    name: str
+    memory_fn: Callable[[CostParams, int], float]
+    time_fn: Callable[[CostParams, int, float], float]
+    build: Callable[[CSRGraph, SecondOrderModel, int], NodeSampler]
+    min_degree: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CostModelError("SamplerSpec needs a non-empty name")
+        if self.min_degree < 1:
+            raise CostModelError("min_degree must be >= 1")
+
+
+class BinaryCdfNodeSampler(NodeSampler):
+    """Pre-built cumulative tables per incoming edge, binary-searched.
+
+    Memory ``b_f (d² + d)`` (one float CDF per e2e distribution plus the
+    n2e CDF), time ``log2(d) · K`` per draw.
+    """
+
+    kind = None  # not one of the built-in trio
+
+    def __init__(self, graph: CSRGraph, model: SecondOrderModel, node: int) -> None:
+        super().__init__(graph, model, node)
+        self._require_neighbors()
+        self._neighbors = graph.neighbors(node)
+        self._first = CumulativeSampler(graph.neighbor_weights(node))
+        self._tables = {
+            int(u): CumulativeSampler(model.biased_weights(graph, int(u), node))
+            for u in self._neighbors
+        }
+
+    def sample_first(self, rng: np.random.Generator) -> int:
+        return int(self._neighbors[self._first.sample(rng)])
+
+    def sample(self, previous: int, rng: np.random.Generator) -> int:
+        table = self._tables.get(previous)
+        if table is None:
+            # Previous node outside N(v) (e.g. after a restart): build the
+            # distribution on demand, like the naive sampler would.
+            table = CumulativeSampler(
+                self.model.biased_weights(self.graph, previous, self.node)
+            )
+        return int(self._neighbors[table.sample(rng)])
+
+    def memory_cost(self, params: CostParams) -> float:
+        return params.float_bytes * (self.degree**2 + self.degree)
+
+    def time_cost(self, params: CostParams) -> float:
+        return max(1.0, math.log2(max(self.degree, 1))) * params.time_unit
+
+
+def binary_cdf_spec() -> SamplerSpec:
+    """The built-in fourth sampler: cumulative tables + binary search."""
+    return SamplerSpec(
+        name="binary-cdf",
+        memory_fn=lambda params, degree: params.float_bytes
+        * (degree * degree + degree),
+        time_fn=lambda params, degree, c_v: max(1.0, math.log2(max(degree, 1)))
+        * params.time_unit,
+        build=BinaryCdfNodeSampler,
+        min_degree=2,
+    )
+
+
+def extend_cost_table(table, graph: CSRGraph, specs: list[SamplerSpec]):
+    """Append one cost-table column per spec (vectorised).
+
+    Returns a new :class:`~repro.cost.CostTable`; the original is left
+    untouched.  Column ``3 + i`` corresponds to ``specs[i]``.
+    """
+    from ..cost import CostTable
+
+    if not specs:
+        return table
+    degrees = graph.degrees
+    time_columns = [table.time]
+    memory_columns = [table.memory]
+    availability = [table.available]
+    # The rejection column's C_v values are recoverable from the table:
+    # T_rejection = C_v * c * K  =>  C_v = T_rejection / (c * K).
+    c = table.params.check_costs(degrees)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        c_v = np.where(
+            c > 0, table.time[:, 1] / (c * table.params.time_unit), 1.0
+        )
+    for spec in specs:
+        time_columns.append(
+            np.array(
+                [
+                    spec.time_fn(table.params, int(d), float(cv))
+                    for d, cv in zip(degrees, c_v)
+                ]
+            ).reshape(-1, 1)
+        )
+        memory_columns.append(
+            np.array(
+                [spec.memory_fn(table.params, int(d)) for d in degrees]
+            ).reshape(-1, 1)
+        )
+        availability.append((degrees >= spec.min_degree).reshape(-1, 1))
+    return CostTable(
+        time=np.hstack(time_columns),
+        memory=np.hstack(memory_columns),
+        params=table.params,
+        available=np.hstack(availability),
+    )

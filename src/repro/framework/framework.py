@@ -1,0 +1,362 @@
+"""The memory-aware framework orchestrator (paper Figure 2).
+
+Execution phases, matching Section 5's description:
+
+1. initialise the cost model and compute bounding constants (``T_Cv``);
+2. run the cost-based optimizer to assign a node sampler to every node
+   within the memory budget;
+3. materialise the per-node samplers (``T_NS``), charging a memory meter
+   that reproduces OOM failures against a simulated physical memory;
+4. expose the walk engine for second-order random walk tasks.
+
+Budgets can change online via :meth:`MemoryAwareFramework.set_budget`
+(Section 5.3): the assignment is updated through the greedy trace and only
+the affected node samplers are rebuilt or dropped.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bounding import (
+    BoundingConstants,
+    compute_bounding_constants,
+    estimate_bounding_constants,
+)
+from ..constants import DEFAULT_DEGREE_THRESHOLD
+from ..cost import CostParams, CostTable, SamplerKind, build_cost_table
+from ..exceptions import OptimizerError
+from ..graph import CSRGraph
+from ..models import SecondOrderModel
+from ..optimizer import AdaptiveOptimizer, Assignment, degree_greedy, lp_greedy
+from ..optimizer.adaptive import BudgetUpdate
+from ..rng import RngLike, ensure_rng
+from .interfaces import NodeSampler
+from .memory import MemoryMeter
+from .node_samplers import build_node_sampler
+from .walker import WalkEngine
+
+#: optimizer algorithm names accepted by the framework.
+OPTIMIZERS = ("lp", "deg-inc", "deg-dec")
+
+#: bounding-constant computation modes.
+BOUNDING_MODES = ("exact", "estimate")
+
+
+@dataclass
+class FrameworkTimings:
+    """Wall-clock decomposition of initialisation (Equation 11).
+
+    ``T_init = T_Cv + T_NS`` for the LP variants; degree-based and
+    memory-unaware runs have ``T_Cv = 0``.
+    """
+
+    bounding_seconds: float = 0.0   # T_Cv
+    optimize_seconds: float = 0.0   # assignment search (part of T_NS bucket)
+    build_seconds: float = 0.0      # sampler materialisation
+
+    @property
+    def sampler_seconds(self) -> float:
+        """``T_NS``: optimizer + sampler construction."""
+        return self.optimize_seconds + self.build_seconds
+
+    @property
+    def init_seconds(self) -> float:
+        """``T_init``."""
+        return self.bounding_seconds + self.sampler_seconds
+
+
+class MemoryAwareFramework:
+    """Memory-aware second-order random walk middleware.
+
+    Parameters
+    ----------
+    graph, model:
+        The substrate graph and the second-order model to walk.
+    budget:
+        Memory budget in modeled bytes for the node-sampler assignment.
+    cost_params:
+        Cost-model instantiation; defaults to the paper's
+        (``b_f = b_i = 4``, binary-search neighbour checks).
+    optimizer:
+        ``"lp"`` (Algorithm 2, supports dynamic budgets), ``"deg-inc"``
+        or ``"deg-dec"``.
+    bounding:
+        ``"exact"`` (LP-std) or ``"estimate"`` (LP-est, with
+        ``degree_threshold``).
+    bounding_constants:
+        Pre-computed constants; skips phase 1 (useful when sweeping budgets
+        over one graph/model pair, mirroring the paper's note that ``C_v``
+        is budget-independent).
+    physical_memory:
+        Simulated physical memory in bytes for the OOM gate (``None``
+        disables the gate).
+    extra_samplers:
+        User-defined :class:`~repro.framework.extra_samplers.SamplerSpec`
+        entries enrolled alongside the built-in trio — the paper's §5.1
+        extensible sampler set.  Spec ``i`` occupies cost-table column
+        ``3 + i``.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        model: SecondOrderModel,
+        budget: float,
+        *,
+        cost_params: CostParams | None = None,
+        optimizer: str = "lp",
+        bounding: str = "exact",
+        degree_threshold: int = DEFAULT_DEGREE_THRESHOLD,
+        bounding_constants: BoundingConstants | None = None,
+        physical_memory: float | None = None,
+        extra_samplers: list | None = None,
+        rng: RngLike = None,
+    ) -> None:
+        if optimizer not in OPTIMIZERS:
+            raise OptimizerError(
+                f"unknown optimizer {optimizer!r}; choose from {OPTIMIZERS}"
+            )
+        if bounding not in BOUNDING_MODES:
+            raise OptimizerError(
+                f"unknown bounding mode {bounding!r}; choose from {BOUNDING_MODES}"
+            )
+        self.graph = graph
+        self.model = model
+        self.cost_params = cost_params or CostParams()
+        self.optimizer_name = optimizer
+        self.timings = FrameworkTimings()
+        self.meter = MemoryMeter(physical_memory)
+        self._rng = ensure_rng(rng)
+
+        # Phase 1: bounding constants (T_Cv).
+        started = time.perf_counter()
+        if bounding_constants is not None:
+            self.bounding_constants = bounding_constants
+        elif bounding == "exact":
+            self.bounding_constants = compute_bounding_constants(graph, model)
+        else:
+            self.bounding_constants = estimate_bounding_constants(
+                graph, model, degree_threshold=degree_threshold, rng=self._rng
+            )
+        self.timings.bounding_seconds = (
+            0.0 if bounding_constants is not None else time.perf_counter() - started
+        )
+
+        # Phase 2: cost-based optimisation.
+        started = time.perf_counter()
+        self.extra_samplers = list(extra_samplers or [])
+        self.cost_table: CostTable = build_cost_table(
+            graph, self.bounding_constants, self.cost_params
+        )
+        if self.extra_samplers:
+            from .extra_samplers import extend_cost_table
+
+            self.cost_table = extend_cost_table(
+                self.cost_table, graph, self.extra_samplers
+            )
+        self._adaptive: AdaptiveOptimizer | None = None
+        if optimizer == "lp":
+            self._adaptive = AdaptiveOptimizer(self.cost_table, budget)
+            self._assignment = self._adaptive.assignment
+        else:
+            self._assignment = degree_greedy(
+                self.cost_table,
+                budget,
+                graph.degrees,
+                increasing=(optimizer == "deg-inc"),
+            )
+        self.timings.optimize_seconds = time.perf_counter() - started
+
+        # Phase 3: sampler materialisation (T_NS).
+        started = time.perf_counter()
+        self._samplers: list[NodeSampler | None] = [None] * graph.num_nodes
+        for v in range(graph.num_nodes):
+            self._build_sampler(v, int(self._assignment.samplers[v]))
+        self.timings.build_seconds = time.perf_counter() - started
+
+        # Phase 4: ready to walk.
+        self._engine = WalkEngine(graph, self._samplers)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def assignment(self) -> Assignment:
+        """The current node-sampler assignment."""
+        return self._assignment
+
+    @property
+    def budget(self) -> float:
+        """The active memory budget in modeled bytes."""
+        return self._assignment.budget
+
+    @property
+    def walk_engine(self) -> WalkEngine:
+        """The walk engine over the materialised samplers."""
+        return self._engine
+
+    def sampler(self, node: int) -> NodeSampler | None:
+        """The materialised sampler of ``node`` (``None`` for isolated nodes)."""
+        return self._samplers[node]
+
+    # ------------------------------------------------------------------
+    # walking API
+    # ------------------------------------------------------------------
+    def walk(self, start: int, length: int, rng: RngLike = None) -> np.ndarray:
+        """One second-order walk (Algorithm 1)."""
+        return self._engine.walk(start, length, rng if rng is not None else self._rng)
+
+    def generate_walks(
+        self, *, num_walks: int, length: int, rng: RngLike = None
+    ) -> list[np.ndarray]:
+        """The node2vec pattern: ``num_walks`` walks of ``length`` per node."""
+        return self._engine.walks_all_nodes(
+            num_walks=num_walks,
+            length=length,
+            rng=rng if rng is not None else self._rng,
+        )
+
+    # ------------------------------------------------------------------
+    # dynamic budgets (Section 5.3)
+    # ------------------------------------------------------------------
+    def set_budget(self, new_budget: float) -> tuple[BudgetUpdate, float]:
+        """Adapt to a new memory budget.
+
+        Only available with the LP optimizer (the trace-based update).
+        Returns the optimizer-level :class:`BudgetUpdate` plus the
+        wall-clock seconds spent rebuilding the affected node samplers —
+        together these are the Figure 9 "update cost".
+        """
+        if self._adaptive is None:
+            raise OptimizerError(
+                "dynamic budgets require the 'lp' optimizer"
+            )
+        update = self._adaptive.set_budget(new_budget)
+        old = self._assignment
+        self._assignment = self._adaptive.assignment
+
+        started = time.perf_counter()
+        changed = np.nonzero(old.samplers != self._assignment.samplers)[0]
+        for v in changed:
+            self._drop_sampler(int(v), int(old.samplers[v]))
+            self._build_sampler(int(v), int(self._assignment.samplers[v]))
+        rebuild_seconds = time.perf_counter() - started
+        self._engine = WalkEngine(self.graph, self._samplers)
+        return update, rebuild_seconds
+
+    # ------------------------------------------------------------------
+    # memory-unaware baselines
+    # ------------------------------------------------------------------
+    @classmethod
+    def memory_unaware(
+        cls,
+        graph: CSRGraph,
+        model: SecondOrderModel,
+        kind: SamplerKind,
+        *,
+        cost_params: CostParams | None = None,
+        physical_memory: float | None = None,
+        bounding_constants: BoundingConstants | None = None,
+        rng: RngLike = None,
+    ) -> "MemoryAwareFramework":
+        """Build the all-``kind`` baseline (naive / rejection / alias).
+
+        Bypasses the optimizer by granting an unbounded budget and forcing
+        every (non-isolated) node onto ``kind``.  The memory meter still
+        applies, so an all-alias build on a graph that does not fit the
+        simulated physical memory raises :class:`SimulatedOOMError`
+        exactly like the paper's Table 5.
+        """
+        self = cls.__new__(cls)
+        self.graph = graph
+        self.model = model
+        self.cost_params = cost_params or CostParams()
+        self.optimizer_name = f"all-{SamplerKind(kind).name.lower()}"
+        self.timings = FrameworkTimings()
+        self.meter = MemoryMeter(physical_memory)
+        self._rng = ensure_rng(rng)
+        self._adaptive = None
+        self.extra_samplers = []
+
+        needs_constants = kind is SamplerKind.REJECTION
+        started = time.perf_counter()
+        if bounding_constants is None and needs_constants:
+            bounding_constants = compute_bounding_constants(graph, model)
+            self.timings.bounding_seconds = time.perf_counter() - started
+        if bounding_constants is None:
+            bounding_constants = BoundingConstants(
+                values=np.ones(graph.num_nodes), exact=False
+            )
+        self.bounding_constants = bounding_constants
+        self.cost_table = build_cost_table(
+            graph, self.bounding_constants, self.cost_params
+        )
+
+        samplers = np.full(graph.num_nodes, int(kind), dtype=np.int8)
+        isolated = graph.degrees == 0
+        samplers[isolated] = int(SamplerKind.NAIVE)
+        rows = np.arange(graph.num_nodes)
+        used = float(self.cost_table.memory[rows, samplers].sum())
+        self._assignment = Assignment(
+            samplers=samplers,
+            used_memory=used,
+            total_time=float(self.cost_table.time[rows, samplers].sum()),
+            budget=np.inf,
+            algorithm=self.optimizer_name,
+        )
+
+        started = time.perf_counter()
+        self._samplers = [None] * graph.num_nodes
+        for v in range(graph.num_nodes):
+            self._build_sampler(v, int(self._assignment.samplers[v]))
+        self.timings.build_seconds = time.perf_counter() - started
+        self._engine = WalkEngine(graph, self._samplers)
+        return self
+
+    # ------------------------------------------------------------------
+    # modeled-cost projections (used by the large-graph experiments)
+    # ------------------------------------------------------------------
+    def modeled_task_time(self, samples_per_node: np.ndarray | float) -> float:
+        """Total modeled time units for a workload drawing the given number
+        of e2e samples from each node under the current assignment."""
+        rows = np.arange(self.graph.num_nodes)
+        per_sample = self.cost_table.time[rows, self._assignment.samplers]
+        if np.isscalar(samples_per_node):
+            return float(per_sample.sum() * samples_per_node)
+        samples = np.asarray(samples_per_node, dtype=np.float64)
+        return float(np.dot(per_sample, samples))
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _build_sampler(self, v: int, column: int) -> None:
+        if self.graph.degree(v) == 0:
+            self._samplers[v] = None
+            return
+        column = int(column)
+        label = (
+            SamplerKind(column).name.lower()
+            if column < len(SamplerKind)
+            else self.extra_samplers[column - len(SamplerKind)].name
+        )
+        self.meter.charge(
+            self.cost_table.memory[v, column],
+            what=f"{label} sampler at node {v}",
+        )
+        if column < len(SamplerKind):
+            self._samplers[v] = build_node_sampler(
+                SamplerKind(column), self.graph, self.model, v
+            )
+        else:
+            spec = self.extra_samplers[column - len(SamplerKind)]
+            self._samplers[v] = spec.build(self.graph, self.model, v)
+
+    def _drop_sampler(self, v: int, column: int) -> None:
+        if self._samplers[v] is None:
+            return
+        self.meter.release(self.cost_table.memory[v, int(column)])
+        self._samplers[v] = None

@@ -1,0 +1,68 @@
+"""The ``NodeSampler`` programming interface (paper Figure 6).
+
+A node sampler is bound to one node ``v`` and draws its successors:
+
+* :meth:`NodeSampler.sample_first` draws from the first-order n2e
+  distribution — used at the first step of a walk (Algorithm 1, line 5);
+* :meth:`NodeSampler.sample` draws from the second-order e2e distribution
+  given the previous node — the hot operation (Algorithm 1, line 8);
+* :meth:`NodeSampler.time_cost` / :meth:`NodeSampler.memory_cost` report
+  the modeled costs the cost-based optimizer reasons about.
+
+Users plug custom sampling strategies into the framework by subclassing
+this ABC, exactly as the C++ interface in the paper intends.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..cost import CostParams, SamplerKind
+from ..exceptions import WalkError
+from ..graph import CSRGraph
+from ..models import SecondOrderModel
+
+
+class NodeSampler(ABC):
+    """Samples successors of one node ``v`` under a second-order model."""
+
+    #: which cost-table column this sampler corresponds to; custom samplers
+    #: outside the built-in trio may leave it ``None``.
+    kind: SamplerKind | None = None
+
+    def __init__(self, graph: CSRGraph, model: SecondOrderModel, node: int) -> None:
+        if not 0 <= node < graph.num_nodes:
+            raise WalkError(f"node {node} out of range")
+        self.graph = graph
+        self.model = model
+        self.node = int(node)
+
+    @property
+    def degree(self) -> int:
+        """Degree of the bound node."""
+        return self.graph.degree(self.node)
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def sample_first(self, rng: np.random.Generator) -> int:
+        """Draw a successor from the n2e distribution ``p(z | v)``."""
+
+    @abstractmethod
+    def sample(self, previous: int, rng: np.random.Generator) -> int:
+        """Draw a successor from the e2e distribution ``p(z | v, previous)``."""
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def memory_cost(self, params: CostParams) -> float:
+        """Modeled memory footprint in bytes (the ``M`` of Table 1)."""
+
+    @abstractmethod
+    def time_cost(self, params: CostParams) -> float:
+        """Modeled per-sample time cost (the ``T`` of Table 1)."""
+
+    # ------------------------------------------------------------------
+    def _require_neighbors(self) -> None:
+        if self.degree == 0:
+            raise WalkError(f"node {self.node} has no neighbours to sample")

@@ -1,0 +1,130 @@
+"""Memory budgets, accounting, and dynamic-budget traces.
+
+The paper treats memory as a first-class resource: budgets are set as
+ratios of a maximum, footprints are compared against simulated physical
+memory (OOM gate), and Figure 9 drives the adaptive optimizer with a
+linear up-then-down budget trace.  This module provides those utilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import BudgetError, SimulatedOOMError
+
+
+def format_bytes(size: float) -> str:
+    """Human-readable byte count (``1.5GB`` style, decimal units)."""
+    size = float(size)
+    for unit in ("B", "KB", "MB", "GB", "TB", "PB"):
+        if abs(size) < 1000.0 or unit == "PB":
+            if unit == "B":
+                return f"{size:.0f}{unit}"
+            return f"{size:.1f}{unit}"
+        size /= 1000.0
+    raise AssertionError("unreachable")
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """A memory budget expressed against a reference maximum.
+
+    The paper's Figure 7 varies ``ratio`` over [0.1 … 1.0] of the budget at
+    which the assignment saturates; Figure 8 uses multiples of the graph
+    size instead — both are just different references.
+    """
+
+    total_bytes: float
+    reference_bytes: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.total_bytes < 0 or not np.isfinite(self.total_bytes):
+            raise BudgetError(f"invalid budget {self.total_bytes!r}")
+
+    @classmethod
+    def from_ratio(cls, reference_bytes: float, ratio: float) -> "MemoryBudget":
+        """Budget as ``ratio`` × ``reference_bytes``."""
+        if ratio < 0:
+            raise BudgetError(f"ratio must be non-negative, got {ratio}")
+        return cls(total_bytes=reference_bytes * ratio, reference_bytes=reference_bytes)
+
+    @property
+    def ratio(self) -> float | None:
+        """Budget as a fraction of the reference, when one was given."""
+        if self.reference_bytes in (None, 0):
+            return None
+        return self.total_bytes / self.reference_bytes
+
+    def __str__(self) -> str:
+        ratio = self.ratio
+        suffix = f" ({ratio:.2f}x ref)" if ratio is not None else ""
+        return f"{format_bytes(self.total_bytes)}{suffix}"
+
+
+class MemoryMeter:
+    """Tracks modeled allocations against a simulated physical memory.
+
+    ``charge`` raises :class:`SimulatedOOMError` when the running total
+    would exceed the physical limit — the gate that reproduces the paper's
+    alias-method OOM failures without a 96 GB machine.
+    """
+
+    def __init__(self, physical_bytes: float | None = None) -> None:
+        if physical_bytes is not None and physical_bytes < 0:
+            raise BudgetError("physical_bytes must be non-negative")
+        self.physical_bytes = physical_bytes
+        self._used = 0.0
+        self._peak = 0.0
+
+    @property
+    def used_bytes(self) -> float:
+        """Currently charged bytes."""
+        return self._used
+
+    @property
+    def peak_bytes(self) -> float:
+        """High-water mark."""
+        return self._peak
+
+    def charge(self, amount: float, what: str = "") -> None:
+        """Account ``amount`` modeled bytes; OOM when over physical memory."""
+        if amount < 0:
+            raise BudgetError("cannot charge a negative amount")
+        prospective = self._used + amount
+        if self.physical_bytes is not None and prospective > self.physical_bytes:
+            raise SimulatedOOMError(
+                required_bytes=int(prospective),
+                available_bytes=int(self.physical_bytes),
+                what=what,
+            )
+        self._used = prospective
+        self._peak = max(self._peak, self._used)
+
+    def release(self, amount: float) -> None:
+        """Return ``amount`` bytes to the pool."""
+        if amount < 0:
+            raise BudgetError("cannot release a negative amount")
+        self._used = max(0.0, self._used - amount)
+
+    def reset(self) -> None:
+        """Zero the meter (peak retained)."""
+        self._used = 0.0
+
+
+def linear_budget_trace(max_budget: float, *, steps: int = 10) -> list[float]:
+    """The Figure 9 dynamic-budget trace.
+
+    Rises linearly from ``max_budget / steps`` to ``max_budget`` in
+    ``steps`` increments, then falls back down with the same step — the
+    red line of the figure.
+    """
+    if max_budget <= 0:
+        raise BudgetError("max_budget must be positive")
+    if steps < 1:
+        raise BudgetError("steps must be >= 1")
+    step = max_budget / steps
+    rising = [step * i for i in range(1, steps + 1)]
+    falling = [step * i for i in range(steps - 1, 0, -1)]
+    return rising + falling

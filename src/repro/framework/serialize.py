@@ -1,0 +1,96 @@
+"""Persistence for optimizer artefacts.
+
+Bounding constants are expensive to compute (``T_Cv`` dominates LP-std
+initialisation) and assignments encode a full optimisation run; both are
+worth caching across sessions.  The format is a compressed ``.npz`` with a
+small JSON header, stable across library versions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..bounding import BoundingConstants
+from ..exceptions import AssignmentError, BoundingConstantError
+from ..optimizer import Assignment
+
+_ASSIGNMENT_FORMAT = "repro-assignment-v1"
+_CONSTANTS_FORMAT = "repro-bounding-v1"
+
+
+def save_assignment(assignment: Assignment, path: str | os.PathLike) -> None:
+    """Persist an assignment (samplers + costs; the trace is not stored)."""
+    header = {
+        "format": _ASSIGNMENT_FORMAT,
+        "used_memory": assignment.used_memory,
+        "total_time": assignment.total_time,
+        "budget": assignment.budget if np.isfinite(assignment.budget) else None,
+        "algorithm": assignment.algorithm,
+    }
+    np.savez_compressed(
+        Path(path),
+        header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        samplers=assignment.samplers,
+    )
+
+
+def load_assignment(path: str | os.PathLike) -> Assignment:
+    """Load an assignment previously stored with :func:`save_assignment`."""
+    with np.load(Path(path)) as data:
+        if "header" not in data.files or "samplers" not in data.files:
+            raise AssignmentError(f"{path}: not a repro assignment file")
+        header = json.loads(bytes(data["header"]).decode("utf-8"))
+        if header.get("format") != _ASSIGNMENT_FORMAT:
+            raise AssignmentError(
+                f"{path}: unsupported format {header.get('format')!r}"
+            )
+        budget = header["budget"]
+        return Assignment(
+            samplers=data["samplers"],
+            used_memory=float(header["used_memory"]),
+            total_time=float(header["total_time"]),
+            budget=float(budget) if budget is not None else np.inf,
+            algorithm=str(header["algorithm"]),
+        )
+
+
+def save_bounding_constants(
+    constants: BoundingConstants, path: str | os.PathLike
+) -> None:
+    """Persist bounding constants (the cache that makes LP-std restarts
+    free — the paper notes ``C_v`` is budget-independent)."""
+    header = {
+        "format": _CONSTANTS_FORMAT,
+        "exact": constants.exact,
+        "estimated_nodes": constants.estimated_nodes,
+        "degree_threshold": constants.degree_threshold,
+        "meta": constants.meta,
+    }
+    np.savez_compressed(
+        Path(path),
+        header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        values=constants.values,
+    )
+
+
+def load_bounding_constants(path: str | os.PathLike) -> BoundingConstants:
+    """Load constants previously stored with :func:`save_bounding_constants`."""
+    with np.load(Path(path)) as data:
+        if "header" not in data.files or "values" not in data.files:
+            raise BoundingConstantError(f"{path}: not a repro bounding file")
+        header = json.loads(bytes(data["header"]).decode("utf-8"))
+        if header.get("format") != _CONSTANTS_FORMAT:
+            raise BoundingConstantError(
+                f"{path}: unsupported format {header.get('format')!r}"
+            )
+        return BoundingConstants(
+            values=data["values"],
+            exact=bool(header["exact"]),
+            estimated_nodes=int(header["estimated_nodes"]),
+            degree_threshold=header["degree_threshold"],
+            meta=dict(header.get("meta") or {}),
+        )

@@ -1,0 +1,66 @@
+"""Graph substrate: CSR storage, builders, generators, statistics, and IO.
+
+The paper stores graphs in CSR format (Section 5.4); :class:`CSRGraph` is the
+in-memory representation every other subsystem operates on.
+"""
+
+from .csr import CSRGraph
+from .builder import GraphBuilder, from_edges
+from .generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    powerlaw_cluster_graph,
+    sbm_block_labels,
+    star_graph,
+    stochastic_block_model,
+    watts_strogatz_graph,
+)
+from .neighbors import (
+    BinarySearchChecker,
+    CommonNeighborChecker,
+    HashSetChecker,
+    MergeChecker,
+    make_checker,
+)
+from .stats import GraphStats, common_neighbor_count, compute_stats, triangle_count
+from .subgraph import induced_subgraph, largest_connected_component
+from .io import (
+    load_csr_npz,
+    load_edge_list,
+    save_csr_npz,
+    save_edge_list,
+)
+
+__all__ = [
+    "CSRGraph",
+    "GraphBuilder",
+    "from_edges",
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "powerlaw_cluster_graph",
+    "watts_strogatz_graph",
+    "stochastic_block_model",
+    "sbm_block_labels",
+    "complete_graph",
+    "star_graph",
+    "cycle_graph",
+    "grid_graph",
+    "CommonNeighborChecker",
+    "BinarySearchChecker",
+    "HashSetChecker",
+    "MergeChecker",
+    "make_checker",
+    "GraphStats",
+    "compute_stats",
+    "triangle_count",
+    "common_neighbor_count",
+    "induced_subgraph",
+    "largest_connected_component",
+    "load_edge_list",
+    "save_edge_list",
+    "load_csr_npz",
+    "save_csr_npz",
+]

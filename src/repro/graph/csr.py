@@ -1,0 +1,257 @@
+"""Compressed-sparse-row graph storage.
+
+The paper's framework organises the graph in CSR format (Section 5.4).  The
+adjacency list of every node is kept **sorted by neighbour id**, which gives
+``O(log d)`` edge-existence checks via binary search — exactly the
+common-neighbour check the cost model prices at ``c = log(d_v)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..exceptions import EmptyGraphError, GraphFormatError
+
+
+class CSRGraph:
+    """An immutable weighted graph in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``num_nodes + 1``; row ``v`` spans
+        ``indices[indptr[v]:indptr[v + 1]]``.
+    indices:
+        Neighbour ids, sorted ascending within each row.
+    weights:
+        Edge weights aligned with ``indices``; ``None`` means unweighted
+        (all weights one).
+
+    The structure stores a *directed* adjacency; an undirected graph is
+    represented by storing each edge in both directions (the builder does
+    this).  Degree-one semantics therefore match the paper: ``d_v`` is the
+    out-degree of ``v`` in the stored adjacency.
+    """
+
+    __slots__ = ("indptr", "indices", "weights", "_weight_sums", "_is_unit_weight")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray | None = None,
+        *,
+        validate: bool = True,
+    ) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        if weights is None:
+            self.weights = np.ones(len(self.indices), dtype=np.float64)
+            self._is_unit_weight = True
+        else:
+            self.weights = np.asarray(weights, dtype=np.float64)
+            self._is_unit_weight = bool(np.all(self.weights == 1.0))
+        if validate:
+            self._validate()
+        # W_v = sum of outgoing edge weights, used by every n2e distribution.
+        # Prefix-sum differences handle empty rows and trailing rows safely.
+        prefix = np.concatenate(([0.0], np.cumsum(self.weights, dtype=np.float64)))
+        self._weight_sums = prefix[self.indptr[1:]] - prefix[self.indptr[:-1]]
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if self.indptr.ndim != 1 or len(self.indptr) < 1:
+            raise GraphFormatError("indptr must be a 1-D array of length >= 1")
+        if self.indptr[0] != 0:
+            raise GraphFormatError("indptr[0] must be 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise GraphFormatError("indptr must be non-decreasing")
+        if self.indptr[-1] != len(self.indices):
+            raise GraphFormatError(
+                f"indptr[-1] ({self.indptr[-1]}) != len(indices) ({len(self.indices)})"
+            )
+        if len(self.weights) != len(self.indices):
+            raise GraphFormatError("weights and indices must have equal length")
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= self.num_nodes
+        ):
+            raise GraphFormatError("neighbour id out of range")
+        if np.any(self.weights < 0) or not np.all(np.isfinite(self.weights)):
+            raise GraphFormatError("edge weights must be finite and non-negative")
+        # sortedness within rows
+        for v in range(self.num_nodes):
+            row = self.indices[self.indptr[v] : self.indptr[v + 1]]
+            if len(row) > 1 and np.any(np.diff(row) < 0):
+                raise GraphFormatError(f"adjacency of node {v} is not sorted")
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``|V|``."""
+        return len(self.indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of stored directed edges (2x the undirected edge count)."""
+        return len(self.indices)
+
+    @property
+    def is_unit_weight(self) -> bool:
+        """True when every stored edge weight equals one."""
+        return self._is_unit_weight
+
+    def degree(self, v: int) -> int:
+        """Out-degree of node ``v``."""
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Vector of all node degrees."""
+        return np.diff(self.indptr)
+
+    @property
+    def max_degree(self) -> int:
+        """``d_max``, the maximum degree (0 for an edgeless graph)."""
+        if self.num_nodes == 0:
+            raise EmptyGraphError("graph has no nodes")
+        degs = self.degrees
+        return int(degs.max()) if len(degs) else 0
+
+    @property
+    def average_degree(self) -> float:
+        """Average degree ``d_avg = |E_stored| / |V|``."""
+        if self.num_nodes == 0:
+            raise EmptyGraphError("graph has no nodes")
+        return self.num_edges / self.num_nodes
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbour ids of ``v`` (a zero-copy view)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        """Weights aligned with :meth:`neighbors` (a zero-copy view)."""
+        return self.weights[self.indptr[v] : self.indptr[v + 1]]
+
+    def weight_sum(self, v: int) -> float:
+        """``W_v``: total outgoing weight of ``v``."""
+        return float(self._weight_sums[v])
+
+    @property
+    def weight_sums(self) -> np.ndarray:
+        """Vector of all ``W_v``."""
+        return self._weight_sums
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over node ids ``0 .. |V|-1``."""
+        return iter(range(self.num_nodes))
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate over stored directed edges as ``(u, v, w)`` triples."""
+        for u in range(self.num_nodes):
+            start, stop = self.indptr[u], self.indptr[u + 1]
+            for k in range(start, stop):
+                yield u, int(self.indices[k]), float(self.weights[k])
+
+    # ------------------------------------------------------------------
+    # edge queries
+    # ------------------------------------------------------------------
+    def edge_index(self, u: int, v: int) -> int:
+        """Position of edge ``(u, v)`` in ``indices``, or ``-1`` if absent.
+
+        Binary search over the sorted adjacency of ``u``: ``O(log d_u)``.
+        """
+        start, stop = self.indptr[u], self.indptr[u + 1]
+        pos = start + np.searchsorted(self.indices[start:stop], v)
+        if pos < stop and self.indices[pos] == v:
+            return int(pos)
+        return -1
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the directed edge ``(u, v)`` is stored."""
+        return self.edge_index(u, v) >= 0
+
+    def edge_weight(self, u: int, v: int, default: float = 0.0) -> float:
+        """Weight of edge ``(u, v)``, or ``default`` if absent."""
+        pos = self.edge_index(u, v)
+        return float(self.weights[pos]) if pos >= 0 else default
+
+    def has_edges_bulk(self, u: int, targets: np.ndarray) -> np.ndarray:
+        """Vectorised edge-existence check: for each ``z`` in ``targets``,
+        whether ``(u, z)`` is stored.  One ``searchsorted`` call total."""
+        row = self.neighbors(u)
+        targets = np.asarray(targets)
+        pos = np.searchsorted(row, targets)
+        ok = pos < len(row)
+        result = np.zeros(len(targets), dtype=bool)
+        if ok.any():
+            result[ok] = row[pos[ok]] == targets[ok]
+        return result
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    def is_symmetric(self) -> bool:
+        """Whether every stored edge has its reverse stored with equal weight."""
+        for u, v, w in self.edges():
+            if abs(self.edge_weight(v, u, default=np.nan) - w) > 1e-12 or not self.has_edge(v, u):
+                return False
+        return True
+
+    def memory_bytes(self, int_bytes: int = 4, float_bytes: int = 4) -> int:
+        """Modeled size ``M_g`` of the CSR structure.
+
+        Counts ``indptr`` (``|V|+1`` ints), ``indices`` (one int per stored
+        edge), and — only for weighted graphs — one float per stored edge.
+        This is the analytic counterpart of the paper's ``M_g`` column in
+        Table 2 (measured there from ``/proc``).
+        """
+        size = (self.num_nodes + 1) * int_bytes + self.num_edges * int_bytes
+        if not self._is_unit_weight:
+            size += self.num_edges * float_bytes
+        return size
+
+    # ------------------------------------------------------------------
+    # niceties
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (
+            np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.allclose(self.weights, other.weights)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing only
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRGraph(num_nodes={self.num_nodes}, num_edges={self.num_edges}, "
+            f"unit_weight={self._is_unit_weight})"
+        )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Sequence[tuple[int, int]] | np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
+        *,
+        num_nodes: int | None = None,
+        undirected: bool = True,
+    ) -> "CSRGraph":
+        """Build a graph from an edge list.  See :class:`GraphBuilder`."""
+        from .builder import from_edges as _from_edges
+
+        return _from_edges(
+            edges, weights, num_nodes=num_nodes, undirected=undirected
+        )

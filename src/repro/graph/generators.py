@@ -1,0 +1,276 @@
+"""Synthetic graph generators.
+
+The paper evaluates on six public graphs up to 6.6 B edges.  This
+reproduction cannot ship those datasets, so :mod:`repro.datasets` composes
+the generators below into scaled stand-ins whose degree-distribution shape
+matches each original (power-law for the social graphs, locally-clustered
+for the web graph).  The generators are self-contained — no networkx
+dependency in the library itself — and all take a seedable RNG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import GraphFormatError
+from ..rng import RngLike, ensure_rng
+from .builder import from_edges
+from .csr import CSRGraph
+
+
+def erdos_renyi_graph(num_nodes: int, edge_prob: float, rng: RngLike = None) -> CSRGraph:
+    """G(n, p) random graph (undirected, no self loops).
+
+    Uses the geometric-skipping trick so the cost is proportional to the
+    number of generated edges, not to ``n^2``.
+    """
+    if num_nodes < 0:
+        raise GraphFormatError("num_nodes must be non-negative")
+    if not 0.0 <= edge_prob <= 1.0:
+        raise GraphFormatError("edge_prob must be in [0, 1]")
+    gen = ensure_rng(rng)
+    if num_nodes < 2 or edge_prob == 0.0:
+        return from_edges(np.empty((0, 2), dtype=np.int64), num_nodes=num_nodes)
+    sources: list[int] = []
+    targets: list[int] = []
+    if edge_prob >= 1.0:
+        for u in range(num_nodes):
+            for v in range(u + 1, num_nodes):
+                sources.append(u)
+                targets.append(v)
+    else:
+        # Iterate over the upper-triangular cell index with geometric jumps.
+        log_q = np.log1p(-edge_prob)
+        v, w = 1, -1
+        while v < num_nodes:
+            r = gen.random()
+            w += 1 + int(np.log1p(-r) / log_q)
+            while w >= v and v < num_nodes:
+                w -= v
+                v += 1
+            if v < num_nodes:
+                sources.append(w)
+                targets.append(v)
+    edges = np.column_stack(
+        (np.asarray(sources, dtype=np.int64), np.asarray(targets, dtype=np.int64))
+    )
+    return from_edges(edges, num_nodes=num_nodes)
+
+
+def barabasi_albert_graph(num_nodes: int, attach: int, rng: RngLike = None) -> CSRGraph:
+    """Barabási–Albert preferential-attachment graph.
+
+    Each new node attaches to ``attach`` distinct existing nodes chosen with
+    probability proportional to their degree; yields a power-law degree
+    distribution like the paper's social graphs.
+    """
+    if attach < 1:
+        raise GraphFormatError("attach must be >= 1")
+    if num_nodes <= attach:
+        raise GraphFormatError("num_nodes must exceed attach")
+    gen = ensure_rng(rng)
+    # repeated_nodes holds one entry per half-edge: sampling uniformly from
+    # it is sampling proportional to degree.
+    repeated: list[int] = list(range(attach))
+    sources: list[int] = []
+    targets: list[int] = []
+    for new_node in range(attach, num_nodes):
+        chosen: set[int] = set()
+        while len(chosen) < attach:
+            if repeated:
+                candidate = repeated[int(gen.integers(len(repeated)))]
+            else:  # very first node: attach to the seed clique uniformly
+                candidate = int(gen.integers(new_node))
+            chosen.add(candidate)
+        for t in chosen:
+            sources.append(new_node)
+            targets.append(t)
+            repeated.append(new_node)
+            repeated.append(t)
+    edges = np.column_stack(
+        (np.asarray(sources, dtype=np.int64), np.asarray(targets, dtype=np.int64))
+    )
+    return from_edges(edges, num_nodes=num_nodes)
+
+
+def powerlaw_cluster_graph(
+    num_nodes: int, attach: int, triangle_prob: float, rng: RngLike = None
+) -> CSRGraph:
+    """Holme–Kim power-law graph with tunable clustering.
+
+    Like :func:`barabasi_albert_graph` but after each preferential
+    attachment, with probability ``triangle_prob`` the next link closes a
+    triangle with a random neighbour of the previous target.  Produces
+    graphs with many common neighbours — important here because the
+    bounding constants of Theorem 1 shrink as ``θ_uv`` (common-neighbour
+    count) grows.
+    """
+    if not 0.0 <= triangle_prob <= 1.0:
+        raise GraphFormatError("triangle_prob must be in [0, 1]")
+    if attach < 1:
+        raise GraphFormatError("attach must be >= 1")
+    if num_nodes <= attach:
+        raise GraphFormatError("num_nodes must exceed attach")
+    gen = ensure_rng(rng)
+    repeated: list[int] = list(range(attach))
+    adjacency: list[set[int]] = [set() for _ in range(num_nodes)]
+    sources: list[int] = []
+    targets: list[int] = []
+
+    def _link(u: int, v: int) -> None:
+        sources.append(u)
+        targets.append(v)
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+        repeated.append(u)
+        repeated.append(v)
+
+    for new_node in range(attach, num_nodes):
+        made = 0
+        last_target: int | None = None
+        while made < attach:
+            close_triangle = (
+                last_target is not None
+                and gen.random() < triangle_prob
+                and adjacency[last_target]
+            )
+            if close_triangle:
+                neighbours = [
+                    n for n in adjacency[last_target] if n != new_node and n not in adjacency[new_node]
+                ]
+                if neighbours:
+                    candidate = neighbours[int(gen.integers(len(neighbours)))]
+                    _link(new_node, candidate)
+                    made += 1
+                    last_target = candidate
+                    continue
+            candidate = repeated[int(gen.integers(len(repeated)))]
+            if candidate != new_node and candidate not in adjacency[new_node]:
+                _link(new_node, candidate)
+                made += 1
+                last_target = candidate
+    edges = np.column_stack(
+        (np.asarray(sources, dtype=np.int64), np.asarray(targets, dtype=np.int64))
+    )
+    return from_edges(edges, num_nodes=num_nodes)
+
+
+def watts_strogatz_graph(
+    num_nodes: int, nearest: int, rewire_prob: float, rng: RngLike = None
+) -> CSRGraph:
+    """Watts–Strogatz small-world ring lattice with random rewiring."""
+    if nearest % 2 or nearest < 2:
+        raise GraphFormatError("nearest must be an even integer >= 2")
+    if num_nodes <= nearest:
+        raise GraphFormatError("num_nodes must exceed nearest")
+    if not 0.0 <= rewire_prob <= 1.0:
+        raise GraphFormatError("rewire_prob must be in [0, 1]")
+    gen = ensure_rng(rng)
+    edge_set: set[tuple[int, int]] = set()
+    for u in range(num_nodes):
+        for k in range(1, nearest // 2 + 1):
+            v = (u + k) % num_nodes
+            edge_set.add((min(u, v), max(u, v)))
+    edges = sorted(edge_set)
+    rewired: set[tuple[int, int]] = set(edges)
+    for u, v in edges:
+        if gen.random() < rewire_prob:
+            for _ in range(32):  # bounded retries to find a fresh endpoint
+                w = int(gen.integers(num_nodes))
+                cand = (min(u, w), max(u, w))
+                if w != u and cand not in rewired:
+                    rewired.discard((u, v))
+                    rewired.add(cand)
+                    break
+    arr = np.asarray(sorted(rewired), dtype=np.int64)
+    return from_edges(arr, num_nodes=num_nodes)
+
+
+def stochastic_block_model(
+    block_sizes: list[int] | tuple[int, ...],
+    p_in: float,
+    p_out: float,
+    rng: RngLike = None,
+) -> CSRGraph:
+    """Planted-partition stochastic block model.
+
+    Nodes are grouped into consecutive blocks of the given sizes; node
+    pairs connect with probability ``p_in`` inside a block and ``p_out``
+    across blocks.  The community ground truth that node2vec embeddings
+    are expected to recover — used by the classification and link
+    prediction applications.
+    """
+    if not block_sizes or any(s < 1 for s in block_sizes):
+        raise GraphFormatError("block sizes must be positive")
+    if not (0.0 <= p_in <= 1.0 and 0.0 <= p_out <= 1.0):
+        raise GraphFormatError("probabilities must be in [0, 1]")
+    gen = ensure_rng(rng)
+    boundaries = np.cumsum([0, *block_sizes])
+    num_nodes = int(boundaries[-1])
+    block_of = np.empty(num_nodes, dtype=np.int64)
+    for b, (lo, hi) in enumerate(zip(boundaries, boundaries[1:])):
+        block_of[lo:hi] = b
+    sources: list[int] = []
+    targets: list[int] = []
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            p = p_in if block_of[i] == block_of[j] else p_out
+            if p > 0 and gen.random() < p:
+                sources.append(i)
+                targets.append(j)
+    edges = np.column_stack(
+        (np.asarray(sources, dtype=np.int64), np.asarray(targets, dtype=np.int64))
+    ) if sources else np.empty((0, 2), dtype=np.int64)
+    return from_edges(edges, num_nodes=num_nodes)
+
+
+def sbm_block_labels(block_sizes: list[int] | tuple[int, ...]) -> np.ndarray:
+    """Ground-truth block label per node for :func:`stochastic_block_model`."""
+    boundaries = np.cumsum([0, *block_sizes])
+    labels = np.empty(int(boundaries[-1]), dtype=np.int64)
+    for b, (lo, hi) in enumerate(zip(boundaries, boundaries[1:])):
+        labels[lo:hi] = b
+    return labels
+
+
+def complete_graph(num_nodes: int) -> CSRGraph:
+    """Clique on ``num_nodes`` nodes."""
+    pairs = [(u, v) for u in range(num_nodes) for v in range(u + 1, num_nodes)]
+    edges = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    return from_edges(edges, num_nodes=num_nodes)
+
+
+def star_graph(num_leaves: int) -> CSRGraph:
+    """Node 0 connected to ``num_leaves`` leaves."""
+    edges = np.column_stack(
+        (
+            np.zeros(num_leaves, dtype=np.int64),
+            np.arange(1, num_leaves + 1, dtype=np.int64),
+        )
+    )
+    return from_edges(edges, num_nodes=num_leaves + 1)
+
+
+def cycle_graph(num_nodes: int) -> CSRGraph:
+    """Simple cycle ``0 - 1 - ... - (n-1) - 0``."""
+    if num_nodes < 3:
+        raise GraphFormatError("cycle needs at least 3 nodes")
+    nodes = np.arange(num_nodes, dtype=np.int64)
+    edges = np.column_stack((nodes, np.roll(nodes, -1)))
+    return from_edges(edges, num_nodes=num_nodes)
+
+
+def grid_graph(rows: int, cols: int) -> CSRGraph:
+    """2-D grid lattice with 4-neighbour connectivity."""
+    if rows < 1 or cols < 1:
+        raise GraphFormatError("grid dimensions must be positive")
+    pairs: list[tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                pairs.append((node, node + 1))
+            if r + 1 < rows:
+                pairs.append((node, node + cols))
+    edges = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    return from_edges(edges, num_nodes=rows * cols)

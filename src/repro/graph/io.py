@@ -1,0 +1,100 @@
+"""Graph persistence: whitespace edge lists and compressed CSR archives.
+
+Edge lists follow the de-facto SNAP convention used by the paper's public
+datasets: one ``u v [w]`` triple per line, ``#``-prefixed comment lines
+ignored.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import GraphFormatError
+from .builder import from_edges
+from .csr import CSRGraph
+
+
+def load_edge_list(
+    path: str | os.PathLike,
+    *,
+    undirected: bool = True,
+    num_nodes: int | None = None,
+) -> CSRGraph:
+    """Read a whitespace-separated edge list file into a :class:`CSRGraph`.
+
+    Lines may contain 2 fields (``u v``) or 3 (``u v weight``); blank lines
+    and lines starting with ``#`` or ``%`` are skipped.
+    """
+    sources: list[int] = []
+    targets: list[int] = []
+    weights: list[float] = []
+    weighted = False
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected 2 or 3 fields, got {len(parts)}"
+                )
+            try:
+                sources.append(int(parts[0]))
+                targets.append(int(parts[1]))
+            except ValueError as exc:
+                raise GraphFormatError(f"{path}:{lineno}: bad node id") from exc
+            if len(parts) == 3:
+                weighted = True
+                try:
+                    weights.append(float(parts[2]))
+                except ValueError as exc:
+                    raise GraphFormatError(f"{path}:{lineno}: bad weight") from exc
+            else:
+                weights.append(1.0)
+    edges = np.column_stack(
+        (np.asarray(sources, dtype=np.int64), np.asarray(targets, dtype=np.int64))
+    ) if sources else np.empty((0, 2), dtype=np.int64)
+    return from_edges(
+        edges,
+        np.asarray(weights) if weighted else None,
+        num_nodes=num_nodes,
+        undirected=undirected,
+    )
+
+
+def save_edge_list(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write the stored directed edges of ``graph`` as an edge-list file.
+
+    Weights are included only for weighted graphs.  Round-trips through
+    :func:`load_edge_list` with ``undirected=False``.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# nodes={graph.num_nodes} edges={graph.num_edges}\n")
+        for u, v, w in graph.edges():
+            if graph.is_unit_weight:
+                handle.write(f"{u} {v}\n")
+            else:
+                handle.write(f"{u} {v} {w:.17g}\n")
+
+
+def save_csr_npz(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Persist the CSR arrays as a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        Path(path),
+        indptr=graph.indptr,
+        indices=graph.indices,
+        weights=graph.weights,
+    )
+
+
+def load_csr_npz(path: str | os.PathLike) -> CSRGraph:
+    """Load a graph previously stored with :func:`save_csr_npz`."""
+    with np.load(Path(path)) as data:
+        missing = {"indptr", "indices", "weights"} - set(data.files)
+        if missing:
+            raise GraphFormatError(f"{path}: missing arrays {sorted(missing)}")
+        return CSRGraph(data["indptr"], data["indices"], data["weights"])

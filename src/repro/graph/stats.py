@@ -1,0 +1,115 @@
+"""Graph statistics: degrees, triangles, common neighbours.
+
+Triangle counting matters here because computing exact bounding constants
+for the whole graph "has the same complexity as the one of triangle
+counting" (Section 3.3); the statistics below also feed the dataset
+registry and the experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics in the shape of the paper's Table 2."""
+
+    num_nodes: int
+    num_edges: int          # stored directed edges
+    average_degree: float
+    max_degree: int
+    min_degree: int
+    memory_bytes: int       # modeled M_g
+    triangles: int | None = None
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        tri = f", triangles={self.triangles}" if self.triangles is not None else ""
+        return (
+            f"|V|={self.num_nodes}, |E|={self.num_edges}, "
+            f"d_avg={self.average_degree:.1f}, d_max={self.max_degree}, "
+            f"M_g={self.memory_bytes / 1e6:.1f}MB{tri}"
+        )
+
+
+def compute_stats(graph: CSRGraph, *, with_triangles: bool = False) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    degs = graph.degrees
+    return GraphStats(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        average_degree=float(degs.mean()) if len(degs) else 0.0,
+        max_degree=int(degs.max()) if len(degs) else 0,
+        min_degree=int(degs.min()) if len(degs) else 0,
+        memory_bytes=graph.memory_bytes(),
+        triangles=triangle_count(graph) if with_triangles else None,
+    )
+
+
+def common_neighbor_count(graph: CSRGraph, u: int, v: int) -> int:
+    """``θ_uv``: number of common neighbours of ``u`` and ``v``.
+
+    Sorted-merge intersection of the two adjacency rows.
+    """
+    a, b = graph.neighbors(u), graph.neighbors(v)
+    if len(a) == 0 or len(b) == 0:
+        return 0
+    return int(len(np.intersect1d(a, b, assume_unique=True)))
+
+
+def common_neighbors(graph: CSRGraph, u: int, v: int) -> np.ndarray:
+    """The sorted array of common neighbours of ``u`` and ``v``."""
+    return np.intersect1d(graph.neighbors(u), graph.neighbors(v), assume_unique=True)
+
+
+def triangle_count(graph: CSRGraph) -> int:
+    """Total number of triangles in the (undirected) graph.
+
+    Forward algorithm: orient each edge from lower to higher degree (ties by
+    id) and intersect forward-adjacency lists — ``O(|E|^{3/2})`` like the
+    main-memory algorithms the paper cites.
+    """
+    n = graph.num_nodes
+    degs = graph.degrees
+    rank = np.lexsort((np.arange(n), degs))  # increasing degree, ties by id
+    position = np.empty(n, dtype=np.int64)
+    position[rank] = np.arange(n)
+
+    forward: list[np.ndarray] = []
+    for v in range(n):
+        nbrs = graph.neighbors(v)
+        fw = nbrs[position[nbrs] > position[v]]
+        forward.append(np.sort(fw))
+
+    triangles = 0
+    for v in range(n):
+        fw = forward[v]
+        for w in fw:
+            triangles += len(np.intersect1d(fw, forward[int(w)], assume_unique=True))
+    return triangles
+
+
+def local_clustering_coefficient(graph: CSRGraph, v: int) -> float:
+    """Fraction of closed wedges centred at ``v``."""
+    nbrs = graph.neighbors(v)
+    d = len(nbrs)
+    if d < 2:
+        return 0.0
+    links = 0
+    nbr_set = set(map(int, nbrs))
+    for u in nbrs:
+        links += sum(1 for w in graph.neighbors(int(u)) if int(w) in nbr_set)
+    return links / (d * (d - 1))
+
+
+def degree_histogram(graph: CSRGraph) -> np.ndarray:
+    """``hist[k]`` = number of nodes with degree ``k``."""
+    degs = graph.degrees
+    if len(degs) == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(degs)

@@ -1,0 +1,26 @@
+"""Second-order random walk models (paper Section 2.1).
+
+A model defines the edge-to-edge (e2e) transition distribution
+``p(z | v, u)`` through a biased re-weighting of the first-order
+node-to-edge (n2e) distribution.  Two models from the paper are shipped —
+node2vec and the autoregressive model — plus a degenerate first-order model
+useful for testing, and a registry for user-defined models.
+"""
+
+from .base import SecondOrderModel
+from .node2vec import Node2VecModel
+from .autoregressive import AutoregressiveModel
+from .edge_similarity import EdgeSimilarityModel
+from .first_order import FirstOrderModel
+from .registry import available_models, get_model, register_model
+
+__all__ = [
+    "SecondOrderModel",
+    "Node2VecModel",
+    "AutoregressiveModel",
+    "EdgeSimilarityModel",
+    "FirstOrderModel",
+    "register_model",
+    "get_model",
+    "available_models",
+]

@@ -1,0 +1,120 @@
+"""Abstract second-order random walk model.
+
+This is the Python counterpart of the paper's ``SecondRandomWalker``
+programming interface (Figure 6): a model's job is to compute the biased
+weight ``w'_vz`` of stepping from edge ``(u, v)`` to edge ``(v, z)``.
+
+Terminology used throughout (matching the paper):
+
+* ``u`` — previous node of the walk,
+* ``v`` — current node,
+* ``z`` — candidate next node, always a neighbour of ``v``,
+* n2e distribution ``Q``: ``q(z) = w_vz / W_v`` (first-order),
+* e2e distribution ``P``: ``p(z | v, u) = w'_vz / W'_v`` (second-order),
+* *target ratio* ``r_uvz = w'_vz / w_vz`` — the importance ratio between the
+  e2e target and the n2e proposal that drives rejection sampling
+  (Equations 3-4: ``C_uv = (W_v / W'_v) · max_z r_uvz`` and
+  ``β_uvz = r_uvz / max_t r_uvt``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..exceptions import ModelError
+from ..graph import CSRGraph
+
+
+class SecondOrderModel(ABC):
+    """Defines the e2e transition distribution of a second-order walk."""
+
+    #: short name used by the registry / CLI.
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # the single required primitive (Figure 6's biasedWeight)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def biased_weight(self, graph: CSRGraph, u: int, v: int, z: int) -> float:
+        """``w'_vz``: unnormalised e2e weight of moving to ``z`` from edge
+        ``(u, v)``.  ``z`` must be a neighbour of ``v``."""
+
+    # ------------------------------------------------------------------
+    # vectorised / derived quantities (defaults delegate to biased_weight;
+    # concrete models override for speed)
+    # ------------------------------------------------------------------
+    def biased_weights(self, graph: CSRGraph, u: int, v: int) -> np.ndarray:
+        """Unnormalised e2e weights for all neighbours of ``v`` (in the
+        order of ``graph.neighbors(v)``)."""
+        return np.array(
+            [self.biased_weight(graph, u, v, int(z)) for z in graph.neighbors(v)],
+            dtype=np.float64,
+        )
+
+    def e2e_distribution(self, graph: CSRGraph, u: int, v: int) -> np.ndarray:
+        """Normalised ``p(z | v, u)`` over ``graph.neighbors(v)``."""
+        weights = self.biased_weights(graph, u, v)
+        total = weights.sum()
+        if total <= 0:
+            raise ModelError(
+                f"e2e distribution from edge ({u}, {v}) has zero total mass"
+            )
+        return weights / total
+
+    def target_ratios(self, graph: CSRGraph, u: int, v: int) -> np.ndarray:
+        """``r_uvz = w'_vz / w_vz`` for all neighbours ``z`` of ``v``.
+
+        This is the quantity that bounds the rejection sampler: its maximum
+        over ``z`` determines ``C_uv`` and its per-candidate value the
+        acceptance probability.
+
+        Contract: ratios are only ever used scale-invariantly (acceptance is
+        ``r_z / max_t r_t``), so implementations may return them up to any
+        positive constant factor per ``(u, v)`` pair — the autoregressive
+        model exploits this to return the paper's ``(1-α) + α·p_uz/p_vz``
+        form directly.
+        """
+        w = graph.neighbor_weights(v)
+        return self.biased_weights(graph, u, v) / w
+
+    def target_ratio(self, graph: CSRGraph, u: int, v: int, z: int) -> float:
+        """``r_uvz`` for a single candidate ``z`` (a neighbour of ``v``)."""
+        w = graph.edge_weight(v, z)
+        if w <= 0:
+            raise ModelError(f"({v}, {z}) is not an edge with positive weight")
+        return self.biased_weight(graph, u, v, z) / w
+
+    def target_ratios_subset(
+        self, graph: CSRGraph, u: int, v: int, candidates: np.ndarray
+    ) -> np.ndarray:
+        """``r_uvz`` for an explicit array of candidate neighbours of ``v``.
+
+        Bounding-constant *estimation* (Section 3.3) evaluates ratios on a
+        sampled sub-neighbourhood ``SN(v)`` instead of all of ``N(v)``; the
+        default implementation loops over :meth:`target_ratio`, concrete
+        models override it with a vectorised version so that estimation is
+        genuinely cheaper than exact enumeration.
+        """
+        return np.array(
+            [self.target_ratio(graph, u, v, int(z)) for z in candidates],
+            dtype=np.float64,
+        )
+
+    def max_ratio_bound(self, graph: CSRGraph) -> float | None:
+        """A graph-wide constant upper bound on ``r_uvz``, if one exists.
+
+        node2vec has the closed form ``max(1/a, 1/b, 1)``; the autoregressive
+        model does not (its ratio depends on degree ratios), so it returns
+        ``None`` and the rejection sampler must use per-edge exact or
+        estimated maxima from :mod:`repro.bounding`.
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check hyper-parameters; raise :class:`ModelError` when invalid."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

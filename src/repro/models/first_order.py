@@ -1,0 +1,34 @@
+"""Degenerate first-order model: the e2e distribution ignores ``u``.
+
+Useful as a correctness baseline (every sampler must reproduce the plain
+n2e distribution under it) and as the model behind first-order tasks like
+DeepWalk-style corpora.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import CSRGraph
+from .base import SecondOrderModel
+
+
+class FirstOrderModel(SecondOrderModel):
+    """``p(z | v, u) = p(z | v) = w_vz / W_v`` for every previous node."""
+
+    name = "first-order"
+
+    def biased_weight(self, graph: CSRGraph, u: int, v: int, z: int) -> float:
+        return graph.edge_weight(v, z)
+
+    def biased_weights(self, graph: CSRGraph, u: int, v: int) -> np.ndarray:
+        return graph.neighbor_weights(v).astype(np.float64, copy=True)
+
+    def target_ratios(self, graph: CSRGraph, u: int, v: int) -> np.ndarray:
+        return np.ones(graph.degree(v), dtype=np.float64)
+
+    def target_ratio(self, graph: CSRGraph, u: int, v: int, z: int) -> float:
+        return 1.0
+
+    def max_ratio_bound(self, graph: CSRGraph) -> float:
+        return 1.0

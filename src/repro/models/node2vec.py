@@ -1,0 +1,98 @@
+"""The node2vec second-order model (paper Equation 1).
+
+Walking from edge ``(u, v)``, the biased weight of a candidate ``z`` in
+``N(v)`` depends on the unweighted distance ``l_uz`` between ``u`` and ``z``:
+
+====================  =========================  ================
+``l_uz``              meaning                    ``w'_vz``
+====================  =========================  ================
+0                     ``z == u`` (return)        ``w_vz / a``
+1                     ``z`` adjacent to ``u``    ``w_vz``
+2                     otherwise                  ``w_vz / b``
+====================  =========================  ================
+
+``a`` is the *return* parameter and ``b`` the *in-out* parameter (the
+original node2vec paper calls them ``p`` and ``q``; we keep the SIGMOD
+paper's letters).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ModelError
+from ..graph import CSRGraph
+from .base import SecondOrderModel
+
+
+class Node2VecModel(SecondOrderModel):
+    """node2vec e2e distribution ``NV(a, b)``.
+
+    Parameters
+    ----------
+    a:
+        Return parameter (> 0); weight of revisiting ``u`` is divided by it.
+    b:
+        In-out parameter (> 0); weight of leaving ``u``'s neighbourhood is
+        divided by it.
+    """
+
+    name = "node2vec"
+
+    def __init__(self, a: float = 1.0, b: float = 1.0) -> None:
+        self.a = float(a)
+        self.b = float(b)
+        self.validate()
+
+    def validate(self) -> None:
+        if self.a <= 0 or self.b <= 0:
+            raise ModelError(
+                f"node2vec parameters must be positive, got a={self.a}, b={self.b}"
+            )
+
+    # ------------------------------------------------------------------
+    def biased_weight(self, graph: CSRGraph, u: int, v: int, z: int) -> float:
+        w = graph.edge_weight(v, z)
+        if z == u:
+            return w / self.a
+        if graph.has_edge(u, z):
+            return w
+        return w / self.b
+
+    def biased_weights(self, graph: CSRGraph, u: int, v: int) -> np.ndarray:
+        neighbors = graph.neighbors(v)
+        weights = graph.neighbor_weights(v).astype(np.float64, copy=True)
+        adjacent = graph.has_edges_bulk(u, neighbors)
+        factors = np.where(adjacent, 1.0, 1.0 / self.b)
+        factors[neighbors == u] = 1.0 / self.a
+        return weights * factors
+
+    def target_ratios(self, graph: CSRGraph, u: int, v: int) -> np.ndarray:
+        neighbors = graph.neighbors(v)
+        adjacent = graph.has_edges_bulk(u, neighbors)
+        ratios = np.where(adjacent, 1.0, 1.0 / self.b)
+        ratios[neighbors == u] = 1.0 / self.a
+        return ratios
+
+    def target_ratio(self, graph: CSRGraph, u: int, v: int, z: int) -> float:
+        if z == u:
+            return 1.0 / self.a
+        if graph.has_edge(u, z):
+            return 1.0
+        return 1.0 / self.b
+
+    def target_ratios_subset(
+        self, graph: CSRGraph, u: int, v: int, candidates: np.ndarray
+    ) -> np.ndarray:
+        candidates = np.asarray(candidates)
+        adjacent = graph.has_edges_bulk(u, candidates)
+        ratios = np.where(adjacent, 1.0, 1.0 / self.b)
+        ratios[candidates == u] = 1.0 / self.a
+        return ratios
+
+    def max_ratio_bound(self, graph: CSRGraph) -> float:
+        """``max(1/a, 1/b, 1)`` — closed form used by Section 3.1."""
+        return max(1.0 / self.a, 1.0 / self.b, 1.0)
+
+    def __repr__(self) -> str:
+        return f"Node2VecModel(a={self.a}, b={self.b})"

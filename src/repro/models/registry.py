@@ -1,0 +1,56 @@
+"""Registry of second-order models, keyed by name.
+
+Users extend the framework by subclassing
+:class:`~repro.models.base.SecondOrderModel` and registering the class;
+the CLI and experiment harness then resolve models by name, e.g.
+``get_model("node2vec", a=0.25, b=4)``.
+"""
+
+from __future__ import annotations
+
+from typing import Type
+
+from ..exceptions import ModelError
+from .autoregressive import AutoregressiveModel
+from .edge_similarity import EdgeSimilarityModel
+from .base import SecondOrderModel
+from .first_order import FirstOrderModel
+from .node2vec import Node2VecModel
+
+_REGISTRY: dict[str, Type[SecondOrderModel]] = {}
+
+
+def register_model(cls: Type[SecondOrderModel]) -> Type[SecondOrderModel]:
+    """Register a model class under its ``name`` attribute.
+
+    Usable as a decorator.  Re-registering a name overwrites the previous
+    entry (deliberate, so tests and notebooks can iterate on a model).
+    """
+    if not issubclass(cls, SecondOrderModel):
+        raise ModelError(f"{cls!r} is not a SecondOrderModel subclass")
+    if not getattr(cls, "name", None) or cls.name == "abstract":
+        raise ModelError(f"{cls.__name__} must define a non-default 'name'")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_model(name: str, **params: float) -> SecondOrderModel:
+    """Instantiate a registered model by name with hyper-parameters."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown model {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**params)
+
+
+def available_models() -> list[str]:
+    """Sorted names of all registered models."""
+    return sorted(_REGISTRY)
+
+
+register_model(Node2VecModel)
+register_model(EdgeSimilarityModel)
+register_model(AutoregressiveModel)
+register_model(FirstOrderModel)

@@ -1,0 +1,36 @@
+"""Cost-based optimizer: node-sampler assignment under a memory budget.
+
+The assignment problem (paper Definition 1) is a 0-1 Multiple-Choice
+Knapsack Problem (Theorem 2).  This subpackage provides:
+
+* :func:`lp_greedy` — Algorithm 2, the LP-relaxation greedy with trace;
+* :func:`degree_greedy` — the Deg-inc / Deg-dec baselines;
+* :func:`exhaustive_optimal` / :func:`dp_optimal` — exact solvers for
+  small instances (used to validate the approximation quality);
+* :class:`AdaptiveOptimizer` — trace-based re-optimisation for dynamic
+  budgets (Section 5.3).
+"""
+
+from .assignment import Assignment, TraceEntry
+from .dominance import eliminate_dominated, node_chains
+from .problem import AssignmentProblem
+from .lp_greedy import lp_greedy, lmckp_lower_bound
+from .degree_greedy import degree_greedy
+from .dp import dp_optimal, exhaustive_optimal
+from .inverse import min_memory_for_time
+from .adaptive import AdaptiveOptimizer
+
+__all__ = [
+    "Assignment",
+    "TraceEntry",
+    "AssignmentProblem",
+    "eliminate_dominated",
+    "node_chains",
+    "lp_greedy",
+    "lmckp_lower_bound",
+    "degree_greedy",
+    "dp_optimal",
+    "exhaustive_optimal",
+    "min_memory_for_time",
+    "AdaptiveOptimizer",
+]

@@ -1,0 +1,77 @@
+"""Dominance elimination for MCKP (paper Properties 1 and 2).
+
+Before running the greedy, each node's sampler options are reduced to the
+lower convex boundary of its ``(M, T)`` point set:
+
+* **P-domination** (Property 1): an option with both time and memory no
+  better than another can never appear in an optimal LP solution.
+* **LP-domination** (Property 2): an option lying above the segment joining
+  its neighbours on the memory axis is skipped by the LP optimum.
+
+For the paper's built-in three-sampler cost model the chain is already
+undominated (``M_a > M_r > M_n``, ``T_a < T_r < T_n``); the machinery here
+is what makes *user-defined* sampler sets safe to optimise (Section 5.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cost import CostTable
+
+
+def eliminate_dominated(
+    memory: np.ndarray, time: np.ndarray, available: np.ndarray | None = None
+) -> list[int]:
+    """Undominated option indices for one node, sorted by increasing memory.
+
+    Implements the successive test of Properties 1-2: sort by
+    ``(M asc, T asc)``, drop options whose time does not strictly improve
+    (P-domination), then keep only the lower convex boundary
+    (LP-domination, strict test — collinear points are retained, matching
+    the paper's strict inequality).
+    """
+    memory = np.asarray(memory, dtype=np.float64)
+    time = np.asarray(time, dtype=np.float64)
+    candidates = [
+        j
+        for j in range(len(memory))
+        if available is None or bool(available[j])
+    ]
+    candidates.sort(key=lambda j: (memory[j], time[j]))
+
+    # P-domination sweep: with memory ascending, any option whose time is
+    # not strictly below everything cheaper is dominated.
+    kept: list[int] = []
+    best_time = np.inf
+    for j in candidates:
+        if time[j] < best_time:
+            kept.append(j)
+            best_time = time[j]
+
+    # LP-domination: lower-convex-hull sweep over (M, T).
+    hull: list[int] = []
+    for j in kept:
+        while len(hull) >= 2:
+            r, s = hull[-2], hull[-1]
+            grad_rs = (time[s] - time[r]) / (memory[s] - memory[r])
+            grad_st = (time[j] - time[s]) / (memory[j] - memory[s])
+            if grad_rs > grad_st:  # Property 2, strict
+                hull.pop()
+            else:
+                break
+        hull.append(j)
+    return hull
+
+
+def node_chains(table: CostTable) -> list[list[int]]:
+    """Undominated sampler chains for every node of a cost table.
+
+    ``chains[i]`` lists sampler column indices in increasing-memory order;
+    the first entry is the initial (cheapest-memory) choice of Algorithm 2
+    and consecutive pairs define the gradient steps.
+    """
+    return [
+        eliminate_dominated(table.memory[i], table.time[i], table.available[i])
+        for i in range(table.num_nodes)
+    ]

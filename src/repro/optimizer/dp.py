@@ -1,0 +1,139 @@
+"""Exact MCKP solvers for small instances.
+
+The paper notes the pseudo-polynomial dynamic program is too slow for large
+graphs (``O(|V| · M)``); here it exists to *measure* the LP greedy's
+approximation quality in tests and ablation benchmarks, alongside a brute
+force enumerator for tiny instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..cost import CostTable
+from ..exceptions import OptimizerError
+from .assignment import Assignment
+from .problem import AssignmentProblem
+
+
+def exhaustive_optimal(table: CostTable, budget: float) -> Assignment:
+    """Brute-force optimum by enumerating all sampler combinations.
+
+    Exponential (``S^|V|``); refuses instances with more than 16 nodes.
+    """
+    AssignmentProblem(table, budget)
+    n, s = table.num_nodes, table.num_samplers
+    if n > 16:
+        raise OptimizerError(f"exhaustive search limited to 16 nodes, got {n}")
+
+    options = [
+        [j for j in range(s) if table.available[i, j]] for i in range(n)
+    ]
+    best: tuple[float, tuple[int, ...]] | None = None
+    rows = np.arange(n)
+    for combo in itertools.product(*options):
+        cols = np.asarray(combo)
+        memory = float(table.memory[rows, cols].sum())
+        if memory > budget:
+            continue
+        time = float(table.time[rows, cols].sum())
+        if best is None or time < best[0]:
+            best = (time, combo)
+    if best is None:
+        raise OptimizerError("no feasible assignment under the budget")
+    cols = np.asarray(best[1], dtype=np.int8)
+    return Assignment(
+        samplers=cols,
+        used_memory=float(table.memory[rows, cols].sum()),
+        total_time=best[0],
+        budget=float(budget),
+        algorithm="exhaustive",
+    )
+
+
+def dp_optimal(
+    table: CostTable, budget: float, *, resolution: float = 1.0
+) -> Assignment:
+    """Pseudo-polynomial dynamic program over discretised memory.
+
+    Memory costs are rounded **up** to multiples of ``resolution`` bytes.
+    Because per-item ceilings can exclude assignments that are feasible
+    under the true fractional budget (e.g. the all-cheapest assignment at an
+    exactly-tight budget), the DP first runs with the accumulated rounding
+    slack added to the capacity and then *verifies the backtracked
+    assignment against the true budget*, tightening the capacity until it
+    holds.  With all-integral memory costs and ``resolution = 1`` the result
+    is exact; otherwise it is exact up to the discretisation.
+    """
+    AssignmentProblem(table, budget)
+    if resolution <= 0:
+        raise OptimizerError("resolution must be positive")
+    n, s = table.num_nodes, table.num_samplers
+    weights = np.ceil(table.memory / resolution - 1e-12).astype(np.int64)
+    # A truly feasible assignment (Σ memory <= budget) has rounded weight at
+    # most floor(budget / res) + n, since each ceiling adds less than one.
+    capacity = int(np.floor(budget / resolution + 1e-12)) + n
+    rows = np.arange(n)
+
+    while capacity >= 0:
+        samplers = _dp_solve(table, weights, capacity)
+        if samplers is None:
+            raise OptimizerError("DP found no feasible assignment")
+        used = float(table.memory[rows, samplers].sum())
+        if used <= budget * (1 + 1e-12) + 1e-9:
+            return Assignment(
+                samplers=samplers,
+                used_memory=used,
+                total_time=float(table.time[rows, samplers].sum()),
+                budget=float(budget),
+                algorithm="dp",
+            )
+        # Over the true budget: the rounded weight of this assignment is a
+        # certificate that capacities at or above it admit violations.
+        capacity = int(weights[rows, samplers].sum()) - 1
+    raise OptimizerError("DP found no feasible assignment")
+
+
+def _dp_solve(
+    table: CostTable, weights: np.ndarray, capacity: int
+) -> np.ndarray | None:
+    """One DP pass at an integer capacity; returns samplers or ``None``."""
+    n, s = table.num_nodes, table.num_samplers
+    inf = np.inf
+    best = np.full(capacity + 1, inf)
+    best[0] = 0.0
+    choice = np.full((n, capacity + 1), -1, dtype=np.int8)
+
+    for i in range(n):
+        new_best = np.full(capacity + 1, inf)
+        for j in range(s):
+            if not table.available[i, j]:
+                continue
+            w, t = int(weights[i, j]), float(table.time[i, j])
+            if w > capacity:
+                continue
+            shifted = np.full(capacity + 1, inf)
+            if w == 0:
+                shifted = best + t
+            else:
+                shifted[w:] = best[:-w] + t
+            better = shifted < new_best
+            new_best[better] = shifted[better]
+            choice[i, np.nonzero(better)[0]] = j
+        best = new_best
+
+    w_star = int(np.argmin(best))
+    if not np.isfinite(best[w_star]):
+        return None
+
+    samplers = np.empty(n, dtype=np.int8)
+    w = w_star
+    for i in range(n - 1, -1, -1):
+        j = int(choice[i, w])
+        if j < 0:
+            raise OptimizerError("DP backtrack failed (internal error)")
+        samplers[i] = j
+        w -= int(weights[i, j])
+    return samplers

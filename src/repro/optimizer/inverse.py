@@ -1,0 +1,70 @@
+"""The inverse assignment problem: minimum memory for a target time.
+
+The paper's optimizer answers "given memory ``M``, how fast can sampling
+be?".  Deployments often ask the dual: "I need sampling cost at most
+``T`` — how little memory can I get away with?".  Because the LP greedy
+walks a fixed gradient schedule, the dual is solved by walking the same
+schedule until the accumulated time drops below the target — no search
+required, and the result inherits the greedy's near-optimality.
+"""
+
+from __future__ import annotations
+
+from ..cost import CostTable
+from ..exceptions import OptimizerError
+from .assignment import Assignment, TraceEntry, as_kind
+from .lp_greedy import build_schedule
+
+
+def min_memory_for_time(table: CostTable, target_time: float) -> Assignment:
+    """Cheapest-memory assignment whose total time cost is ≤ ``target_time``.
+
+    Walks the LP greedy gradient schedule (most time saved per byte first)
+    and stops as soon as the target is met, so the returned assignment
+    spends memory only on the most profitable upgrades.  Raises
+    :class:`OptimizerError` when even the saturated assignment misses the
+    target.
+    """
+    initial, steps = build_schedule(table)
+    samplers = initial.copy()
+    used = table.assignment_memory(samplers)
+    total_time = table.assignment_time(samplers)
+    trace: list[TraceEntry] = []
+
+    if total_time <= target_time:
+        return Assignment(
+            samplers=samplers,
+            used_memory=used,
+            total_time=total_time,
+            budget=used,
+            algorithm="inverse-lp-greedy",
+            trace=trace,
+        )
+
+    for step in steps:
+        samplers[step.node] = step.to_col
+        used += step.delta_memory
+        total_time += step.delta_time
+        trace.append(
+            TraceEntry(
+                node=step.node,
+                previous=as_kind(step.from_col),
+                chosen=as_kind(step.to_col),
+                gradient=step.gradient,
+                used_memory_after=used,
+            )
+        )
+        if total_time <= target_time:
+            return Assignment(
+                samplers=samplers,
+                used_memory=used,
+                total_time=total_time,
+                budget=used,
+                algorithm="inverse-lp-greedy",
+                trace=trace,
+            )
+
+    raise OptimizerError(
+        f"target time {target_time:.3g} is below the fully saturated "
+        f"assignment's cost {total_time:.3g}"
+    )

@@ -1,0 +1,148 @@
+"""LP greedy node-sampler assignment (paper Algorithm 2).
+
+The algorithm:
+
+1. per node, eliminate P-/LP-dominated samplers (Properties 1-2);
+2. assign every node its smallest-memory sampler;
+3. compute the gradient ``(T_{i,j+1} - T_{i,j}) / (M_{i,j+1} - M_{i,j})``
+   of every consecutive undominated pair and sort all gradients ascending
+   (most time saved per byte first);
+4. apply upgrades in that order, maintaining the trace, and **break** at the
+   first upgrade that would exceed the budget (the implicit rounding of the
+   fractional LP variable — Theorem 3 guarantees at most one node is
+   affected).
+
+Theorem 4 bounds the gap to the exact MCKP optimum by
+``max{(c+1)/c, c} · d_max``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cost import CostTable
+from ..exceptions import OptimizerError
+from .assignment import Assignment, TraceEntry, as_kind
+from .dominance import node_chains
+from .problem import AssignmentProblem
+
+
+@dataclass(frozen=True)
+class GradientStep:
+    """One candidate upgrade on a node's undominated sampler chain."""
+
+    gradient: float
+    node: int
+    from_col: int
+    to_col: int
+    delta_memory: float
+    delta_time: float
+
+
+def build_schedule(table: CostTable) -> tuple[np.ndarray, list[GradientStep]]:
+    """Initial columns and the globally sorted upgrade schedule.
+
+    Returns ``(initial, steps)`` where ``initial[i]`` is node ``i``'s
+    cheapest-memory undominated sampler and ``steps`` holds every chain
+    upgrade sorted by ascending gradient.  The sort is stable, so a node's
+    own steps keep their chain order even under gradient ties — a property
+    the applier relies on.
+    """
+    chains = node_chains(table)
+    initial = np.empty(table.num_nodes, dtype=np.int8)
+    steps: list[GradientStep] = []
+    for i, chain in enumerate(chains):
+        if not chain:
+            raise OptimizerError(f"node {i} has no available sampler")
+        initial[i] = chain[0]
+        for j, k in zip(chain, chain[1:]):
+            delta_m = table.memory[i, k] - table.memory[i, j]
+            delta_t = table.time[i, k] - table.time[i, j]
+            if delta_m <= 0:
+                raise OptimizerError(
+                    f"non-increasing memory on chain of node {i}: "
+                    f"{table.memory[i, j]} -> {table.memory[i, k]}"
+                )
+            steps.append(
+                GradientStep(
+                    gradient=delta_t / delta_m,
+                    node=i,
+                    from_col=j,
+                    to_col=k,
+                    delta_memory=delta_m,
+                    delta_time=delta_t,
+                )
+            )
+    steps.sort(key=lambda s: s.gradient)  # Timsort is stable
+    return initial, steps
+
+
+def lp_greedy(
+    table: CostTable,
+    budget: float,
+    *,
+    algorithm_name: str = "lp-greedy",
+) -> Assignment:
+    """Run Algorithm 2 and return the assignment with its greedy trace."""
+    problem = AssignmentProblem(table, budget)  # validates feasibility
+    initial, steps = build_schedule(table)
+
+    samplers = initial.copy()
+    used = table.assignment_memory(samplers)
+    total_time = table.assignment_time(samplers)
+    trace: list[TraceEntry] = []
+
+    for step in steps:
+        if used + step.delta_memory > budget:
+            break  # Algorithm 2 line 13: stop at the first overflow
+        samplers[step.node] = step.to_col
+        used += step.delta_memory
+        total_time += step.delta_time
+        trace.append(
+            TraceEntry(
+                node=step.node,
+                previous=as_kind(step.from_col),
+                chosen=as_kind(step.to_col),
+                gradient=step.gradient,
+                used_memory_after=used,
+            )
+        )
+
+    assignment = Assignment(
+        samplers=samplers,
+        used_memory=used,
+        total_time=total_time,
+        budget=float(budget),
+        algorithm=algorithm_name,
+        trace=trace,
+    )
+    assignment.validate_against(problem.table)
+    return assignment
+
+
+def lmckp_lower_bound(table: CostTable, budget: float) -> float:
+    """Optimal objective of the LP relaxation (LMCKP).
+
+    The LP optimum follows the same gradient schedule but fills the
+    breaking step *fractionally* (Theorem 3: at most two fractional
+    variables, on one node, adjacent on its chain).  Its value lower-bounds
+    the integral optimum, so the tests can sandwich
+    ``lower_bound ≤ OPT ≤ lp_greedy`` without solving the NP-hard problem.
+    """
+    AssignmentProblem(table, budget)
+    initial, steps = build_schedule(table)
+    used = table.assignment_memory(initial)
+    value = table.assignment_time(initial)
+    for step in steps:
+        remaining = budget - used
+        if step.delta_memory <= remaining:
+            used += step.delta_memory
+            value += step.delta_time
+        else:
+            if remaining > 0:
+                fraction = remaining / step.delta_memory
+                value += fraction * step.delta_time
+            break
+    return value

@@ -1,0 +1,72 @@
+"""The node-sampler assignment problem (paper Definition 1 / Theorem 2).
+
+``minimize   Σ_i Σ_j T_ij · x_ij``
+``subject to Σ_i Σ_j M_ij · x_ij ≤ M``  (budget)
+``           Σ_j x_ij = 1`` for every node, ``x_ij ∈ {0, 1}``.
+
+Theorem 2 maps this to a standard (maximisation) 0-1 MCKP by the change of
+variable ``M*_ij = M_max - M_ij``; :meth:`AssignmentProblem.to_standard_mckp`
+performs that transformation for interoperability with generic solvers and
+for the unit tests that verify the theorem's algebra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cost import CostTable
+from ..exceptions import InfeasibleBudgetError, OptimizerError
+
+
+@dataclass
+class AssignmentProblem:
+    """A cost table plus a memory budget, with feasibility checking."""
+
+    table: CostTable
+    budget: float
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.budget) or self.budget < 0:
+            raise OptimizerError(f"invalid memory budget {self.budget!r}")
+        minimum = self.table.min_memory()
+        if minimum > self.budget * (1 + 1e-12) + 1e-9:
+            raise InfeasibleBudgetError(
+                f"cheapest assignment needs {minimum:.1f} bytes, "
+                f"budget is {self.budget:.1f}"
+            )
+
+    @property
+    def num_nodes(self) -> int:
+        return self.table.num_nodes
+
+    @property
+    def num_samplers(self) -> int:
+        return self.table.num_samplers
+
+    def saturating_budget(self) -> float:
+        """The budget beyond which more memory cannot help."""
+        return self.table.max_memory()
+
+    def to_standard_mckp(self) -> tuple[np.ndarray, np.ndarray, float]:
+        """Return ``(profits, weights, capacity)`` of the equivalent
+        standard 0-1 MCKP maximisation instance (Theorem 2).
+
+        Profits are ``T_max - T_ij`` (so minimising time maximises profit)
+        and weights are left as ``M_ij`` with the original ≤ capacity; the
+        theorem's ``M* = M_max - M`` variant flips the constraint direction
+        instead — both are standard forms, and the tests verify the
+        ``M*`` identity separately.
+        """
+        t_max = float(self.table.time.max())
+        profits = t_max - self.table.time
+        return profits, self.table.memory.copy(), float(self.budget)
+
+    def complemented_constraint(self) -> tuple[np.ndarray, float]:
+        """The Theorem 2 rewrite: ``Σ M*_ij x_ij ≥ |V|·M_max - M`` with
+        ``M*_ij = M_max - M_ij``.  Returned for verification in tests."""
+        m_max = float(self.table.memory.max())
+        complement = m_max - self.table.memory
+        threshold = self.num_nodes * m_max - self.budget
+        return complement, threshold

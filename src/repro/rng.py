@@ -1,0 +1,46 @@
+"""Random-number-generator helpers.
+
+Every stochastic component in :mod:`repro` accepts either a seed, an existing
+:class:`numpy.random.Generator`, or ``None`` and normalises it through
+:func:`ensure_rng`, so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .constants import DEFAULT_SEED
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    ``None`` yields a generator seeded with :data:`repro.constants.DEFAULT_SEED`
+    (deterministic library default), an ``int`` is used as a seed, and an
+    existing generator is passed through unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng(DEFAULT_SEED)
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"expected None, int, or numpy Generator, got {type(rng)!r}")
+
+
+def spawn_rng(rng: RngLike, index: int) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Used to hand each parallel walker / query its own stream without the
+    streams being correlated.  The derivation is deterministic in
+    ``(rng, index)``.
+    """
+    base = ensure_rng(rng)
+    seed_seq = np.random.SeedSequence(
+        entropy=int(base.integers(0, 2**63 - 1)), spawn_key=(int(index),)
+    )
+    return np.random.default_rng(seed_seq)

@@ -1,0 +1,23 @@
+"""Discrete-distribution sampling primitives (paper Section 2.2).
+
+Three families are provided: the *naive* cumulative-distribution method
+(linear or binary search), Walker/Vose *alias* tables, and the generic
+acceptance–*rejection* sampler.  These are the building blocks the per-node
+samplers in :mod:`repro.framework` compose.
+"""
+
+from .base import DiscreteSampler
+from .naive import CumulativeSampler, NaiveSampler
+from .alias import AliasTable
+from .rejection import RejectionSampler
+from .utils import normalize_distribution, validate_distribution
+
+__all__ = [
+    "DiscreteSampler",
+    "NaiveSampler",
+    "CumulativeSampler",
+    "AliasTable",
+    "RejectionSampler",
+    "normalize_distribution",
+    "validate_distribution",
+]

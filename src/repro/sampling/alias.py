@@ -1,0 +1,85 @@
+"""Walker/Vose alias method — paper Section 2.2, Figure 3(b).
+
+Builds a probability table ``U`` and an alias table ``K`` in ``O(n)`` and
+draws in ``O(1)``: pick a uniform column ``x``, return ``x`` with
+probability ``U[x]`` and the alias ``K[x]`` otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rng import RngLike, ensure_rng
+from .base import DiscreteSampler
+from .utils import normalize_distribution
+
+
+class AliasTable(DiscreteSampler):
+    """O(1) sampler over a fixed discrete distribution.
+
+    Uses Vose's numerically-stable construction: outcomes are split into a
+    "small" worklist (mass below the uniform 1/n level) and a "large" one;
+    each small outcome is topped up by an alias drawn from a large outcome.
+    """
+
+    __slots__ = ("_prob", "_alias")
+
+    def __init__(self, weights: np.ndarray) -> None:
+        p = normalize_distribution(weights)
+        n = len(p)
+        scaled = p * n
+        prob = np.zeros(n, dtype=np.float64)
+        alias = np.arange(n, dtype=np.int64)
+
+        small = [i for i in range(n) if scaled[i] < 1.0]
+        large = [i for i in range(n) if scaled[i] >= 1.0]
+        scaled = scaled.copy()
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            prob[s] = scaled[s]
+            alias[s] = l
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0
+            if scaled[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        # Leftovers are exactly-1 columns up to float error.
+        for leftover in large:
+            prob[leftover] = 1.0
+        for leftover in small:
+            prob[leftover] = 1.0
+
+        self._prob = prob
+        self._alias = alias
+
+    @property
+    def num_outcomes(self) -> int:
+        return len(self._prob)
+
+    @property
+    def probability_table(self) -> np.ndarray:
+        """The ``U`` table (probability of keeping the drawn column)."""
+        return self._prob
+
+    @property
+    def alias_table(self) -> np.ndarray:
+        """The ``K`` table (alias outcome per column)."""
+        return self._alias
+
+    def sample(self, rng: np.random.Generator) -> int:
+        x = int(rng.integers(self.num_outcomes))
+        if rng.random() <= self._prob[x]:
+            return x
+        return int(self._alias[x])
+
+    def sample_many(self, count: int, rng: RngLike = None) -> np.ndarray:
+        gen = ensure_rng(rng)
+        x = gen.integers(self.num_outcomes, size=count)
+        keep = gen.random(count) <= self._prob[x]
+        return np.where(keep, x, self._alias[x]).astype(np.int64)
+
+    def memory_bytes(self, int_bytes: int = 4, float_bytes: int = 4) -> int:
+        # One float (probability) + one int (alias) per outcome: the
+        # (b_f + b_i) * n term of Table 1.
+        return self.num_outcomes * (int_bytes + float_bytes)

@@ -1,0 +1,40 @@
+"""Abstract interface shared by all discrete samplers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..rng import RngLike, ensure_rng
+
+
+class DiscreteSampler(ABC):
+    """Draws indices ``0..n-1`` from a fixed discrete distribution.
+
+    Concrete implementations differ in their build/sample time and memory
+    trade-off — the entire subject of the paper's cost model.
+    """
+
+    @property
+    @abstractmethod
+    def num_outcomes(self) -> int:
+        """Number of outcomes ``n`` of the underlying distribution."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw one outcome index."""
+
+    def sample_many(self, count: int, rng: RngLike = None) -> np.ndarray:
+        """Draw ``count`` outcomes (default implementation loops)."""
+        gen = ensure_rng(rng)
+        return np.fromiter(
+            (self.sample(gen) for _ in range(count)), dtype=np.int64, count=count
+        )
+
+    @abstractmethod
+    def memory_bytes(self, int_bytes: int = 4, float_bytes: int = 4) -> int:
+        """Modeled memory footprint of the sampler's internal tables."""
+
+    def __len__(self) -> int:
+        return self.num_outcomes

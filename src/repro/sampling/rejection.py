@@ -1,0 +1,149 @@
+"""Generic acceptance–rejection sampling — paper Section 2.2, Figure 3(a).
+
+Samples a target ``P`` by drawing from a proposal ``Q`` and accepting
+outcome ``i`` with probability ``p_i / (C q_i)`` where ``C`` bounds
+``max(p_i / q_i)``.  Expected draws per accepted sample equal ``C``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import SamplerError
+from .base import DiscreteSampler
+from .utils import normalize_distribution
+
+
+class RejectionSampler(DiscreteSampler):
+    """Rejection sampler over an explicit target/proposal pair.
+
+    Parameters
+    ----------
+    target:
+        Unnormalised target distribution ``P``.
+    proposal_sampler:
+        A :class:`DiscreteSampler` drawing from the proposal ``Q``.
+    acceptance:
+        Per-outcome acceptance probabilities ``β_i = p_i / (C q_i)`` — all in
+        ``(0, 1]``.  Either supply them directly or use
+        :meth:`from_distributions` to derive them from ``P`` and ``Q``.
+    max_tries:
+        Safety valve; exceeding it raises :class:`SamplerError` instead of
+        spinning forever on a malformed acceptance vector.
+    """
+
+    def __init__(
+        self,
+        proposal_sampler: DiscreteSampler,
+        acceptance: np.ndarray,
+        *,
+        max_tries: int = 1_000_000,
+    ) -> None:
+        acceptance = np.asarray(acceptance, dtype=np.float64)
+        if len(acceptance) != proposal_sampler.num_outcomes:
+            raise SamplerError(
+                f"{len(acceptance)} acceptance ratios for "
+                f"{proposal_sampler.num_outcomes} proposal outcomes"
+            )
+        if np.any(acceptance < 0) or np.any(acceptance > 1 + 1e-9):
+            raise SamplerError("acceptance ratios must lie in [0, 1]")
+        if not np.any(acceptance > 0):
+            raise SamplerError("at least one acceptance ratio must be positive")
+        self._proposal = proposal_sampler
+        self._acceptance = np.clip(acceptance, 0.0, 1.0)
+        self._max_tries = int(max_tries)
+        self._tries_accumulator = 0
+        self._samples_accumulator = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_distributions(
+        cls,
+        target: np.ndarray,
+        proposal: np.ndarray,
+        proposal_sampler: DiscreteSampler,
+        *,
+        bounding_constant: float | None = None,
+        max_tries: int = 1_000_000,
+    ) -> "RejectionSampler":
+        """Derive acceptance ratios from explicit ``P`` and ``Q``.
+
+        ``bounding_constant`` defaults to the exact ``C = max(p_i / q_i)``;
+        a larger user-supplied ``C`` still samples correctly, only slower
+        (useful for testing estimated bounding constants).
+        """
+        p = normalize_distribution(target, name="target")
+        q = normalize_distribution(proposal, name="proposal")
+        if len(p) != len(q):
+            raise SamplerError(f"target has {len(p)} outcomes, proposal {len(q)}")
+        if np.any((p > 0) & (q == 0)):
+            raise SamplerError("proposal assigns zero mass to a target outcome")
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(q > 0, p / q, 0.0)
+        exact_c = float(ratio.max())
+        c = exact_c if bounding_constant is None else float(bounding_constant)
+        if c < exact_c - 1e-9:
+            raise SamplerError(
+                f"bounding constant {c} below required maximum {exact_c}"
+            )
+        acceptance = np.where(q > 0, ratio / c, 0.0)
+        return cls(proposal_sampler, acceptance, max_tries=max_tries)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_outcomes(self) -> int:
+        return self._proposal.num_outcomes
+
+    @property
+    def acceptance_ratios(self) -> np.ndarray:
+        """Per-outcome acceptance probabilities ``β_i``."""
+        return self._acceptance
+
+    @property
+    def average_tries(self) -> float:
+        """Empirical average proposal draws per accepted sample so far.
+
+        Converges to the bounding constant ``C``; exposed so tests can check
+        the Section 2.2 claim that rejection's time complexity is ``O(C)``.
+        """
+        if self._samples_accumulator == 0:
+            return 0.0
+        return self._tries_accumulator / self._samples_accumulator
+
+    def sample(self, rng: np.random.Generator) -> int:
+        for attempt in range(1, self._max_tries + 1):
+            candidate = self._proposal.sample(rng)
+            if rng.random() <= self._acceptance[candidate]:
+                self._tries_accumulator += attempt
+                self._samples_accumulator += 1
+                return candidate
+        raise SamplerError(
+            f"no acceptance within {self._max_tries} proposal draws"
+        )
+
+    def memory_bytes(self, int_bytes: int = 4, float_bytes: int = 4) -> int:
+        # Proposal tables plus one acceptance float per outcome.
+        return self._proposal.memory_bytes(int_bytes, float_bytes) + (
+            self.num_outcomes * float_bytes
+        )
+
+
+def rejection_sample_indexed(
+    proposal_draw: Callable[[np.random.Generator], int],
+    acceptance_of: Callable[[int], float],
+    rng: np.random.Generator,
+    *,
+    max_tries: int = 1_000_000,
+) -> tuple[int, int]:
+    """Functional rejection loop returning ``(outcome, tries)``.
+
+    Used by the per-node rejection sampler where acceptance ratios are
+    computed lazily per candidate (they depend on the previous walk node).
+    """
+    for attempt in range(1, max_tries + 1):
+        candidate = proposal_draw(rng)
+        if rng.random() <= acceptance_of(candidate):
+            return candidate, attempt
+    raise SamplerError(f"no acceptance within {max_tries} proposal draws")

@@ -1,0 +1,57 @@
+"""Validation and normalisation helpers for discrete distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DistributionError
+
+
+def validate_distribution(weights: np.ndarray, *, name: str = "distribution") -> np.ndarray:
+    """Check that ``weights`` is a usable unnormalised distribution.
+
+    Requirements: 1-D, non-empty, finite, non-negative, positive total mass.
+    Returns the array as ``float64``.
+    """
+    arr = np.asarray(weights, dtype=np.float64)
+    if arr.ndim != 1:
+        raise DistributionError(f"{name} must be 1-D, got shape {arr.shape}")
+    if len(arr) == 0:
+        raise DistributionError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise DistributionError(f"{name} contains non-finite values")
+    if np.any(arr < 0):
+        raise DistributionError(f"{name} contains negative mass")
+    if arr.sum() <= 0:
+        raise DistributionError(f"{name} has zero total mass")
+    return arr
+
+
+def normalize_distribution(weights: np.ndarray, *, name: str = "distribution") -> np.ndarray:
+    """Validate and scale ``weights`` to sum to one."""
+    arr = validate_distribution(weights, name=name)
+    return arr / arr.sum()
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Total-variation distance between two distributions of equal length.
+
+    Used by the statistical tests that verify each sampler reproduces its
+    target distribution.
+    """
+    p = normalize_distribution(p, name="p")
+    q = normalize_distribution(q, name="q")
+    if len(p) != len(q):
+        raise DistributionError(f"length mismatch: {len(p)} vs {len(q)}")
+    return 0.5 * float(np.abs(p - q).sum())
+
+
+def empirical_distribution(samples: np.ndarray, num_outcomes: int) -> np.ndarray:
+    """Normalised histogram of integer ``samples`` over ``num_outcomes`` bins."""
+    samples = np.asarray(samples)
+    if len(samples) == 0:
+        raise DistributionError("no samples provided")
+    if samples.min() < 0 or samples.max() >= num_outcomes:
+        raise DistributionError("sample outside [0, num_outcomes)")
+    counts = np.bincount(samples, minlength=num_outcomes).astype(np.float64)
+    return counts / counts.sum()

@@ -1,0 +1,203 @@
+"""Batched walk generation: vectorised second-order stepping.
+
+Pure-Python per-sample loops are the reproduction's biggest slowdown vs
+the paper's C++ (the per-step work is tiny; the interpreter overhead is
+not).  The batch engine removes most of that overhead by advancing *all*
+walks one step at a time and grouping walkers by their **edge state**
+``(previous, current)``:
+
+* walkers on the same edge state share one e2e distribution — it is built
+  once (vectorised) and sampled for the whole group in one call;
+* node2vec-style workloads start many walks per node, so early steps have
+  huge groups, and on heavy-tailed graphs popular hubs keep group sizes
+  large throughout.
+
+The memory profile is the *naive* sampler's (distributions are built on
+demand and discarded), so this is an orthogonal point in the paper's
+design space: batched-naive — O(1) persistent memory with amortised
+per-sample cost approaching the alias sampler whenever walkers cluster.
+Statistically it is exactly equivalent to the scalar engine: every group
+draw is an i.i.d. sample from the same e2e distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import WalkError
+from ..graph import CSRGraph
+from ..models import SecondOrderModel
+from ..rng import RngLike, ensure_rng
+from .corpus import WalkCorpus
+
+
+def batch_walks(
+    graph: CSRGraph,
+    model: SecondOrderModel,
+    *,
+    starts: np.ndarray | list[int] | None = None,
+    num_walks: int = 1,
+    length: int = 10,
+    rng: RngLike = None,
+) -> WalkCorpus:
+    """Generate walks for all start nodes with edge-state batching.
+
+    Parameters
+    ----------
+    starts:
+        Start nodes; defaults to every non-isolated node.  Each start is
+        replicated ``num_walks`` times.
+    length:
+        Steps per walk; walks stop early at dead ends.
+
+    Returns a :class:`WalkCorpus` in start order (deterministic given
+    ``rng``; the stream differs from the scalar engine's but the walk
+    distribution is identical).
+    """
+    if num_walks < 1:
+        raise WalkError("num_walks must be >= 1")
+    if length < 0:
+        raise WalkError("length must be non-negative")
+    gen = ensure_rng(rng)
+    if starts is None:
+        starts = np.flatnonzero(graph.degrees > 0)
+    starts = np.asarray(starts, dtype=np.int64)
+    if len(starts) and (starts.min() < 0 or starts.max() >= graph.num_nodes):
+        raise WalkError("start node out of range")
+
+    walkers = np.repeat(starts, num_walks)
+    n_walkers = len(walkers)
+    trails = np.full((n_walkers, length + 1), -1, dtype=np.int64)
+    trails[:, 0] = walkers
+    if n_walkers == 0 or length == 0:
+        return _corpus_from_trails(trails)
+
+    active = graph.degrees[walkers] > 0
+    current = walkers.copy()
+    previous = np.full(n_walkers, -1, dtype=np.int64)
+
+    # --- step 1: n2e, grouped by current node --------------------------
+    idx_active = np.flatnonzero(active)
+    if len(idx_active):
+        order = idx_active[np.argsort(current[idx_active], kind="stable")]
+        grouped_nodes, group_starts = np.unique(
+            current[order], return_index=True
+        )
+        boundaries = np.append(group_starts, len(order))
+        for g, v in enumerate(grouped_nodes):
+            members = order[boundaries[g] : boundaries[g + 1]]
+            neighbors = graph.neighbors(int(v))
+            weights = graph.neighbor_weights(int(v))
+            picks = _sample_many(weights, len(members), gen)
+            trails[members, 1] = neighbors[picks]
+        previous[idx_active] = current[idx_active]
+        current[idx_active] = trails[idx_active, 1]
+        active[idx_active] = graph.degrees[current[idx_active]] > 0
+
+    # --- steps >= 2: e2e, grouped by (previous, current) edge state ----
+    for t in range(2, length + 1):
+        idx_active = np.flatnonzero(active)
+        if len(idx_active) == 0:
+            break
+        # Composite key: previous * |V| + current identifies the edge state.
+        keys = previous[idx_active] * graph.num_nodes + current[idx_active]
+        order = idx_active[np.argsort(keys, kind="stable")]
+        sorted_keys = (
+            previous[order] * graph.num_nodes + current[order]
+        )
+        unique_keys, group_starts = np.unique(sorted_keys, return_index=True)
+        boundaries = np.append(group_starts, len(order))
+        for g, key in enumerate(unique_keys):
+            members = order[boundaries[g] : boundaries[g + 1]]
+            u = int(key // graph.num_nodes)
+            v = int(key % graph.num_nodes)
+            neighbors = graph.neighbors(v)
+            weights = model.biased_weights(graph, u, v)
+            picks = _sample_many(weights, len(members), gen)
+            trails[members, t] = neighbors[picks]
+        previous[idx_active] = current[idx_active]
+        current[idx_active] = trails[idx_active, t]
+        active[idx_active] = graph.degrees[current[idx_active]] > 0
+
+    return _corpus_from_trails(trails)
+
+
+def batch_second_order_pagerank(
+    graph: CSRGraph,
+    model: SecondOrderModel,
+    query: int,
+    *,
+    decay: float = 0.85,
+    max_length: int = 20,
+    num_samples: int | None = None,
+    samples_per_node: int = 4,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Batched Monte-Carlo second-order PageRank (normalised scores).
+
+    Statistically identical to
+    :func:`repro.walks.second_order_pagerank`: a walk-with-restart's
+    termination time is independent of its trajectory, so we can draw the
+    geometric survival lengths up front, run fixed-length batched walks,
+    and truncate each trail to its pre-drawn length.  The batching makes
+    the paper's ``4|V|``-sample queries practical in pure Python.
+    """
+    if not 0 <= query < graph.num_nodes:
+        raise WalkError(f"query node {query} out of range")
+    if not 0.0 <= decay <= 1.0:
+        raise WalkError(f"decay must be in [0, 1], got {decay}")
+    gen = ensure_rng(rng)
+    if num_samples is None:
+        num_samples = samples_per_node * graph.num_nodes
+    if num_samples < 1:
+        raise WalkError("num_samples must be positive")
+
+    # Survival length ~ (#successes before first failure), capped.
+    if decay <= 0.0:
+        lengths = np.zeros(num_samples, dtype=np.int64)
+    elif decay >= 1.0:
+        lengths = np.full(num_samples, max_length, dtype=np.int64)
+    else:
+        lengths = np.minimum(
+            gen.geometric(1.0 - decay, size=num_samples) - 1, max_length
+        )
+    longest = int(lengths.max()) if num_samples else 0
+
+    corpus = batch_walks(
+        graph,
+        model,
+        starts=np.full(num_samples, query, dtype=np.int64),
+        num_walks=1,
+        length=longest,
+        rng=gen,
+    )
+    scores = np.zeros(graph.num_nodes, dtype=np.float64)
+    for walk, limit in zip(corpus, lengths):
+        trail = walk[: int(limit) + 1]
+        np.add.at(scores, trail, 1.0)
+    total = scores.sum()
+    if total > 0:
+        scores /= total
+    return scores
+
+
+def _sample_many(
+    weights: np.ndarray, count: int, gen: np.random.Generator
+) -> np.ndarray:
+    """``count`` inverse-CDF draws from unnormalised weights, vectorised."""
+    cumulative = np.cumsum(weights, dtype=np.float64)
+    total = cumulative[-1]
+    if total <= 0:
+        raise WalkError("distribution has zero total mass")
+    r = gen.random(count) * total
+    return np.searchsorted(cumulative, r, side="right").clip(
+        max=len(weights) - 1
+    )
+
+
+def _corpus_from_trails(trails: np.ndarray) -> WalkCorpus:
+    corpus = WalkCorpus()
+    for row in trails:
+        stop = np.argmax(row < 0) if (row < 0).any() else len(row)
+        corpus.add(row[: stop if stop > 0 else len(row)])
+    return corpus

@@ -1,0 +1,108 @@
+"""Walk corpora: containers for generated random walks.
+
+Besides bookkeeping, the corpus exposes the empirical second-order
+transition counts — the ground truth the statistical tests compare against
+each model's exact e2e distribution.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..exceptions import WalkError
+
+
+@dataclass
+class WalkCorpus:
+    """A list of random walks over one graph."""
+
+    walks: list[np.ndarray] = field(default_factory=list)
+
+    @classmethod
+    def from_walks(cls, walks: Iterable[np.ndarray]) -> "WalkCorpus":
+        """Build a corpus from an iterable of node-id arrays."""
+        return cls(walks=[np.asarray(w, dtype=np.int64) for w in walks])
+
+    def add(self, walk: np.ndarray) -> None:
+        """Append one walk."""
+        self.walks.append(np.asarray(walk, dtype=np.int64))
+
+    def __len__(self) -> int:
+        return len(self.walks)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self.walks)
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        return self.walks[index]
+
+    # ------------------------------------------------------------------
+    @property
+    def total_steps(self) -> int:
+        """Total number of edges traversed across all walks."""
+        return sum(max(len(w) - 1, 0) for w in self.walks)
+
+    @property
+    def average_length(self) -> float:
+        """Average steps per walk."""
+        if not self.walks:
+            return 0.0
+        return self.total_steps / len(self.walks)
+
+    def visit_counts(self, num_nodes: int) -> np.ndarray:
+        """How many times each node appears across the corpus."""
+        counts = np.zeros(num_nodes, dtype=np.int64)
+        for walk in self.walks:
+            np.add.at(counts, walk, 1)
+        return counts
+
+    def second_order_transition_counts(self) -> dict[tuple[int, int], Counter]:
+        """Counts of next-node choices keyed by ``(previous, current)``.
+
+        ``result[(u, v)][z]`` counts walk fragments ``u → v → z``; the
+        normalised counter is the empirical e2e distribution ``p(z | v, u)``.
+        """
+        counts: dict[tuple[int, int], Counter] = {}
+        for walk in self.walks:
+            for t in range(2, len(walk)):
+                key = (int(walk[t - 2]), int(walk[t - 1]))
+                counts.setdefault(key, Counter())[int(walk[t])] += 1
+        return counts
+
+    def context_pairs(self, window: int) -> Iterator[tuple[int, int]]:
+        """Skip-gram (centre, context) pairs within ``window`` hops.
+
+        Feeds the embedding trainer; mirrors word2vec's corpus scan.
+        """
+        if window < 1:
+            raise WalkError(f"window must be >= 1, got {window}")
+        for walk in self.walks:
+            n = len(walk)
+            for i in range(n):
+                lo, hi = max(0, i - window), min(n, i + window + 1)
+                for j in range(lo, hi):
+                    if j != i:
+                        yield int(walk[i]), int(walk[j])
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | os.PathLike) -> None:
+        """Write one whitespace-separated walk per line."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for walk in self.walks:
+                handle.write(" ".join(map(str, walk.tolist())) + "\n")
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "WalkCorpus":
+        """Read a corpus previously written by :meth:`save`."""
+        walks: list[np.ndarray] = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    walks.append(np.asarray(line.split(), dtype=np.int64))
+        return cls(walks=walks)

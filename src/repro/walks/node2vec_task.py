@@ -1,0 +1,47 @@
+"""The node2vec random walk benchmark (paper Section 6.1, benchmark 1).
+
+"Every node in a graph samples a set of random walks with a fixed length
+… 10 walks per node with walk length of 80."
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..constants import DEFAULT_WALK_LENGTH, DEFAULT_WALKS_PER_NODE
+from ..framework import WalkEngine
+from ..rng import RngLike
+from .corpus import WalkCorpus
+
+
+@dataclass(frozen=True)
+class WalkTaskResult:
+    """Corpus plus the sampling wall-clock (``T_s`` of the evaluation)."""
+
+    corpus: WalkCorpus
+    sampling_seconds: float
+
+    @property
+    def num_walks(self) -> int:
+        return len(self.corpus)
+
+
+def node2vec_walk_task(
+    engine: WalkEngine,
+    *,
+    num_walks: int = DEFAULT_WALKS_PER_NODE,
+    length: int = DEFAULT_WALK_LENGTH,
+    rng: RngLike = None,
+) -> WalkTaskResult:
+    """Run the node2vec sampling pattern and time it.
+
+    Walks start at every non-isolated node; the returned
+    ``sampling_seconds`` is the quantity Table 5 and Figure 7 call ``T_s``.
+    """
+    started = time.perf_counter()
+    walks = engine.walks_all_nodes(num_walks=num_walks, length=length, rng=rng)
+    elapsed = time.perf_counter() - started
+    return WalkTaskResult(
+        corpus=WalkCorpus.from_walks(walks), sampling_seconds=elapsed
+    )

@@ -1,0 +1,112 @@
+"""Parallel walk generation (paper §5.4: node-level parallelism).
+
+The C++ framework parallelises walk generation across nodes with OpenMP
+(default parallelism 16).  The Python counterpart forks worker processes
+that inherit the fully-built walk engine copy-on-write — no per-worker
+sampler reconstruction and no pickling of the (potentially large) alias
+tables — and partitions the start nodes across them.
+
+Determinism: each (worker chunk) derives its RNG from the caller's seed
+and the chunk index, so results are reproducible for a fixed seed and
+chunk size regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import WalkError
+from ..framework import WalkEngine
+from ..rng import RngLike, ensure_rng
+from .corpus import WalkCorpus
+
+# Module-level slot the forked children inherit; set immediately before the
+# pool is created and cleared after.
+_SHARED_ENGINE: WalkEngine | None = None
+
+
+def _walk_chunk(task: tuple[list[int], int, int, int]) -> list[np.ndarray]:
+    """Worker body: generate walks for one chunk of start nodes."""
+    nodes, num_walks, length, seed = task
+    engine = _SHARED_ENGINE
+    if engine is None:  # pragma: no cover - defensive, fork guarantees it
+        raise WalkError("worker has no inherited walk engine")
+    rng = np.random.default_rng(seed)
+    walks: list[np.ndarray] = []
+    for v in nodes:
+        for _ in range(num_walks):
+            walks.append(engine.walk(v, length, rng))
+    return walks
+
+
+def parallel_walks(
+    engine: WalkEngine,
+    *,
+    num_walks: int,
+    length: int,
+    workers: int | None = None,
+    nodes: Sequence[int] | None = None,
+    chunk_size: int = 64,
+    rng: RngLike = None,
+) -> WalkCorpus:
+    """Generate ``num_walks`` walks per start node across worker processes.
+
+    Parameters
+    ----------
+    engine:
+        A fully built :class:`WalkEngine` (e.g. ``framework.walk_engine``).
+    workers:
+        Process count; defaults to ``os.cpu_count()`` capped at 16 (the
+        paper's default parallelism).  ``workers <= 1`` runs inline.
+    nodes:
+        Start nodes (default: every non-isolated node).
+    chunk_size:
+        Start nodes per work unit; determinism is per-(seed, chunk_size).
+
+    Requires a ``fork``-capable platform (Linux/macOS).  Falls back to the
+    sequential path when fork is unavailable.
+    """
+    if num_walks < 1 or length < 0:
+        raise WalkError("num_walks must be >= 1 and length >= 0")
+    if chunk_size < 1:
+        raise WalkError("chunk_size must be >= 1")
+    if nodes is None:
+        nodes = [
+            v for v in range(engine.graph.num_nodes) if engine.graph.degree(v) > 0
+        ]
+    nodes = [int(v) for v in nodes]
+    if workers is None:
+        workers = min(os.cpu_count() or 1, 16)
+
+    base = ensure_rng(rng)
+    chunks = [nodes[i : i + chunk_size] for i in range(0, len(nodes), chunk_size)]
+    seeds = [int(base.integers(0, 2**63 - 1)) for _ in chunks]
+    tasks = [
+        (chunk, num_walks, length, seed) for chunk, seed in zip(chunks, seeds)
+    ]
+
+    sequential = workers <= 1 or len(chunks) <= 1
+    if not sequential and "fork" not in multiprocessing.get_all_start_methods():
+        sequential = True  # pragma: no cover - non-POSIX platforms
+
+    global _SHARED_ENGINE
+    _SHARED_ENGINE = engine
+    try:
+        if sequential:
+            results = [_walk_chunk(task) for task in tasks]
+        else:
+            context = multiprocessing.get_context("fork")
+            with context.Pool(processes=workers) as pool:
+                results = pool.map(_walk_chunk, tasks)
+    finally:
+        _SHARED_ENGINE = None
+
+    corpus = WalkCorpus()
+    for chunk_walks in results:
+        for walk in chunk_walks:
+            corpus.add(walk)
+    return corpus

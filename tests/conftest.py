@@ -1,0 +1,67 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AutoregressiveModel, CSRGraph, Node2VecModel
+from repro.datasets import figure5_toy_graph
+from repro.graph import barabasi_albert_graph, erdos_renyi_graph
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def toy_graph() -> CSRGraph:
+    """The paper's Figure 5 toy graph: hub 0, leaf 1, triangle 0-2-3."""
+    return figure5_toy_graph()
+
+
+@pytest.fixture
+def triangle_graph() -> CSRGraph:
+    """A single triangle."""
+    return CSRGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+
+
+@pytest.fixture
+def path_graph() -> CSRGraph:
+    """Path 0 - 1 - 2 - 3."""
+    return CSRGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+
+
+@pytest.fixture
+def weighted_graph() -> CSRGraph:
+    """A small weighted graph with distinct weights."""
+    return CSRGraph.from_edges(
+        [(0, 1), (0, 2), (1, 2), (2, 3), (1, 3)],
+        weights=[1.0, 2.0, 0.5, 3.0, 1.5],
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_graph() -> CSRGraph:
+    """A ~200-node power-law graph shared across statistical tests."""
+    return barabasi_albert_graph(200, 4, rng=7)
+
+
+@pytest.fixture(scope="session")
+def sparse_graph() -> CSRGraph:
+    """A sparse random graph (may contain isolated nodes)."""
+    return erdos_renyi_graph(80, 0.03, rng=11)
+
+
+@pytest.fixture
+def nv_model() -> Node2VecModel:
+    """The NV(0.25, 4) model used throughout the paper's evaluation."""
+    return Node2VecModel(a=0.25, b=4.0)
+
+
+@pytest.fixture
+def auto_model() -> AutoregressiveModel:
+    """The Auto(0.2) model."""
+    return AutoregressiveModel(alpha=0.2)

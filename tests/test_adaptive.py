@@ -1,0 +1,125 @@
+"""Unit tests for the adaptive optimizer (dynamic budgets, §5.3)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AdaptiveOptimizer,
+    CostParams,
+    build_cost_table,
+    compute_bounding_constants,
+    lp_greedy,
+)
+from repro.exceptions import InfeasibleBudgetError
+from repro.framework import linear_budget_trace
+
+FIGURE5_PARAMS = CostParams(float_bytes=4, int_bytes=4, fixed_check_cost=1.0)
+
+
+@pytest.fixture
+def toy_table(toy_graph, nv_model):
+    constants = compute_bounding_constants(toy_graph, nv_model)
+    return build_cost_table(toy_graph, constants, FIGURE5_PARAMS)
+
+
+@pytest.fixture
+def medium_table(medium_graph, nv_model):
+    constants = compute_bounding_constants(medium_graph, nv_model)
+    return build_cost_table(medium_graph, constants, CostParams())
+
+
+class TestInitial:
+    def test_matches_lp_greedy(self, toy_table):
+        adaptive = AdaptiveOptimizer(toy_table, 188)
+        reference = lp_greedy(toy_table, 188)
+        assert np.array_equal(adaptive.assignment.samplers, reference.samplers)
+        assert adaptive.used_memory == pytest.approx(reference.used_memory)
+
+    def test_infeasible_initial_budget(self, toy_table):
+        with pytest.raises(InfeasibleBudgetError):
+            AdaptiveOptimizer(toy_table, 1.0)
+
+
+class TestIncrease:
+    def test_increase_equals_from_scratch(self, medium_table):
+        max_mem = medium_table.max_memory()
+        adaptive = AdaptiveOptimizer(medium_table, 0.1 * max_mem)
+        for ratio in (0.2, 0.35, 0.6, 1.0):
+            update = adaptive.set_budget(ratio * max_mem)
+            reference = lp_greedy(medium_table, ratio * max_mem)
+            assert np.array_equal(adaptive.assignment.samplers, reference.samplers)
+            assert update.steps_reverted == 0
+
+    def test_noop_increase(self, toy_table):
+        adaptive = AdaptiveOptimizer(toy_table, 188)
+        update = adaptive.set_budget(189)  # too small for the next step
+        assert update.steps_applied == 0
+        assert update.steps_touched == 0
+
+    def test_update_cheaper_than_rebuild(self, medium_table):
+        max_mem = medium_table.max_memory()
+        adaptive = AdaptiveOptimizer(medium_table, 0.5 * max_mem)
+        initial_steps = len(adaptive.trace)
+        update = adaptive.set_budget(0.6 * max_mem)
+        # The incremental update touches strictly fewer steps than the
+        # trace built from scratch at the larger budget.
+        assert update.steps_applied < initial_steps
+
+
+class TestDecrease:
+    def test_decrease_equals_from_scratch(self, medium_table):
+        max_mem = medium_table.max_memory()
+        adaptive = AdaptiveOptimizer(medium_table, max_mem)
+        for ratio in (0.7, 0.4, 0.15):
+            update = adaptive.set_budget(ratio * max_mem)
+            reference = lp_greedy(medium_table, ratio * max_mem)
+            assert np.array_equal(adaptive.assignment.samplers, reference.samplers)
+            assert update.steps_applied == 0
+            assert adaptive.used_memory <= ratio * max_mem
+
+    def test_decrease_below_minimum_rejected(self, toy_table):
+        adaptive = AdaptiveOptimizer(toy_table, 188)
+        with pytest.raises(InfeasibleBudgetError):
+            adaptive.set_budget(1.0)
+        # State is untouched after the failed update.
+        assert adaptive.budget == 188
+
+    def test_decrease_to_minimum(self, toy_table):
+        adaptive = AdaptiveOptimizer(toy_table, 188)
+        adaptive.set_budget(12)
+        assert adaptive.used_memory == pytest.approx(12)
+        assert len(adaptive.trace) == 0
+
+
+class TestRoundTrip:
+    def test_up_down_cycle_consistent(self, medium_table):
+        """Following the Figure 9 trace always matches from-scratch."""
+        max_mem = medium_table.max_memory()
+        trace = linear_budget_trace(max_mem, steps=6)
+        adaptive = AdaptiveOptimizer(medium_table, trace[0])
+        for budget in trace[1:]:
+            adaptive.set_budget(budget)
+            reference = lp_greedy(medium_table, budget)
+            assert np.array_equal(adaptive.assignment.samplers, reference.samplers)
+
+    def test_budget_property_tracks(self, toy_table):
+        adaptive = AdaptiveOptimizer(toy_table, 188)
+        adaptive.set_budget(120)
+        assert adaptive.budget == 120
+
+    def test_trace_is_copy(self, toy_table):
+        adaptive = AdaptiveOptimizer(toy_table, 188)
+        trace = adaptive.trace
+        trace.clear()
+        assert len(adaptive.trace) > 0
+
+
+class TestBudgetUpdateStats:
+    def test_steps_touched(self, medium_table):
+        max_mem = medium_table.max_memory()
+        adaptive = AdaptiveOptimizer(medium_table, 0.3 * max_mem)
+        up = adaptive.set_budget(0.5 * max_mem)
+        assert up.steps_touched == up.steps_applied
+        down = adaptive.set_budget(0.3 * max_mem)
+        assert down.steps_touched == down.steps_reverted
+        assert down.steps_reverted == up.steps_applied

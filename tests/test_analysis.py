@@ -1,0 +1,123 @@
+"""Tests for the analysis utilities (assignment profile, walk diagnostics)."""
+
+import pytest
+
+from repro import (
+    CostParams,
+    MemoryAwareFramework,
+    Node2VecModel,
+    SamplerKind,
+    WalkCorpus,
+    build_cost_table,
+    compute_bounding_constants,
+    lp_greedy,
+)
+from repro.analysis import diagnose_walks, profile_assignment, transition_deviation
+from repro.exceptions import AssignmentError, WalkError
+
+
+@pytest.fixture(scope="module")
+def setup(medium_graph):
+    model = Node2VecModel(0.25, 4.0)
+    constants = compute_bounding_constants(medium_graph, model)
+    table = build_cost_table(medium_graph, constants, CostParams())
+    assignment = lp_greedy(table, 0.2 * table.max_memory())
+    return medium_graph, model, constants, table, assignment
+
+
+class TestAssignmentProfile:
+    def test_totals_match_assignment(self, setup):
+        graph, _, _, table, assignment = setup
+        profile = profile_assignment(graph, assignment, table)
+        assert profile.total_memory == pytest.approx(assignment.used_memory)
+        assert profile.total_time == pytest.approx(assignment.total_time)
+        assert sum(b.node_count for b in profile.buckets) == graph.num_nodes
+
+    def test_buckets_ordered_and_disjoint(self, setup):
+        graph, _, _, table, assignment = setup
+        profile = profile_assignment(graph, assignment, table)
+        for first, second in zip(profile.buckets, profile.buckets[1:]):
+            assert first.high <= second.low
+
+    def test_high_degree_nodes_eat_memory(self, setup):
+        """The paper's story: big nodes' samplers dominate the footprint."""
+        graph, _, _, table, assignment = setup
+        profile = profile_assignment(graph, assignment, table)
+        top = profile.buckets[-1]
+        per_node_top = top.memory_bytes / top.node_count
+        bottom = profile.buckets[0]
+        per_node_bottom = bottom.memory_bytes / bottom.node_count
+        assert per_node_top > per_node_bottom
+
+    def test_render(self, setup):
+        graph, _, _, table, assignment = setup
+        text = profile_assignment(graph, assignment, table).render()
+        assert "degree" in text and "mem %" in text
+
+    def test_dominant_sampler(self, setup):
+        graph, _, _, table, assignment = setup
+        profile = profile_assignment(graph, assignment, table)
+        for bucket in profile.buckets:
+            assert bucket.dominant_sampler() in ("N", "R", "A")
+
+    def test_length_mismatch(self, setup, toy_graph):
+        _, _, _, table, assignment = setup
+        with pytest.raises(AssignmentError):
+            profile_assignment(toy_graph, assignment, table)
+
+    def test_invalid_buckets(self, setup):
+        graph, _, _, table, assignment = setup
+        with pytest.raises(AssignmentError):
+            profile_assignment(graph, assignment, table, num_buckets=0)
+
+
+class TestWalkDiagnostics:
+    @pytest.fixture(scope="class")
+    def corpus_setup(self):
+        from repro.graph import powerlaw_cluster_graph
+
+        graph = powerlaw_cluster_graph(25, 3, 0.5, rng=5)
+        model = Node2VecModel(0.5, 2.0)
+        fw = MemoryAwareFramework.memory_unaware(
+            graph, model, SamplerKind.ALIAS, rng=0
+        )
+        walks = fw.generate_walks(num_walks=60, length=20, rng=1)
+        return graph, model, WalkCorpus.from_walks(walks)
+
+    def test_faithful_corpus(self, corpus_setup):
+        graph, model, corpus = corpus_setup
+        diagnostics = diagnose_walks(graph, model, corpus, min_samples=200)
+        assert diagnostics.contexts_checked > 0
+        assert diagnostics.is_faithful(max_noise_units=3.5)
+        assert diagnostics.node_coverage == 1.0
+        assert diagnostics.total_steps == corpus.total_steps
+
+    def test_wrong_model_detected(self, corpus_setup):
+        """Diagnosing a corpus against the WRONG model must flag it."""
+        graph, _, corpus = corpus_setup
+        wrong = Node2VecModel(8.0, 0.05)  # strongly different bias
+        diagnostics = diagnose_walks(graph, wrong, corpus, min_samples=200)
+        assert not diagnostics.is_faithful()
+        assert diagnostics.max_noise_ratio > 5
+
+    def test_transition_deviation_rows(self, corpus_setup):
+        graph, model, corpus = corpus_setup
+        rows = transition_deviation(graph, model, corpus, min_samples=200)
+        for row in rows:
+            assert graph.has_edge(row.previous, row.current)
+            assert 0 <= row.tv <= 1
+            assert row.samples >= 200
+            assert row.expected_tv > 0
+            assert row.noise_ratio == row.tv / row.expected_tv
+
+    def test_invalid_min_samples(self, corpus_setup):
+        graph, model, corpus = corpus_setup
+        with pytest.raises(WalkError):
+            transition_deviation(graph, model, corpus, min_samples=0)
+
+    def test_empty_corpus(self, corpus_setup):
+        graph, model, _ = corpus_setup
+        diagnostics = diagnose_walks(graph, model, WalkCorpus())
+        assert diagnostics.contexts_checked == 0
+        assert diagnostics.node_coverage == 0.0
+        assert not diagnostics.is_faithful()

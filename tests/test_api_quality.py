@@ -1,0 +1,73 @@
+"""Meta-tests on API quality: exports resolve, modules are documented."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+ALL_MODULES = list(_iter_modules())
+
+
+class TestExports:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module", ALL_MODULES, ids=lambda m: m.__name__
+    )
+    def test_module_all_resolves(self, module):
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+
+class TestDocumentation:
+    @pytest.mark.parametrize(
+        "module", ALL_MODULES, ids=lambda m: m.__name__
+    )
+    def test_every_module_has_docstring(self, module):
+        assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+    def test_public_classes_documented(self):
+        undocumented = []
+        for module in ALL_MODULES:
+            for name in getattr(module, "__all__", []):
+                obj = getattr(module, name)
+                if isinstance(obj, type) and not (obj.__doc__ or "").strip():
+                    undocumented.append(f"{module.__name__}.{name}")
+        assert undocumented == []
+
+    def test_public_functions_documented(self):
+        undocumented = []
+        for module in ALL_MODULES:
+            for name in getattr(module, "__all__", []):
+                obj = getattr(module, name)
+                if callable(obj) and not isinstance(obj, type):
+                    if not (obj.__doc__ or "").strip():
+                        undocumented.append(f"{module.__name__}.{name}")
+        assert undocumented == []
+
+
+class TestDoctests:
+    def test_graph_builder_doctest(self):
+        import doctest
+
+        from repro.graph import builder
+
+        results = doctest.testmod(builder)
+        assert results.failed == 0
+        assert results.attempted > 0

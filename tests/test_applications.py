@@ -1,0 +1,176 @@
+"""Tests for the downstream applications: classification and link prediction."""
+
+import numpy as np
+import pytest
+
+from repro import MemoryAwareFramework, Node2VecModel, WalkCorpus
+from repro.embedding import (
+    evaluate_link_prediction,
+    roc_auc,
+    sample_non_edges,
+    split_edges,
+    train_classifier,
+    train_embeddings,
+    train_test_split_indices,
+)
+from repro.exceptions import ModelError
+from repro.graph import sbm_block_labels, stochastic_block_model
+
+
+@pytest.fixture(scope="module")
+def sbm_setup():
+    sizes = (20, 20, 20)
+    graph = stochastic_block_model(sizes, p_in=0.4, p_out=0.02, rng=0)
+    labels = sbm_block_labels(sizes)
+    return graph, labels
+
+
+@pytest.fixture(scope="module")
+def sbm_embeddings(sbm_setup):
+    graph, _ = sbm_setup
+    fw = MemoryAwareFramework(graph, Node2VecModel(1.0, 2.0), budget=1e7, rng=0)
+    corpus = WalkCorpus.from_walks(fw.generate_walks(num_walks=12, length=25, rng=1))
+    return train_embeddings(corpus, graph.num_nodes, dimensions=24, epochs=3, rng=2)
+
+
+class TestSBMGenerator:
+    def test_shape_and_labels(self, sbm_setup):
+        graph, labels = sbm_setup
+        assert graph.num_nodes == 60
+        assert list(np.bincount(labels)) == [20, 20, 20]
+
+    def test_blocks_denser_inside(self, sbm_setup):
+        graph, labels = sbm_setup
+        inside = outside = 0
+        for u, v, _ in graph.edges():
+            if u < v:
+                if labels[u] == labels[v]:
+                    inside += 1
+                else:
+                    outside += 1
+        assert inside > outside
+
+    def test_invalid_parameters(self):
+        with pytest.raises(Exception):
+            stochastic_block_model((0, 5), 0.5, 0.1)
+        with pytest.raises(Exception):
+            stochastic_block_model((5, 5), 1.5, 0.1)
+
+
+class TestClassifier:
+    def test_learns_separable_data(self, rng):
+        n = 200
+        labels = rng.integers(0, 3, size=n)
+        centers = np.array([[4, 0], [0, 4], [-4, -4]], dtype=float)
+        features = centers[labels] + rng.standard_normal((n, 2))
+        clf = train_classifier(features, labels, rng=0)
+        assert clf.accuracy(features, labels) > 0.9
+
+    def test_predict_proba_normalised(self, rng):
+        features = rng.standard_normal((50, 4))
+        labels = rng.integers(0, 2, size=50)
+        clf = train_classifier(features, labels, epochs=10, rng=0)
+        probabilities = clf.predict_proba(features)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_validation(self, rng):
+        features = rng.standard_normal((10, 2))
+        with pytest.raises(ModelError):
+            train_classifier(features, np.zeros(10, dtype=int))  # one class
+        with pytest.raises(ModelError):
+            train_classifier(features, np.zeros(5, dtype=int))  # length
+        with pytest.raises(ModelError):
+            train_classifier(features.ravel(), np.zeros(20, dtype=int))  # 1-D
+
+    def test_split_indices(self):
+        train, test = train_test_split_indices(100, 0.7, rng=0)
+        assert len(train) == 70 and len(test) == 30
+        assert set(train).isdisjoint(test)
+        with pytest.raises(ModelError):
+            train_test_split_indices(10, 1.5)
+
+    def test_node_classification_end_to_end(self, sbm_setup, sbm_embeddings):
+        """Embeddings from memory-aware walks linearly separate the SBM."""
+        graph, labels = sbm_setup
+        vectors = sbm_embeddings.in_vectors
+        train, test = train_test_split_indices(graph.num_nodes, 0.6, rng=3)
+        clf = train_classifier(vectors[train], labels[train], rng=0)
+        accuracy = clf.accuracy(vectors[test], labels[test])
+        assert accuracy > 0.8  # chance level is 1/3
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc([3, 4, 5], [0, 1, 2]) == 1.0
+
+    def test_no_separation(self):
+        assert roc_auc([1, 2, 3], [1, 2, 3]) == pytest.approx(0.5)
+
+    def test_inverted(self):
+        assert roc_auc([0, 1], [5, 6]) == 0.0
+
+    def test_ties_averaged(self):
+        assert roc_auc([1, 1], [1, 1]) == pytest.approx(0.5)
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ModelError):
+            roc_auc([], [1.0])
+
+
+class TestEdgeSplit:
+    def test_residual_keeps_connectivity(self, sbm_setup):
+        graph, _ = sbm_setup
+        residual, held_out = split_edges(graph, 0.25, rng=0)
+        assert residual.num_nodes == graph.num_nodes
+        assert len(held_out) > 0
+        # Every node keeps at least one neighbour.
+        assert int(residual.degrees.min()) >= 1
+        # Held-out edges exist in the original but not the residual graph.
+        for u, v in held_out[:20]:
+            assert graph.has_edge(int(u), int(v))
+            assert not residual.has_edge(int(u), int(v))
+
+    def test_non_edges_are_non_edges(self, sbm_setup):
+        graph, _ = sbm_setup
+        non_edges = sample_non_edges(graph, 50, rng=0)
+        for u, v in non_edges:
+            assert not graph.has_edge(int(u), int(v))
+
+    def test_invalid_fraction(self, sbm_setup):
+        graph, _ = sbm_setup
+        with pytest.raises(ModelError):
+            split_edges(graph, 0.0)
+
+
+class TestLinkPrediction:
+    def test_end_to_end_beats_chance(self, sbm_setup):
+        graph, _ = sbm_setup
+        residual, held_out = split_edges(graph, 0.2, rng=1)
+        non_edges = sample_non_edges(graph, len(held_out), rng=2)
+
+        fw = MemoryAwareFramework(residual, Node2VecModel(1.0, 2.0), budget=1e7, rng=0)
+        corpus = WalkCorpus.from_walks(
+            fw.generate_walks(num_walks=12, length=25, rng=3)
+        )
+        model = train_embeddings(
+            corpus, graph.num_nodes, dimensions=24, epochs=3, rng=4
+        )
+        result = evaluate_link_prediction(
+            model.in_vectors, held_out, non_edges, feature="dot"
+        )
+        assert result.auc > 0.7
+        assert result.num_positive == len(held_out)
+
+    def test_all_edge_features_computable(self, sbm_embeddings):
+        from repro.embedding import EDGE_FEATURES, edge_features
+
+        pairs = np.array([[0, 1], [2, 3]])
+        for feature in EDGE_FEATURES:
+            values = edge_features(sbm_embeddings.in_vectors, pairs, feature=feature)
+            assert values.shape[0] == 2
+
+    def test_unknown_feature(self, sbm_embeddings):
+        from repro.embedding import edge_features
+
+        with pytest.raises(ModelError):
+            edge_features(sbm_embeddings.in_vectors, np.array([[0, 1]]), feature="xor")

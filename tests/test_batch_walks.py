@@ -1,0 +1,196 @@
+"""Tests for the batched walk engine."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import MemoryAwareFramework, Node2VecModel, SamplerKind
+from repro.analysis import diagnose_walks
+from repro.exceptions import WalkError
+from repro.graph import from_edges, powerlaw_cluster_graph
+from repro.walks.batch import batch_walks
+
+
+@pytest.fixture(scope="module")
+def dense_graph():
+    return powerlaw_cluster_graph(30, 3, 0.5, rng=5)
+
+
+class TestBatchWalks:
+    def test_counts_and_lengths(self, dense_graph):
+        model = Node2VecModel(0.5, 2.0)
+        corpus = batch_walks(
+            dense_graph, model, num_walks=3, length=10, rng=0
+        )
+        assert len(corpus) == 3 * dense_graph.num_nodes
+        assert all(len(w) == 11 for w in corpus)
+
+    def test_walks_follow_edges(self, dense_graph):
+        model = Node2VecModel(0.25, 4.0)
+        corpus = batch_walks(dense_graph, model, num_walks=2, length=12, rng=1)
+        for walk in corpus:
+            for a, b in zip(walk, walk[1:]):
+                assert dense_graph.has_edge(int(a), int(b))
+
+    def test_explicit_starts(self, dense_graph):
+        model = Node2VecModel(1.0, 1.0)
+        corpus = batch_walks(
+            dense_graph, model, starts=[4, 7], num_walks=5, length=6, rng=0
+        )
+        assert len(corpus) == 10
+        assert {int(w[0]) for w in corpus} == {4, 7}
+
+    def test_dead_ends_stop_early(self):
+        g = from_edges([(0, 1), (1, 2)], undirected=False, num_nodes=3)
+        model = Node2VecModel(1.0, 1.0)
+        corpus = batch_walks(g, model, starts=[0], length=10, rng=0)
+        assert list(corpus[0]) == [0, 1, 2]
+
+    def test_zero_length(self, dense_graph):
+        corpus = batch_walks(
+            dense_graph, Node2VecModel(1, 1), starts=[3], length=0, rng=0
+        )
+        assert list(corpus[0]) == [3]
+
+    def test_isolated_start(self):
+        g = from_edges([(0, 1)], num_nodes=3)
+        corpus = batch_walks(
+            g, Node2VecModel(1, 1), starts=[2], length=5, rng=0
+        )
+        assert list(corpus[0]) == [2]
+
+    def test_validation(self, dense_graph):
+        model = Node2VecModel(1, 1)
+        with pytest.raises(WalkError):
+            batch_walks(dense_graph, model, num_walks=0)
+        with pytest.raises(WalkError):
+            batch_walks(dense_graph, model, length=-1)
+        with pytest.raises(WalkError):
+            batch_walks(dense_graph, model, starts=[99])
+
+    def test_deterministic(self, dense_graph):
+        model = Node2VecModel(0.5, 2.0)
+        a = batch_walks(dense_graph, model, num_walks=2, length=8, rng=3)
+        b = batch_walks(dense_graph, model, num_walks=2, length=8, rng=3)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+
+class TestStatisticalEquivalence:
+    def test_matches_exact_distributions(self, dense_graph):
+        """Batched walks obey the same e2e distributions (noise-aware)."""
+        model = Node2VecModel(0.5, 2.0)
+        corpus = batch_walks(dense_graph, model, num_walks=60, length=20, rng=2)
+        diagnostics = diagnose_walks(dense_graph, model, corpus, min_samples=200)
+        assert diagnostics.contexts_checked > 0
+        assert diagnostics.is_faithful(max_noise_units=3.5)
+
+    def test_matches_scalar_engine_statistics(self, dense_graph):
+        """Batch and scalar engines produce matching visit distributions."""
+        model = Node2VecModel(0.25, 4.0)
+        batch = batch_walks(dense_graph, model, num_walks=40, length=15, rng=4)
+        fw = MemoryAwareFramework.memory_unaware(
+            dense_graph, model, SamplerKind.ALIAS, rng=0
+        )
+        from repro import WalkCorpus
+
+        scalar = WalkCorpus.from_walks(
+            fw.generate_walks(num_walks=40, length=15, rng=4)
+        )
+        visits_batch = batch.visit_counts(dense_graph.num_nodes).astype(float)
+        visits_scalar = scalar.visit_counts(dense_graph.num_nodes).astype(float)
+        p = visits_batch / visits_batch.sum()
+        q = visits_scalar / visits_scalar.sum()
+        # Walk samples are autocorrelated, so the visit histograms carry
+        # more variance than i.i.d. draws would; 0.06 is ~3 sigma here.
+        assert 0.5 * np.abs(p - q).sum() < 0.06
+
+
+class TestAmortisation:
+    def test_batch_faster_than_scalar_naive(self):
+        """The whole point: batching beats per-sample naive walking."""
+        graph = powerlaw_cluster_graph(150, 4, 0.3, rng=1)
+        model = Node2VecModel(0.25, 4.0)
+
+        started = time.perf_counter()
+        batch_walks(graph, model, num_walks=10, length=20, rng=0)
+        batch_seconds = time.perf_counter() - started
+
+        fw = MemoryAwareFramework.memory_unaware(
+            graph, model, SamplerKind.NAIVE, rng=0
+        )
+        started = time.perf_counter()
+        fw.generate_walks(num_walks=10, length=20, rng=0)
+        scalar_seconds = time.perf_counter() - started
+
+        assert batch_seconds < scalar_seconds
+
+
+class TestBatchPageRank:
+    def test_matches_exact(self, dense_graph):
+        from repro.walks import exact_second_order_pagerank
+        from repro.walks.batch import batch_second_order_pagerank
+        from repro.sampling.utils import total_variation_distance
+
+        model = Node2VecModel(0.5, 2.0)
+        query = int(dense_graph.degrees.argmax())
+        exact = exact_second_order_pagerank(
+            dense_graph, model, query, decay=0.8, max_length=8
+        )
+        estimate = batch_second_order_pagerank(
+            dense_graph, model, query,
+            decay=0.8, max_length=8, num_samples=8000, rng=1,
+        )
+        assert total_variation_distance(estimate + 1e-15, exact + 1e-15) < 0.05
+
+    def test_matches_scalar_estimator(self, dense_graph):
+        from repro import MemoryAwareFramework, SamplerKind, second_order_pagerank
+        from repro.walks.batch import batch_second_order_pagerank
+        from repro.sampling.utils import total_variation_distance
+
+        model = Node2VecModel(0.25, 4.0)
+        query = 0
+        fw = MemoryAwareFramework.memory_unaware(
+            dense_graph, model, SamplerKind.ALIAS, rng=0
+        )
+        scalar = second_order_pagerank(
+            fw.walk_engine, query, decay=0.7, max_length=10,
+            num_samples=6000, rng=2,
+        )
+        batched = batch_second_order_pagerank(
+            dense_graph, model, query, decay=0.7, max_length=10,
+            num_samples=6000, rng=3,
+        )
+        assert total_variation_distance(
+            batched + 1e-15, scalar.scores + 1e-15
+        ) < 0.05
+
+    def test_decay_zero_is_delta(self, dense_graph):
+        from repro.walks.batch import batch_second_order_pagerank
+
+        scores = batch_second_order_pagerank(
+            dense_graph, Node2VecModel(1, 1), 3,
+            decay=0.0, num_samples=100, rng=0,
+        )
+        assert scores[3] == 1.0
+
+    def test_decay_one_full_length(self, dense_graph):
+        from repro.walks.batch import batch_second_order_pagerank
+
+        scores = batch_second_order_pagerank(
+            dense_graph, Node2VecModel(1, 1), 3,
+            decay=1.0, max_length=5, num_samples=200, rng=0,
+        )
+        assert scores.sum() == pytest.approx(1.0)
+
+    def test_validation(self, dense_graph):
+        from repro.walks.batch import batch_second_order_pagerank
+
+        model = Node2VecModel(1, 1)
+        with pytest.raises(WalkError):
+            batch_second_order_pagerank(dense_graph, model, 99)
+        with pytest.raises(WalkError):
+            batch_second_order_pagerank(dense_graph, model, 0, decay=1.2)
+        with pytest.raises(WalkError):
+            batch_second_order_pagerank(dense_graph, model, 0, num_samples=0)

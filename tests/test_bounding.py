@@ -1,0 +1,233 @@
+"""Unit tests for bounding-constant computation, estimation, and bounds."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AutoregressiveModel,
+    FirstOrderModel,
+    Node2VecModel,
+    compute_bounding_constants,
+    estimate_bounding_constants,
+)
+from repro.bounding import (
+    BoundingConstants,
+    bounding_histogram,
+    edge_bounding_constant,
+    edge_max_ratio,
+    node_bounding_constant,
+    theorem1_bound,
+    verify_theorem1,
+)
+from repro.exceptions import BoundingConstantError
+from repro.graph import star_graph
+
+
+class TestEdgeBoundingConstant:
+    def test_figure5_values(self, toy_graph):
+        """The Figure 5 cost table's C_v column, byte for byte."""
+        model = Node2VecModel(a=0.25, b=4.0)
+        assert node_bounding_constant(toy_graph, model, 0) == pytest.approx(2.41, abs=0.005)
+        assert node_bounding_constant(toy_graph, model, 1) == pytest.approx(1.0)
+        assert node_bounding_constant(toy_graph, model, 2) == pytest.approx(1.6)
+        assert node_bounding_constant(toy_graph, model, 3) == pytest.approx(1.6)
+
+    def test_first_order_always_one(self, medium_graph):
+        constants = compute_bounding_constants(medium_graph, FirstOrderModel())
+        assert np.allclose(constants.values, 1.0)
+
+    def test_c_uv_at_least_one(self, medium_graph, nv_model):
+        for u, v, _ in list(medium_graph.edges())[:50]:
+            assert edge_bounding_constant(medium_graph, nv_model, u, v) >= 1.0 - 1e-12
+
+    def test_c_uv_equals_max_density_ratio(self, toy_graph, nv_model):
+        # C_uv must equal max_z P(z)/Q(z) computed from the normalised
+        # distributions directly.
+        for u, v in [(1, 0), (2, 0), (0, 2)]:
+            p = nv_model.e2e_distribution(toy_graph, u, v)
+            q = toy_graph.neighbor_weights(v) / toy_graph.weight_sum(v)
+            expected = float((p / q).max())
+            actual = edge_bounding_constant(toy_graph, nv_model, u, v)
+            assert actual == pytest.approx(expected)
+
+    def test_autoregressive_equation6(self, toy_graph):
+        # Eq 6: C_uv = max_z((1-α)+α p_uz/p_vz) / ((1-α)+α Σ_l p_ul).
+        model = AutoregressiveModel(alpha=0.4)
+        u, v = 2, 0
+        ratios = model.target_ratios(toy_graph, u, v)
+        neighbors = toy_graph.neighbors(v)
+        sum_pul = sum(
+            toy_graph.edge_weight(u, int(z)) / toy_graph.weight_sum(u)
+            for z in neighbors
+        )
+        expected = ratios.max() / (0.6 + 0.4 * sum_pul)
+        assert edge_bounding_constant(toy_graph, model, u, v) == pytest.approx(expected)
+
+    def test_isolated_target_raises(self):
+        g = star_graph(3)
+        model = Node2VecModel(1.0, 1.0)
+        # Build a graph with an isolated node.
+        from repro import from_edges
+
+        g2 = from_edges([(0, 1)], num_nodes=3)
+        with pytest.raises(BoundingConstantError):
+            edge_bounding_constant(g2, model, 0, 2)
+
+    def test_edge_max_ratio_reciprocal_is_acceptance_factor(self, toy_graph, nv_model):
+        # factor = 1/max ratio must make all acceptance probabilities <= 1.
+        for u, v in [(1, 0), (0, 2)]:
+            factor = 1.0 / edge_max_ratio(toy_graph, nv_model, u, v)
+            ratios = nv_model.target_ratios(toy_graph, u, v)
+            assert np.all(ratios * factor <= 1.0 + 1e-12)
+
+
+class TestNodeBoundingConstant:
+    def test_isolated_node_is_one(self):
+        from repro import from_edges
+
+        g = from_edges([(0, 1)], num_nodes=3)
+        assert node_bounding_constant(g, Node2VecModel(1, 1), 2) == 1.0
+
+    def test_average_over_neighbors(self, toy_graph, nv_model):
+        edges = [
+            edge_bounding_constant(toy_graph, nv_model, int(u), 0)
+            for u in toy_graph.neighbors(0)
+        ]
+        assert node_bounding_constant(toy_graph, nv_model, 0) == pytest.approx(
+            np.mean(edges)
+        )
+
+
+class TestComputeAll:
+    def test_whole_graph(self, toy_graph, nv_model):
+        constants = compute_bounding_constants(toy_graph, nv_model)
+        assert len(constants) == 4
+        assert constants.exact
+        assert constants[1] == pytest.approx(1.0)
+        assert constants.mean >= 1.0
+        assert constants.max >= constants.mean
+
+    def test_rejects_sub_one_values(self):
+        with pytest.raises(BoundingConstantError):
+            BoundingConstants(values=np.array([0.5, 1.0]))
+
+
+class TestEstimation:
+    def test_exact_below_threshold(self, medium_graph, nv_model):
+        exact = compute_bounding_constants(medium_graph, nv_model)
+        estimated = estimate_bounding_constants(
+            medium_graph, nv_model, degree_threshold=medium_graph.max_degree
+        )
+        assert estimated.exact
+        assert np.allclose(exact.values, estimated.values)
+
+    def test_estimation_marks_nodes(self, medium_graph, nv_model):
+        estimated = estimate_bounding_constants(
+            medium_graph, nv_model, degree_threshold=10, rng=0
+        )
+        assert not estimated.exact
+        assert estimated.estimated_nodes == int((medium_graph.degrees > 10).sum())
+        assert estimated.degree_threshold == 10
+
+    def test_estimates_stay_close(self, medium_graph, nv_model):
+        exact = compute_bounding_constants(medium_graph, nv_model)
+        estimated = estimate_bounding_constants(
+            medium_graph, nv_model, degree_threshold=15, rng=0
+        )
+        # Estimated C_v never exceeds exact (a sampled max is a lower
+        # bound) and stays within a modest relative error on average.
+        assert np.all(estimated.values <= exact.values + 1e-9)
+        rel_err = np.abs(estimated.values - exact.values) / exact.values
+        assert rel_err.mean() < 0.25
+
+    def test_estimates_at_least_one(self, medium_graph, auto_model):
+        estimated = estimate_bounding_constants(
+            medium_graph, auto_model, degree_threshold=5, rng=0
+        )
+        assert np.all(estimated.values >= 1.0 - 1e-12)
+
+    def test_invalid_threshold(self, medium_graph, nv_model):
+        with pytest.raises(BoundingConstantError):
+            estimate_bounding_constants(medium_graph, nv_model, degree_threshold=0)
+
+    def test_deterministic_given_seed(self, medium_graph, nv_model):
+        a = estimate_bounding_constants(medium_graph, nv_model, degree_threshold=10, rng=42)
+        b = estimate_bounding_constants(medium_graph, nv_model, degree_threshold=10, rng=42)
+        assert np.allclose(a.values, b.values)
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize(
+        "a,b",
+        [(4.0, 4.0), (0.25, 4.0), (4.0, 0.25), (0.25, 0.25), (1.0, 1.0)],
+    )
+    def test_node2vec_bound_holds(self, medium_graph, a, b):
+        model = Node2VecModel(a=a, b=b)
+        assert verify_theorem1(medium_graph, model) == []
+
+    @pytest.mark.parametrize("alpha", [0.0, 0.2, 0.8])
+    def test_autoregressive_bound_holds(self, medium_graph, alpha):
+        model = AutoregressiveModel(alpha=alpha)
+        assert verify_theorem1(medium_graph, model) == []
+
+    def test_autoregressive_theta_zero_equals_one(self, path_graph):
+        # Path 0-1-2-3: θ = 0 on every edge, so C_uv = 1 exactly.
+        model = AutoregressiveModel(alpha=0.5)
+        assert edge_bounding_constant(path_graph, model, 0, 1) == pytest.approx(1.0)
+        assert theorem1_bound(path_graph, model, 0, 1) == 1.0
+
+    def test_requires_unweighted(self, weighted_graph, nv_model):
+        with pytest.raises(BoundingConstantError, match="unweighted"):
+            theorem1_bound(weighted_graph, nv_model, 0, 1)
+
+    def test_unknown_model_rejected(self, toy_graph):
+        with pytest.raises(BoundingConstantError, match="no Theorem 1"):
+            theorem1_bound(toy_graph, FirstOrderModel(), 0, 1)
+
+    def test_case3_degenerate(self, path_graph):
+        # Degree-1 endpoint: d_v - 1 - θ = 0 → bound falls back to d_v.
+        model = Node2VecModel(a=4.0, b=0.25)
+        assert theorem1_bound(path_graph, model, 1, 0) == 1.0  # d_v = 1
+
+
+class TestHistogram:
+    def test_bucket_structure(self, medium_graph, nv_model):
+        constants = compute_bounding_constants(medium_graph, nv_model)
+        hist = bounding_histogram(constants)
+        assert hist.buckets == 10
+        assert hist.total == medium_graph.num_nodes
+        assert len(hist.edges) == 11
+
+    def test_shared_edges(self, medium_graph, nv_model):
+        constants = compute_bounding_constants(medium_graph, nv_model)
+        base = bounding_histogram(constants)
+        other = bounding_histogram(constants, edges=base.edges)
+        assert np.array_equal(base.counts, other.counts)
+
+    def test_fraction_below(self):
+        constants = BoundingConstants(values=np.array([1.0, 2.0, 3.0, 10.0]))
+        hist = bounding_histogram(constants, buckets=9)
+        assert hist.fraction_below(11.0) == pytest.approx(1.0)
+        assert 0.4 < hist.fraction_below(4.0) < 0.9
+
+    def test_degenerate_all_equal(self):
+        constants = BoundingConstants(values=np.ones(5))
+        hist = bounding_histogram(constants)
+        assert hist.total == 5
+
+    def test_rows(self, medium_graph, nv_model):
+        constants = compute_bounding_constants(medium_graph, nv_model)
+        hist = bounding_histogram(constants)
+        rows = hist.rows()
+        assert len(rows) == 10
+        assert sum(count for _, _, count in rows) == hist.total
+
+    def test_invalid_buckets(self):
+        constants = BoundingConstants(values=np.ones(3))
+        with pytest.raises(BoundingConstantError):
+            bounding_histogram(constants, buckets=0)
+
+    def test_invalid_edges(self):
+        constants = BoundingConstants(values=np.ones(3))
+        with pytest.raises(BoundingConstantError):
+            bounding_histogram(constants, edges=np.array([2.0, 1.0]))

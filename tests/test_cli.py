@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["table4"])
+        assert args.experiment == "table4"
+        assert args.scale == 1.0
+        assert args.seed is None
+
+    def test_scale_and_seed(self):
+        args = build_parser().parse_args(["figure1", "--scale", "0.5", "--seed", "7"])
+        assert args.scale == 0.5
+        assert args.seed == 7
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure42"])
+
+    def test_all_accepted(self):
+        assert build_parser().parse_args(["all"]).experiment == "all"
+
+
+class TestMain:
+    def test_runs_table4(self, capsys):
+        code = main(["table4", "--scale", "0.1", "--seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "table4" in out
+        assert "Memory footprints" in out
+        assert "completed in" in out
+
+    def test_runs_figure1(self, capsys):
+        code = main(["figure1", "--scale", "0.1"])
+        assert code == 0
+        assert "Alias memory explosion" in capsys.readouterr().out
+
+
+class TestToolSubcommands:
+    def test_info(self, capsys):
+        code = main(["info", "youtube", "--scale", "0.2", "--seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "paper Table 2" in out
+        assert "stand-in" in out
+
+    def test_optimize_and_walk(self, tmp_path, capsys):
+        from repro.graph import barabasi_albert_graph, save_edge_list
+
+        graph_path = tmp_path / "g.txt"
+        save_edge_list(barabasi_albert_graph(60, 3, rng=0), graph_path)
+
+        code = main(
+            [
+                "optimize", str(graph_path), "--budget", "30000",
+                "--param", "a=0.25", "--param", "b=4", "--seed", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degree" in out and "mem %" in out
+
+        walks_path = tmp_path / "walks.txt"
+        code = main(
+            [
+                "walk", str(graph_path), "--budget", "30000",
+                "--num-walks", "2", "--length", "6",
+                "--output", str(walks_path), "--seed", "0",
+            ]
+        )
+        assert code == 0
+        assert "generated" in capsys.readouterr().out
+        assert walks_path.exists()
+        from repro import WalkCorpus
+
+        corpus = WalkCorpus.load(walks_path)
+        assert len(corpus) == 2 * 60
+
+    def test_bad_param_format(self):
+        import pytest as _pytest
+
+        with _pytest.raises(SystemExit):
+            main(["optimize", "nowhere.txt", "--budget", "1", "--param", "oops"])

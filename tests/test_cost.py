@@ -1,0 +1,199 @@
+"""Unit tests for the cost model (paper Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro import CostParams, SamplerKind, build_cost_table, compute_bounding_constants
+from repro.bounding import BoundingConstants
+from repro.cost import (
+    alias_memory,
+    alias_time,
+    naive_memory,
+    naive_time,
+    rejection_memory,
+    rejection_time,
+    sampler_memory,
+    sampler_time,
+)
+from repro.cost.table import CostTable
+from repro.exceptions import CostModelError
+
+
+FIGURE5_PARAMS = CostParams(float_bytes=4, int_bytes=4, fixed_check_cost=1.0)
+
+
+class TestCostParams:
+    def test_defaults(self):
+        params = CostParams()
+        assert params.float_bytes == 4
+        assert params.int_bytes == 4
+        assert params.neighbor_checker == "binary"
+
+    def test_binary_check_cost(self):
+        params = CostParams()
+        assert params.check_cost(8) == pytest.approx(3.0)
+        assert params.check_cost(1) == 1.0
+
+    def test_hash_check_cost(self):
+        params = CostParams(neighbor_checker="hash")
+        assert params.check_cost(1024) == 1.0
+
+    def test_fixed_check_cost(self):
+        assert FIGURE5_PARAMS.check_cost(100) == 1.0
+
+    def test_vectorised_check_costs(self):
+        params = CostParams()
+        costs = params.check_costs(np.array([1, 2, 8, 0]))
+        assert list(costs) == [1.0, 1.0, 3.0, 1.0]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"float_bytes": 0},
+            {"int_bytes": -1},
+            {"time_unit": 0},
+            {"neighbor_checker": "quantum"},
+            {"fixed_check_cost": 0.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(CostModelError):
+            CostParams(**kwargs)
+
+
+class TestFormulas:
+    """The Figure 5 cost table numbers, cell by cell."""
+
+    def test_naive_memory(self):
+        # b_f * d_max / |V| = 4 * 3 / 4 = 3.
+        assert naive_memory(FIGURE5_PARAMS, 3, 4) == pytest.approx(3.0)
+
+    def test_naive_time(self):
+        # d (c + 1) K: degree 3 → 6; degree 1 → 2; degree 2 → 4.
+        assert naive_time(FIGURE5_PARAMS, 3) == pytest.approx(6.0)
+        assert naive_time(FIGURE5_PARAMS, 1) == pytest.approx(2.0)
+        assert naive_time(FIGURE5_PARAMS, 2) == pytest.approx(4.0)
+
+    def test_rejection_memory(self):
+        # (2 b_f + b_i) d: degree 3 → 36; degree 1 → 12; degree 2 → 24.
+        assert rejection_memory(FIGURE5_PARAMS, 3) == 36
+        assert rejection_memory(FIGURE5_PARAMS, 1) == 12
+        assert rejection_memory(FIGURE5_PARAMS, 2) == 24
+
+    def test_rejection_time(self):
+        assert rejection_time(FIGURE5_PARAMS, 3, 2.41) == pytest.approx(2.41)
+        assert rejection_time(FIGURE5_PARAMS, 2, 1.6) == pytest.approx(1.6)
+
+    def test_rejection_time_invalid_constant(self):
+        with pytest.raises(CostModelError):
+            rejection_time(FIGURE5_PARAMS, 3, 0.5)
+
+    def test_alias_memory(self):
+        # (b_f + b_i)(d² + d): degree 3 → 96; degree 1 → 16; degree 2 → 48.
+        assert alias_memory(FIGURE5_PARAMS, 3) == 96
+        assert alias_memory(FIGURE5_PARAMS, 1) == 16
+        assert alias_memory(FIGURE5_PARAMS, 2) == 48
+
+    def test_alias_time(self):
+        assert alias_time(FIGURE5_PARAMS) == 1.0
+
+    def test_naive_memory_requires_nodes(self):
+        with pytest.raises(CostModelError):
+            naive_memory(FIGURE5_PARAMS, 3, 0)
+
+    def test_dispatch_helpers(self):
+        mem = sampler_memory(
+            SamplerKind.REJECTION, FIGURE5_PARAMS, 3, max_degree=3, num_nodes=4
+        )
+        assert mem == 36
+        t = sampler_time(SamplerKind.REJECTION, FIGURE5_PARAMS, 3, bounding_constant=2.0)
+        assert t == pytest.approx(2.0)
+        assert sampler_time(SamplerKind.ALIAS, FIGURE5_PARAMS, 3) == 1.0
+        assert sampler_memory(
+            SamplerKind.NAIVE, FIGURE5_PARAMS, 3, max_degree=3, num_nodes=4
+        ) == pytest.approx(3.0)
+
+
+class TestSamplerKind:
+    def test_ordering(self):
+        assert SamplerKind.NAIVE < SamplerKind.REJECTION < SamplerKind.ALIAS
+
+    def test_short_codes(self):
+        assert SamplerKind.NAIVE.short == "N"
+        assert SamplerKind.REJECTION.short == "R"
+        assert SamplerKind.ALIAS.short == "A"
+
+    def test_from_name(self):
+        assert SamplerKind.from_name("alias") is SamplerKind.ALIAS
+        assert SamplerKind.from_name("NAIVE") is SamplerKind.NAIVE
+        with pytest.raises(CostModelError):
+            SamplerKind.from_name("bogus")
+
+
+class TestCostTable:
+    def test_figure5_table(self, toy_graph, nv_model):
+        """The full Figure 5 cost-model table."""
+        constants = compute_bounding_constants(toy_graph, nv_model)
+        table = build_cost_table(toy_graph, constants, FIGURE5_PARAMS)
+        # Memory columns.
+        assert np.allclose(table.memory[:, SamplerKind.NAIVE], 3.0)
+        assert list(table.memory[:, SamplerKind.REJECTION]) == [36, 12, 24, 24]
+        assert list(table.memory[:, SamplerKind.ALIAS]) == [96, 16, 48, 48]
+        # Time columns.
+        assert list(table.time[:, SamplerKind.NAIVE]) == [6, 2, 4, 4]
+        assert table.time[0, SamplerKind.REJECTION] == pytest.approx(2.41, abs=0.005)
+        assert table.time[1, SamplerKind.REJECTION] == pytest.approx(1.0)
+        assert table.time[2, SamplerKind.REJECTION] == pytest.approx(1.6)
+        assert np.allclose(table.time[:, SamplerKind.ALIAS], 1.0)
+
+    def test_min_max_memory(self, toy_graph, nv_model):
+        constants = compute_bounding_constants(toy_graph, nv_model)
+        table = build_cost_table(toy_graph, constants, FIGURE5_PARAMS)
+        assert table.min_memory() == pytest.approx(12.0)  # all naive
+        assert table.max_memory() == pytest.approx(96 + 16 + 48 + 48)
+
+    def test_assignment_costs(self, toy_graph, nv_model):
+        constants = compute_bounding_constants(toy_graph, nv_model)
+        table = build_cost_table(toy_graph, constants, FIGURE5_PARAMS)
+        assignment = np.array([1, 1, 2, 2], dtype=np.int8)  # R R A A
+        assert table.assignment_memory(assignment) == pytest.approx(36 + 12 + 48 + 48)
+        expected_time = 2.41 + 1.0 + 1.0 + 1.0
+        assert table.assignment_time(assignment) == pytest.approx(expected_time, abs=0.01)
+
+    def test_isolated_nodes_naive_only(self, nv_model):
+        from repro import from_edges
+        from repro.bounding import BoundingConstants
+
+        g = from_edges([(0, 1)], num_nodes=3)
+        constants = BoundingConstants(values=np.ones(3))
+        table = build_cost_table(g, constants, FIGURE5_PARAMS)
+        assert not table.available[2, SamplerKind.REJECTION]
+        assert not table.available[2, SamplerKind.ALIAS]
+        assert table.available[2, SamplerKind.NAIVE]
+        assert table.time[2, SamplerKind.NAIVE] == 0.0
+
+    def test_constants_length_mismatch(self, toy_graph):
+        with pytest.raises(CostModelError):
+            build_cost_table(toy_graph, BoundingConstants(values=np.ones(2)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(CostModelError):
+            CostTable(time=np.ones((2, 3)), memory=np.ones((3, 2)), params=CostParams())
+
+    def test_naive_must_be_available(self):
+        available = np.ones((2, 3), dtype=bool)
+        available[0, SamplerKind.NAIVE] = False
+        with pytest.raises(CostModelError, match="naive"):
+            CostTable(
+                time=np.ones((2, 3)),
+                memory=np.ones((2, 3)),
+                params=CostParams(),
+                available=available,
+            )
+
+    def test_binary_checker_uses_log_degree(self, toy_graph, nv_model):
+        constants = compute_bounding_constants(toy_graph, nv_model)
+        table = build_cost_table(toy_graph, constants, CostParams())
+        # Node 0 has degree 3 → c = log2(3); naive time = 3 (c + 1).
+        c = np.log2(3)
+        assert table.time[0, SamplerKind.NAIVE] == pytest.approx(3 * (c + 1))

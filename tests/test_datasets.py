@@ -1,0 +1,71 @@
+"""Unit tests for the dataset registry."""
+
+import pytest
+
+from repro.datasets import (
+    PAPER_GRAPHS,
+    available_datasets,
+    figure5_toy_graph,
+    load_dataset,
+    paper_graph_info,
+)
+from repro.exceptions import DatasetError
+
+
+class TestPaperInfo:
+    def test_all_six_registered(self):
+        assert len(available_datasets()) == 6
+        assert "twitter" in available_datasets()
+
+    def test_table2_values(self):
+        info = paper_graph_info("twitter")
+        assert info.num_nodes == 41_600_000
+        assert info.num_edges == 2_400_000_000
+        assert info.average_degree == pytest.approx(39.1)
+
+    def test_stored_edges(self):
+        assert paper_graph_info("youtube").stored_edges == 12_000_000
+
+    def test_case_insensitive(self):
+        assert paper_graph_info("Flickr").name == "flickr"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            paper_graph_info("facebook")
+
+
+class TestStandins:
+    @pytest.mark.parametrize("name", sorted(PAPER_GRAPHS))
+    def test_loads_and_matches_degree_shape(self, name):
+        graph = load_dataset(name, scale=0.3, rng=0)
+        info = paper_graph_info(name)
+        assert graph.num_nodes > 0
+        # Average degree within 2x of the original's (the generators use
+        # attach ≈ d_avg / 2, boundary effects shrink small graphs).
+        assert 0.5 * info.average_degree < graph.average_degree < 2 * info.average_degree
+
+    def test_scale_changes_size(self):
+        small = load_dataset("youtube", scale=0.2, rng=0)
+        large = load_dataset("youtube", scale=0.5, rng=0)
+        assert large.num_nodes > small.num_nodes
+
+    def test_deterministic(self):
+        assert load_dataset("blogcatalog", rng=4) == load_dataset("blogcatalog", rng=4)
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            load_dataset("youtube", scale=0)
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            load_dataset("reddit")
+
+
+class TestFigure5Graph:
+    def test_structure(self):
+        g = figure5_toy_graph()
+        assert g.num_nodes == 4
+        assert g.num_edges == 8
+        assert list(g.degrees) == [3, 1, 2, 2]
+        assert g.has_edge(2, 3)
+        assert not g.has_edge(1, 2)

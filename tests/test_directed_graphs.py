@@ -1,0 +1,120 @@
+"""Tests on directed graphs.
+
+The paper processes its datasets into undirected form, but nothing in the
+algorithms requires symmetry: CSR stores any directed adjacency, models
+consume out-neighbourhoods, and walks follow directed edges.  These tests
+pin that behaviour down (including the asymmetric corner cases).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AutoregressiveModel,
+    MemoryAwareFramework,
+    Node2VecModel,
+    SamplerKind,
+    from_edges,
+)
+from repro.bounding import compute_bounding_constants, edge_bounding_constant
+from repro.sampling.utils import empirical_distribution, total_variation_distance
+
+
+@pytest.fixture(scope="module")
+def directed_graph():
+    """A strongly connected directed graph with asymmetric structure."""
+    edges = [
+        (0, 1), (1, 2), (2, 0),          # directed triangle
+        (0, 3), (3, 4), (4, 0),          # second cycle through 0
+        (2, 3), (1, 4), (4, 1),          # cross edges (4<->1 symmetric)
+    ]
+    return from_edges(edges, undirected=False, num_nodes=5)
+
+
+class TestDirectedStructure:
+    def test_asymmetry_preserved(self, directed_graph):
+        assert directed_graph.has_edge(0, 1)
+        assert not directed_graph.has_edge(1, 0)
+        assert directed_graph.has_edge(1, 4) and directed_graph.has_edge(4, 1)
+
+    def test_out_degrees(self, directed_graph):
+        assert directed_graph.degree(0) == 2  # -> 1, 3
+        assert directed_graph.degree(2) == 2  # -> 0, 3
+
+
+class TestDirectedModels:
+    def test_node2vec_distance_classes(self, directed_graph):
+        """l_uz uses u's OUT-neighbourhood on a directed graph."""
+        model = Node2VecModel(a=0.25, b=4.0)
+        # From edge (0, 1): candidates of 1 are {2, 4}.
+        # 0 -> 2? no (2 -> 0 only) => distance 2 => w/b.
+        # 0 -> 4? no => distance 2 => w/b.
+        p = model.e2e_distribution(directed_graph, 0, 1)
+        assert np.allclose(p, [0.5, 0.5])
+
+    def test_node2vec_return_bias(self, directed_graph):
+        model = Node2VecModel(a=0.1, b=1.0)
+        # From edge (4, 1): candidates of 1 are {2, 4}; z = 4 is a return.
+        p = model.e2e_distribution(directed_graph, 4, 1)
+        neighbors = list(directed_graph.neighbors(1))
+        assert p[neighbors.index(4)] > p[neighbors.index(2)]
+
+    def test_autoregressive_uses_out_probs(self, directed_graph):
+        model = AutoregressiveModel(alpha=0.5)
+        # From edge (2, 0): candidates of 0 are {1, 3}; 2 -> 3 exists so
+        # candidate 3 gets extra mass, 2 -> 1 does not exist.
+        p = model.e2e_distribution(directed_graph, 2, 0)
+        neighbors = list(directed_graph.neighbors(0))
+        assert p[neighbors.index(3)] > p[neighbors.index(1)]
+
+    def test_bounding_constants_finite(self, directed_graph):
+        model = Node2VecModel(0.25, 4.0)
+        constants = compute_bounding_constants(directed_graph, model)
+        assert np.all(constants.values >= 1.0)
+        assert np.all(np.isfinite(constants.values))
+        for u, v, _ in directed_graph.edges():
+            assert edge_bounding_constant(directed_graph, model, u, v) >= 1.0
+
+
+class TestDirectedFramework:
+    @pytest.mark.parametrize("kind", list(SamplerKind))
+    def test_samplers_match_exact_e2e(self, directed_graph, kind, rng):
+        from repro.framework import build_node_sampler
+
+        model = Node2VecModel(0.5, 2.0)
+        u, v = 0, 1
+        sampler = build_node_sampler(kind, directed_graph, model, v)
+        exact = model.e2e_distribution(directed_graph, u, v)
+        samples = np.array([sampler.sample(u, rng) for _ in range(4000)])
+        positions = np.searchsorted(directed_graph.neighbors(v), samples)
+        emp = empirical_distribution(positions, directed_graph.degree(v))
+        assert total_variation_distance(emp, exact) < 0.05
+
+    def test_full_framework_walks(self, directed_graph):
+        model = Node2VecModel(0.25, 4.0)
+        fw = MemoryAwareFramework(directed_graph, model, budget=1e5, rng=0)
+        walk = fw.walk(0, 30, rng=1)
+        assert len(walk) == 31
+        for a, b in zip(walk, walk[1:]):
+            assert directed_graph.has_edge(int(a), int(b))
+
+    def test_rejection_previous_not_in_neighborhood(self, directed_graph, rng):
+        """On directed graphs the previous node is generally NOT an
+        out-neighbour of the current one; the rejection sampler must fall
+        back to on-the-fly factors rather than break."""
+        from repro.framework import RejectionNodeSampler
+
+        model = AutoregressiveModel(0.5)
+        sampler = RejectionNodeSampler(directed_graph, model, 1)
+        # 0 -> 1 exists but 1 -> 0 does not: previous=0 is outside N(1).
+        sample = sampler.sample(0, rng)
+        assert sample in set(int(z) for z in directed_graph.neighbors(1))
+
+    def test_batch_walks_directed(self, directed_graph):
+        from repro.walks.batch import batch_walks
+
+        model = Node2VecModel(0.5, 2.0)
+        corpus = batch_walks(directed_graph, model, num_walks=5, length=12, rng=3)
+        for walk in corpus:
+            for a, b in zip(walk, walk[1:]):
+                assert directed_graph.has_edge(int(a), int(b))

@@ -1,0 +1,179 @@
+"""Tests for the inverse optimizer and the partitioned framework."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostParams,
+    Node2VecModel,
+    build_cost_table,
+    compute_bounding_constants,
+    lp_greedy,
+)
+from repro.distributed import (
+    PartitionedFramework,
+    degree_balanced_partition,
+    hash_partition,
+)
+from repro.exceptions import OptimizerError
+from repro.optimizer.inverse import min_memory_for_time
+
+
+@pytest.fixture(scope="module")
+def setup(medium_graph):
+    model = Node2VecModel(0.25, 4.0)
+    constants = compute_bounding_constants(medium_graph, model)
+    table = build_cost_table(medium_graph, constants, CostParams())
+    return medium_graph, model, constants, table
+
+
+class TestInverseOptimizer:
+    def test_meets_target(self, setup):
+        _, _, _, table = setup
+        all_naive = float(table.time[:, 0].sum())
+        saturated = lp_greedy(table, table.max_memory()).total_time
+        target = (all_naive + saturated) / 2
+        assignment = min_memory_for_time(table, target)
+        assert assignment.total_time <= target
+
+    def test_minimal_among_schedule_prefixes(self, setup):
+        """The result's memory equals the forward LP greedy run at the same
+        budget — the two solvers are duals on the same schedule."""
+        _, _, _, table = setup
+        target = 0.5 * float(table.time[:, 0].sum())
+        inverse = min_memory_for_time(table, target)
+        forward = lp_greedy(table, inverse.used_memory)
+        assert forward.total_time == pytest.approx(inverse.total_time)
+        assert forward.used_memory == pytest.approx(inverse.used_memory)
+
+    def test_loose_target_needs_minimum_memory(self, setup):
+        _, _, _, table = setup
+        loose = 10 * float(table.time[:, 0].sum())
+        assignment = min_memory_for_time(table, loose)
+        assert assignment.used_memory == pytest.approx(table.min_memory())
+
+    def test_impossible_target(self, setup):
+        _, _, _, table = setup
+        with pytest.raises(OptimizerError, match="saturated"):
+            min_memory_for_time(table, 0.0)
+
+    def test_memory_monotone_in_target(self, setup):
+        _, _, _, table = setup
+        all_naive = float(table.time[:, 0].sum())
+        memories = [
+            min_memory_for_time(table, fraction * all_naive).used_memory
+            for fraction in (0.8, 0.4, 0.2, 0.1)
+        ]
+        assert memories == sorted(memories)  # tighter target -> more memory
+
+
+class TestPartitions:
+    def test_hash_partition(self):
+        partition = hash_partition(10, 3)
+        assert len(partition) == 10
+        assert set(partition) == {0, 1, 2}
+
+    def test_degree_balanced_loads(self, medium_graph):
+        partition = degree_balanced_partition(medium_graph.degrees, 4)
+        loads = [
+            medium_graph.degrees[partition == w].sum() for w in range(4)
+        ]
+        assert max(loads) < 1.5 * min(loads)
+
+    def test_invalid_workers(self):
+        with pytest.raises(OptimizerError):
+            hash_partition(5, 0)
+        with pytest.raises(OptimizerError):
+            degree_balanced_partition(np.array([1, 2]), 0)
+
+
+class TestPartitionedFramework:
+    def test_per_worker_budgets_respected(self, setup):
+        graph, model, constants, table = setup
+        partition = degree_balanced_partition(graph.degrees, 3)
+        per_worker = 0.15 * table.max_memory() / 3
+        fw = PartitionedFramework(
+            graph, model, partition, [per_worker] * 3,
+            bounding_constants=constants, rng=0,
+        )
+        assert fw.num_workers == 3
+        for stats in fw.worker_stats():
+            assert stats.used_memory <= stats.budget
+
+    def test_walks_cross_partitions(self, setup):
+        graph, model, constants, table = setup
+        partition = hash_partition(graph.num_nodes, 4)
+        budget = 0.2 * table.max_memory() / 4
+        fw = PartitionedFramework(
+            graph, model, partition, [budget] * 4,
+            bounding_constants=constants, rng=0,
+        )
+        walk = fw.walk(0, 40, rng=1)
+        visited_workers = {int(partition[v]) for v in walk}
+        assert len(visited_workers) > 1  # walk migrated between workers
+        for a, b in zip(walk, walk[1:]):
+            assert graph.has_edge(int(a), int(b))
+
+    def test_unbalanced_budgets_shift_mix(self, setup):
+        """A starved worker uses cheaper samplers than a rich worker."""
+        from repro import SamplerKind
+
+        graph, model, constants, table = setup
+        partition = hash_partition(graph.num_nodes, 2)
+        max_half = table.max_memory() / 2
+        fw = PartitionedFramework(
+            graph, model, partition, [0.02 * max_half, 1.0 * max_half],
+            bounding_constants=constants, rng=0,
+        )
+        poor, rich = fw.worker_stats()
+        poor_alias = poor.sampler_counts.get(SamplerKind.ALIAS, 0) / poor.num_nodes
+        rich_alias = rich.sampler_counts.get(SamplerKind.ALIAS, 0) / rich.num_nodes
+        assert rich_alias > poor_alias
+        assert poor.modeled_time / poor.num_nodes > rich.modeled_time / rich.num_nodes
+
+    def test_matches_global_when_budget_split_evenly(self, setup):
+        """Total modeled time of k workers is close to (never beats) the
+        global optimizer at the same total budget — partitioning only
+        constrains the knapsack."""
+        graph, model, constants, table = setup
+        total_budget = 0.3 * table.max_memory()
+        global_assignment = lp_greedy(table, total_budget)
+        partition = degree_balanced_partition(graph.degrees, 4)
+        fw = PartitionedFramework(
+            graph, model, partition, [total_budget / 4] * 4,
+            bounding_constants=constants, rng=0,
+        )
+        assert fw.total_modeled_time() >= global_assignment.total_time - 1e-6
+        assert fw.total_modeled_time() <= 2.0 * global_assignment.total_time
+
+    def test_validation_errors(self, setup):
+        graph, model, constants, _ = setup
+        with pytest.raises(OptimizerError, match="partition covers"):
+            PartitionedFramework(
+                graph, model, np.zeros(3, dtype=np.int64), [1e6],
+                bounding_constants=constants,
+            )
+        with pytest.raises(OptimizerError, match="budgets for"):
+            PartitionedFramework(
+                graph, model, hash_partition(graph.num_nodes, 2), [1e6],
+                bounding_constants=constants,
+            )
+
+    def test_faithful_walks(self, setup):
+        from repro import WalkCorpus
+        from repro.analysis import diagnose_walks
+
+        graph, model, constants, table = setup
+        partition = hash_partition(graph.num_nodes, 3)
+        budget = 0.3 * table.max_memory() / 3
+        fw = PartitionedFramework(
+            graph, model, partition, [budget] * 3,
+            bounding_constants=constants, rng=0,
+        )
+        walks = fw.walk_engine.walks_all_nodes(num_walks=50, length=12, rng=2)
+        corpus = WalkCorpus.from_walks(walks)
+        # 200-node graph spreads 120k transitions thin; 60 samples per
+        # context is enough for the noise-normalised check.
+        diagnostics = diagnose_walks(graph, model, corpus, min_samples=60)
+        assert diagnostics.contexts_checked > 0
+        assert diagnostics.is_faithful(max_noise_units=3.5)

@@ -1,0 +1,103 @@
+"""Tests for the edge-similarity second-order model."""
+
+import numpy as np
+import pytest
+
+from repro import MemoryAwareFramework, SamplerKind, get_model
+from repro.exceptions import ModelError
+from repro.framework import build_node_sampler
+from repro.graph import complete_graph, from_edges
+from repro.models import EdgeSimilarityModel
+from repro.models.edge_similarity import _closed_jaccard
+from repro.sampling.utils import empirical_distribution, total_variation_distance
+
+
+class TestJaccard:
+    def test_identical_closed_neighborhoods(self):
+        g = complete_graph(4)
+        # In a clique all closed neighbourhoods coincide.
+        assert _closed_jaccard(g, 0, 1) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        g = from_edges([(0, 1), (2, 3)])
+        assert _closed_jaccard(g, 0, 2) == 0.0
+
+    def test_partial_overlap(self, toy_graph):
+        # closed(2) = {0, 2, 3}, closed(3) = {0, 2, 3} -> Jaccard 1.
+        assert _closed_jaccard(toy_graph, 2, 3) == pytest.approx(1.0)
+        # closed(1) = {0, 1}, closed(2) = {0, 2, 3} -> 1/4.
+        assert _closed_jaccard(toy_graph, 1, 2) == pytest.approx(0.25)
+
+
+class TestModel:
+    def test_registered(self):
+        model = get_model("edge-similarity", gamma=0.5)
+        assert isinstance(model, EdgeSimilarityModel)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ModelError):
+            EdgeSimilarityModel(gamma=0.0)
+
+    def test_biased_weight_formula(self, toy_graph):
+        model = EdgeSimilarityModel(gamma=0.5)
+        expected = 1.0 * (0.5 + _closed_jaccard(toy_graph, 1, 3))
+        assert model.biased_weight(toy_graph, 1, 0, 3) == pytest.approx(expected)
+
+    def test_vectorised_matches_scalar(self, toy_graph):
+        model = EdgeSimilarityModel(gamma=0.3)
+        for u, v in [(1, 0), (2, 0), (0, 2)]:
+            vec = model.biased_weights(toy_graph, u, v)
+            scalar = [
+                model.biased_weight(toy_graph, u, v, int(z))
+                for z in toy_graph.neighbors(v)
+            ]
+            assert np.allclose(vec, scalar)
+
+    def test_subset_matches_full(self, medium_graph):
+        model = EdgeSimilarityModel(gamma=0.5)
+        v = int(medium_graph.degrees.argmax())
+        u = int(medium_graph.neighbors(v)[0])
+        full = model.target_ratios(medium_graph, u, v)
+        subset = model.target_ratios_subset(
+            medium_graph, u, v, medium_graph.neighbors(v)[:5]
+        )
+        assert np.allclose(subset, full[:5])
+
+    def test_ratio_bounds(self, medium_graph):
+        model = EdgeSimilarityModel(gamma=0.5)
+        bound = model.max_ratio_bound(medium_graph)
+        assert bound == 1.5
+        v = int(medium_graph.degrees.argmax())
+        for u in medium_graph.neighbors(v)[:5]:
+            ratios = model.target_ratios(medium_graph, int(u), v)
+            assert np.all(ratios >= 0.5)
+            assert np.all(ratios <= bound + 1e-12)
+
+    def test_similar_nodes_preferred(self, toy_graph):
+        """From edge (1, 0), the triangle nodes 2/3 are more similar to
+        each other than to the leaf — the walk biases accordingly."""
+        model = EdgeSimilarityModel(gamma=0.1)
+        p = model.e2e_distribution(toy_graph, 2, 0)
+        neighbors = list(toy_graph.neighbors(0))
+        # Candidate 3 (same triangle as previous node 2) beats candidate 1.
+        assert p[neighbors.index(3)] > p[neighbors.index(1)]
+
+
+class TestSamplers:
+    @pytest.mark.parametrize("kind", list(SamplerKind))
+    def test_all_samplers_match_distribution(self, kind, toy_graph, rng):
+        model = EdgeSimilarityModel(gamma=0.5)
+        u, v = 2, 0
+        sampler = build_node_sampler(kind, toy_graph, model, v)
+        exact = model.e2e_distribution(toy_graph, u, v)
+        samples = np.array([sampler.sample(u, rng) for _ in range(6000)])
+        positions = np.searchsorted(toy_graph.neighbors(v), samples)
+        emp = empirical_distribution(positions, toy_graph.degree(v))
+        assert total_variation_distance(emp, exact) < 0.05
+
+    def test_full_framework_run(self, medium_graph):
+        model = EdgeSimilarityModel(gamma=0.5)
+        fw = MemoryAwareFramework(medium_graph, model, budget=5e5, rng=0)
+        walk = fw.walk(0, 12)
+        for a, b in zip(walk, walk[1:]):
+            assert medium_graph.has_edge(int(a), int(b))

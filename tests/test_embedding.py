@@ -1,0 +1,97 @@
+"""Unit tests for the skip-gram embedding trainer."""
+
+import numpy as np
+import pytest
+
+from repro import MemoryAwareFramework, Node2VecModel, WalkCorpus
+from repro.embedding import train_embeddings
+from repro.exceptions import ModelError
+from repro.graph import from_edges
+
+
+@pytest.fixture(scope="module")
+def two_cliques():
+    """Two 5-cliques joined by a single bridge edge."""
+    edges = []
+    for base in (0, 5):
+        for i in range(5):
+            for j in range(i + 1, 5):
+                edges.append((base + i, base + j))
+    edges.append((0, 5))
+    return from_edges(edges)
+
+
+@pytest.fixture(scope="module")
+def clique_corpus(two_cliques):
+    fw = MemoryAwareFramework(two_cliques, Node2VecModel(0.5, 2.0), budget=1e6, rng=3)
+    walks = fw.generate_walks(num_walks=20, length=20, rng=3)
+    return WalkCorpus.from_walks(walks)
+
+
+class TestTraining:
+    def test_shapes(self, clique_corpus, two_cliques):
+        model = train_embeddings(
+            clique_corpus, two_cliques.num_nodes, dimensions=16, epochs=1, rng=0
+        )
+        assert model.in_vectors.shape == (10, 16)
+        assert model.num_nodes == 10
+        assert model.dimensions == 16
+
+    def test_community_structure_learned(self, clique_corpus, two_cliques):
+        model = train_embeddings(
+            clique_corpus, two_cliques.num_nodes,
+            dimensions=16, epochs=3, window=4, rng=0,
+        )
+        # Same-clique similarity must exceed cross-clique similarity.
+        same = np.mean([model.similarity(1, j) for j in (2, 3, 4)])
+        cross = np.mean([model.similarity(1, j) for j in (6, 7, 8)])
+        assert same > cross
+
+    def test_most_similar_excludes_self(self, clique_corpus, two_cliques):
+        model = train_embeddings(
+            clique_corpus, two_cliques.num_nodes, dimensions=8, rng=0
+        )
+        neighbors = model.most_similar(3, k=5)
+        assert len(neighbors) == 5
+        assert all(node != 3 for node, _ in neighbors)
+
+    def test_deterministic(self, clique_corpus, two_cliques):
+        a = train_embeddings(clique_corpus, 10, dimensions=8, rng=1)
+        b = train_embeddings(clique_corpus, 10, dimensions=8, rng=1)
+        assert np.allclose(a.in_vectors, b.in_vectors)
+
+    def test_zero_negative_samples(self, clique_corpus):
+        model = train_embeddings(clique_corpus, 10, dimensions=8, negative=0, rng=0)
+        assert model.num_nodes == 10
+
+    def test_vector_accessor(self, clique_corpus):
+        model = train_embeddings(clique_corpus, 10, dimensions=8, rng=0)
+        assert model.vector(0).shape == (8,)
+
+
+class TestValidation:
+    def test_empty_corpus(self):
+        with pytest.raises(ModelError, match="empty corpus"):
+            train_embeddings(WalkCorpus(), 10)
+
+    def test_invalid_hyperparameters(self, clique_corpus):
+        with pytest.raises(ModelError):
+            train_embeddings(clique_corpus, 10, dimensions=0)
+        with pytest.raises(ModelError):
+            train_embeddings(clique_corpus, 10, window=0)
+        with pytest.raises(ModelError):
+            train_embeddings(clique_corpus, 10, epochs=0)
+
+    def test_too_few_nodes(self, clique_corpus):
+        with pytest.raises(ModelError, match="beyond num_nodes"):
+            train_embeddings(clique_corpus, 2)
+
+    def test_walks_too_short(self):
+        corpus = WalkCorpus.from_walks([[0]])
+        with pytest.raises(ModelError, match="no context pairs"):
+            train_embeddings(corpus, 1)
+
+    def test_similarity_zero_vector(self, clique_corpus):
+        model = train_embeddings(clique_corpus, 10, dimensions=4, rng=0)
+        model.in_vectors[0] = 0.0
+        assert model.similarity(0, 1) == 0.0

@@ -1,0 +1,95 @@
+"""Tests for the exact edge-state PageRank and its agreement with the
+Monte-Carlo estimator."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AutoregressiveModel,
+    FirstOrderModel,
+    MemoryAwareFramework,
+    Node2VecModel,
+    second_order_pagerank,
+)
+from repro.exceptions import WalkError
+from repro.graph import cycle_graph, from_edges, powerlaw_cluster_graph
+from repro.sampling.utils import total_variation_distance
+from repro.walks import exact_second_order_pagerank
+
+
+class TestExactComputation:
+    def test_scores_normalised(self, toy_graph, nv_model):
+        scores = exact_second_order_pagerank(toy_graph, nv_model, 0)
+        assert scores.sum() == pytest.approx(1.0)
+        assert np.all(scores >= 0)
+
+    def test_zero_length_is_delta(self, toy_graph, nv_model):
+        scores = exact_second_order_pagerank(
+            toy_graph, nv_model, 2, max_length=0
+        )
+        assert scores[2] == 1.0
+
+    def test_zero_decay_is_delta(self, toy_graph, nv_model):
+        scores = exact_second_order_pagerank(toy_graph, nv_model, 2, decay=0.0)
+        assert scores[2] == 1.0
+
+    def test_isolated_query(self, nv_model):
+        g = from_edges([(0, 1)], num_nodes=3)
+        scores = exact_second_order_pagerank(g, nv_model, 2)
+        assert scores[2] == 1.0
+
+    def test_invalid_query(self, toy_graph, nv_model):
+        with pytest.raises(WalkError):
+            exact_second_order_pagerank(toy_graph, nv_model, 99)
+
+    def test_invalid_decay(self, toy_graph, nv_model):
+        with pytest.raises(WalkError):
+            exact_second_order_pagerank(toy_graph, nv_model, 0, decay=2.0)
+
+    def test_cycle_symmetry(self):
+        """On a cycle with a symmetric model, the two direct neighbours of
+        the query get equal mass."""
+        g = cycle_graph(8)
+        scores = exact_second_order_pagerank(g, FirstOrderModel(), 0, max_length=6)
+        assert scores[1] == pytest.approx(scores[7])
+        assert scores[2] == pytest.approx(scores[6])
+
+    def test_one_step_matches_n2e(self, weighted_graph, nv_model):
+        """With L=1, scores are the mixture of the start delta and the n2e
+        distribution — independent of the second-order parameters."""
+        decay = 0.7
+        scores = exact_second_order_pagerank(
+            weighted_graph, nv_model, 2, decay=decay, max_length=1
+        )
+        n2e = weighted_graph.neighbor_weights(2) / weighted_graph.weight_sum(2)
+        expected = np.zeros(weighted_graph.num_nodes)
+        expected[2] += 1.0
+        expected[weighted_graph.neighbors(2)] += decay * n2e
+        expected /= expected.sum()
+        assert np.allclose(scores, expected)
+
+    def test_query_dominates(self, medium_graph, nv_model):
+        scores = exact_second_order_pagerank(medium_graph, nv_model, 10)
+        assert scores[10] == scores.max()
+
+
+class TestMonteCarloAgreement:
+    @pytest.mark.parametrize(
+        "model",
+        [Node2VecModel(0.25, 4.0), AutoregressiveModel(0.5), FirstOrderModel()],
+        ids=["node2vec", "auto", "first-order"],
+    )
+    def test_estimator_converges_to_exact(self, model):
+        graph = powerlaw_cluster_graph(40, 3, 0.5, rng=3)
+        query = int(graph.degrees.argmax())
+        exact = exact_second_order_pagerank(
+            graph, model, query, decay=0.8, max_length=8
+        )
+        fw = MemoryAwareFramework.memory_unaware(
+            graph, model, kind=__import__("repro").SamplerKind.ALIAS, rng=0
+        )
+        estimate = second_order_pagerank(
+            fw.walk_engine, query,
+            decay=0.8, max_length=8, num_samples=8000, rng=1,
+        )
+        assert total_variation_distance(estimate.scores + 1e-15, exact + 1e-15) < 0.05

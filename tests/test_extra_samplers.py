@@ -1,0 +1,187 @@
+"""Tests for first-class user-defined samplers (SamplerSpec)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostParams,
+    MemoryAwareFramework,
+    Node2VecModel,
+    build_cost_table,
+    compute_bounding_constants,
+    lp_greedy,
+)
+from repro.exceptions import CostModelError
+from repro.framework import (
+    BinaryCdfNodeSampler,
+    SamplerSpec,
+    binary_cdf_spec,
+    extend_cost_table,
+)
+from repro.sampling.utils import empirical_distribution, total_variation_distance
+
+
+@pytest.fixture(scope="module")
+def setup(medium_graph):
+    model = Node2VecModel(0.25, 4.0)
+    constants = compute_bounding_constants(medium_graph, model)
+    base = build_cost_table(medium_graph, constants, CostParams())
+    return medium_graph, model, constants, base
+
+
+class TestBinaryCdfSampler:
+    def test_matches_exact_distribution(self, toy_graph, nv_model, rng):
+        sampler = BinaryCdfNodeSampler(toy_graph, nv_model, 0)
+        exact = nv_model.e2e_distribution(toy_graph, 1, 0)
+        samples = np.array([sampler.sample(1, rng) for _ in range(6000)])
+        positions = np.searchsorted(toy_graph.neighbors(0), samples)
+        emp = empirical_distribution(positions, toy_graph.degree(0))
+        assert total_variation_distance(emp, exact) < 0.05
+
+    def test_sample_first_matches_n2e(self, weighted_graph, nv_model, rng):
+        sampler = BinaryCdfNodeSampler(weighted_graph, nv_model, 2)
+        samples = np.array([sampler.sample_first(rng) for _ in range(6000)])
+        positions = np.searchsorted(weighted_graph.neighbors(2), samples)
+        emp = empirical_distribution(positions, weighted_graph.degree(2))
+        exact = weighted_graph.neighbor_weights(2) / weighted_graph.weight_sum(2)
+        assert total_variation_distance(emp, exact) < 0.05
+
+    def test_costs_between_rejection_and_alias(self, toy_graph, nv_model):
+        params = CostParams()
+        sampler = BinaryCdfNodeSampler(toy_graph, nv_model, 0)
+        d = toy_graph.degree(0)
+        alias_mem = (params.float_bytes + params.int_bytes) * (d * d + d)
+        assert sampler.memory_cost(params) == pytest.approx(alias_mem / 2)
+        assert sampler.time_cost(params) == pytest.approx(np.log2(d))
+
+    def test_unknown_previous_falls_back(self, rng):
+        from repro import from_edges
+
+        g = from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        sampler = BinaryCdfNodeSampler(g, Node2VecModel(1, 1), 0)
+        assert sampler.sample(3, rng) in (1, 2)
+
+
+class TestSamplerSpec:
+    def test_validation(self):
+        with pytest.raises(CostModelError):
+            SamplerSpec(
+                name="",
+                memory_fn=lambda p, d: d,
+                time_fn=lambda p, d, c: 1.0,
+                build=BinaryCdfNodeSampler,
+            )
+        with pytest.raises(CostModelError):
+            SamplerSpec(
+                name="x",
+                memory_fn=lambda p, d: d,
+                time_fn=lambda p, d, c: 1.0,
+                build=BinaryCdfNodeSampler,
+                min_degree=0,
+            )
+
+
+class TestExtendCostTable:
+    def test_adds_columns(self, setup):
+        graph, _, _, base = setup
+        extended = extend_cost_table(base, graph, [binary_cdf_spec()])
+        assert extended.num_samplers == 4
+        assert base.num_samplers == 3  # original untouched
+
+    def test_column_values(self, setup):
+        graph, _, _, base = setup
+        extended = extend_cost_table(base, graph, [binary_cdf_spec()])
+        params = base.params
+        for v in (0, 5, 17):
+            d = graph.degree(v)
+            assert extended.memory[v, 3] == pytest.approx(
+                params.float_bytes * (d * d + d)
+            )
+            assert extended.time[v, 3] == pytest.approx(
+                max(1.0, np.log2(max(d, 1)))
+            )
+
+    def test_availability_respects_min_degree(self, setup, nv_model):
+        from repro import from_edges
+        from repro.bounding import BoundingConstants
+
+        g = from_edges([(0, 1), (1, 2)], num_nodes=4)
+        constants = BoundingConstants(values=np.ones(4))
+        base = build_cost_table(g, constants, CostParams())
+        extended = extend_cost_table(base, g, [binary_cdf_spec()])
+        assert not extended.available[0, 3]  # degree 1
+        assert extended.available[1, 3]      # degree 2
+        assert not extended.available[3, 3]  # isolated
+
+    def test_empty_specs_identity(self, setup):
+        graph, _, _, base = setup
+        assert extend_cost_table(base, graph, []) is base
+
+    def test_optimizer_uses_custom_column(self, setup):
+        graph, _, _, base = setup
+        extended = extend_cost_table(base, graph, [binary_cdf_spec()])
+        assignment = lp_greedy(extended, 0.15 * extended.max_memory())
+        counts = np.bincount(assignment.samplers, minlength=4)
+        # At half alias's price the binary-cdf column must win somewhere.
+        assert counts[3] > 0
+        assert assignment.used_memory <= 0.15 * extended.max_memory()
+
+
+class TestFrameworkIntegration:
+    def test_end_to_end_with_custom_sampler(self, setup):
+        graph, model, constants, base = setup
+        fw = MemoryAwareFramework(
+            graph, model, budget=0.15 * base.max_memory(),
+            bounding_constants=constants,
+            extra_samplers=[binary_cdf_spec()],
+        )
+        counts = np.bincount(fw.assignment.samplers, minlength=4)
+        assert counts[3] > 0
+        # Nodes on the custom sampler actually got BinaryCdfNodeSampler.
+        custom_nodes = np.nonzero(fw.assignment.samplers == 3)[0]
+        assert isinstance(fw.sampler(int(custom_nodes[0])), BinaryCdfNodeSampler)
+        # And walks traverse real edges.
+        walk = fw.walk(int(custom_nodes[0]), 20, rng=1)
+        for a, b in zip(walk, walk[1:]):
+            assert graph.has_edge(int(a), int(b))
+
+    def test_walks_faithful_with_custom_sampler(self, setup):
+        from repro import WalkCorpus
+        from repro.analysis import diagnose_walks
+
+        graph, model, constants, base = setup
+        fw = MemoryAwareFramework(
+            graph, model, budget=0.2 * base.max_memory(),
+            bounding_constants=constants,
+            extra_samplers=[binary_cdf_spec()],
+        )
+        corpus = WalkCorpus.from_walks(
+            fw.generate_walks(num_walks=40, length=12, rng=2)
+        )
+        diagnostics = diagnose_walks(graph, model, corpus, min_samples=60)
+        assert diagnostics.contexts_checked > 0
+        assert diagnostics.is_faithful(max_noise_units=3.5)
+
+    def test_dynamic_budget_with_custom_sampler(self, setup):
+        graph, model, constants, base = setup
+        fw = MemoryAwareFramework(
+            graph, model, budget=0.1 * base.max_memory(),
+            bounding_constants=constants,
+            extra_samplers=[binary_cdf_spec()],
+        )
+        update, _ = fw.set_budget(0.4 * base.max_memory())
+        assert update.steps_applied > 0
+        update, _ = fw.set_budget(0.1 * base.max_memory())
+        assert update.steps_reverted > 0
+        walk = fw.walk(0, 10, rng=3)
+        assert len(walk) == 11
+
+    def test_cheaper_than_builtin_trio_at_equal_budget(self, setup):
+        """The custom sampler expands the frontier: total modeled time at a
+        fixed budget can only improve (the optimizer may ignore it)."""
+        graph, model, constants, base = setup
+        budget = 0.15 * base.max_memory()
+        trio = lp_greedy(base, budget).total_time
+        extended = extend_cost_table(base, graph, [binary_cdf_spec()])
+        quartet = lp_greedy(extended, budget).total_time
+        assert quartet <= trio + 1e-9

@@ -1,0 +1,136 @@
+"""End-to-end reproduction of the paper's Figure 5 worked example.
+
+4-node toy graph, NV(0.25, 4), c = 1, b_f = b_i = 4, budget 188 bytes.
+Every number in the figure is asserted: the cost-model table, the sorted
+gradients, the applied update sequence with running memory, and the final
+assignment {0: R, 1: R, 2: A, 3: A}.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostParams,
+    Node2VecModel,
+    SamplerKind,
+    build_cost_table,
+    compute_bounding_constants,
+    lp_greedy,
+)
+from repro.datasets import figure5_toy_graph
+from repro.optimizer.lp_greedy import build_schedule
+
+PARAMS = CostParams(float_bytes=4, int_bytes=4, fixed_check_cost=1.0)
+BUDGET = 188.0
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = figure5_toy_graph()
+    model = Node2VecModel(a=0.25, b=4.0)
+    constants = compute_bounding_constants(graph, model)
+    table = build_cost_table(graph, constants, PARAMS)
+    return graph, model, constants, table
+
+
+class TestCostModelTable:
+    """The figure's top table, cell by cell."""
+
+    def test_degrees(self, setup):
+        graph, *_ = setup
+        assert list(graph.degrees) == [3, 1, 2, 2]
+
+    def test_bounding_constants(self, setup):
+        _, _, constants, _ = setup
+        assert constants[0] == pytest.approx(2.41, abs=0.005)
+        assert constants[1] == pytest.approx(1.00)
+        assert constants[2] == pytest.approx(1.60)
+        assert constants[3] == pytest.approx(1.60)
+
+    def test_naive_columns(self, setup):
+        *_, table = setup
+        assert np.allclose(table.memory[:, 0], [3.0, 3.0, 3.0, 3.0])
+        assert np.allclose(table.time[:, 0], [6.0, 2.0, 4.0, 4.0])
+
+    def test_rejection_columns(self, setup):
+        *_, table = setup
+        assert np.allclose(table.memory[:, 1], [36.0, 12.0, 24.0, 24.0])
+        assert np.allclose(
+            table.time[:, 1], [2.41, 1.0, 1.6, 1.6], atol=0.005
+        )
+
+    def test_alias_columns(self, setup):
+        *_, table = setup
+        assert np.allclose(table.memory[:, 2], [96.0, 16.0, 48.0, 48.0])
+        assert np.allclose(table.time[:, 2], 1.0)
+
+
+class TestSortedGradients:
+    """The figure's bottom table: eight gradient entries in sorted order
+    (node 1's R→A entry is P-dominated and eliminated, matching Property 1,
+    which the figure keeps only because its gradient is exactly 0)."""
+
+    def test_gradient_values(self, setup):
+        *_, table = setup
+        _, steps = build_schedule(table)
+        grads = [round(s.gradient, 3) for s in steps]
+        assert grads == sorted(grads)
+        # The figure's gradient column (without node 1's zero entry).
+        assert grads == [-0.114, -0.114, -0.111, -0.109, -0.025, -0.025, -0.024]
+
+    def test_initialization_all_naive(self, setup):
+        *_, table = setup
+        initial, _ = build_schedule(table)
+        assert np.all(initial == SamplerKind.NAIVE)
+        assert table.assignment_memory(initial) == pytest.approx(12.0)
+
+
+class TestGreedyRun:
+    def test_update_sequence(self, setup):
+        *_, table = setup
+        assignment = lp_greedy(table, BUDGET)
+        applied = [
+            (entry.node, entry.previous.short, entry.chosen.short)
+            for entry in assignment.trace
+        ]
+        # Ties between nodes 2 and 3 may resolve either way; everything
+        # else is fixed by the gradients.
+        assert sorted(applied[:2]) == [(2, "N", "R"), (3, "N", "R")]
+        assert applied[2:4] == [(1, "N", "R"), (0, "N", "R")]
+        assert sorted(applied[4:]) == [(2, "R", "A"), (3, "R", "A")]
+        assert [e.used_memory_after for e in assignment.trace] == [
+            33, 54, 63, 96, 120, 144,
+        ]
+
+    def test_final_assignment(self, setup):
+        *_, table = setup
+        assignment = lp_greedy(table, BUDGET)
+        assert assignment[0] is SamplerKind.REJECTION
+        assert assignment[1] is SamplerKind.REJECTION
+        assert assignment[2] is SamplerKind.ALIAS
+        assert assignment[3] is SamplerKind.ALIAS
+        assert assignment.used_memory == pytest.approx(144.0)
+
+    def test_break_condition(self, setup):
+        """The figure's narrative: after reaching 144, the remaining 44
+        bytes cannot fund node 0's R→A upgrade (needs 60)."""
+        *_, table = setup
+        assignment = lp_greedy(table, BUDGET)
+        next_upgrade = table.memory[0, 2] - table.memory[0, 1]
+        assert next_upgrade == 60.0
+        assert BUDGET - assignment.used_memory == pytest.approx(44.0)
+        assert next_upgrade > BUDGET - assignment.used_memory
+
+    def test_walks_run_on_figure5_assignment(self, setup):
+        """The worked example is executable, not just arithmetic."""
+        from repro import MemoryAwareFramework
+
+        graph, model, constants, _ = setup
+        fw = MemoryAwareFramework(
+            graph, model, budget=BUDGET,
+            cost_params=PARAMS, bounding_constants=constants,
+        )
+        walk = fw.walk(0, 20, rng=0)
+        assert len(walk) == 21
+        for a, b in zip(walk, walk[1:]):
+            assert graph.has_edge(int(a), int(b))

@@ -1,0 +1,110 @@
+"""Unit tests for memory budgets, meters, and budget traces."""
+
+import pytest
+
+from repro import MemoryBudget, MemoryMeter, SimulatedOOMError, format_bytes
+from repro.exceptions import BudgetError
+from repro.framework import linear_budget_trace
+
+
+class TestFormatBytes:
+    def test_units(self):
+        assert format_bytes(512) == "512B"
+        assert format_bytes(1_500) == "1.5KB"
+        assert format_bytes(2_000_000) == "2.0MB"
+        assert format_bytes(1_796e12) == "1.8PB"
+        assert format_bytes(379e12) == "379.0TB"
+
+    def test_zero(self):
+        assert format_bytes(0) == "0B"
+
+
+class TestMemoryBudget:
+    def test_from_ratio(self):
+        budget = MemoryBudget.from_ratio(1000, 0.1)
+        assert budget.total_bytes == 100
+        assert budget.ratio == pytest.approx(0.1)
+
+    def test_absolute(self):
+        budget = MemoryBudget(2048)
+        assert budget.ratio is None
+        assert "2.0KB" in str(budget)
+
+    def test_negative_rejected(self):
+        with pytest.raises(BudgetError):
+            MemoryBudget(-1)
+        with pytest.raises(BudgetError):
+            MemoryBudget.from_ratio(100, -0.5)
+
+    def test_str_with_ratio(self):
+        budget = MemoryBudget.from_ratio(1000, 0.5)
+        assert "0.50x ref" in str(budget)
+
+
+class TestMemoryMeter:
+    def test_charge_and_release(self):
+        meter = MemoryMeter()
+        meter.charge(100)
+        meter.charge(50)
+        assert meter.used_bytes == 150
+        meter.release(100)
+        assert meter.used_bytes == 50
+        assert meter.peak_bytes == 150
+
+    def test_oom_gate(self):
+        meter = MemoryMeter(physical_bytes=100)
+        meter.charge(80)
+        with pytest.raises(SimulatedOOMError) as exc:
+            meter.charge(30, what="alias tables")
+        assert exc.value.required_bytes == 110
+        assert exc.value.available_bytes == 100
+        assert "alias tables" in str(exc.value)
+        # Failed charge does not mutate state.
+        assert meter.used_bytes == 80
+
+    def test_unlimited_meter(self):
+        meter = MemoryMeter()
+        meter.charge(1e18)
+        assert meter.used_bytes == 1e18
+
+    def test_negative_amounts_rejected(self):
+        meter = MemoryMeter()
+        with pytest.raises(BudgetError):
+            meter.charge(-1)
+        with pytest.raises(BudgetError):
+            meter.release(-1)
+
+    def test_release_clamps_at_zero(self):
+        meter = MemoryMeter()
+        meter.charge(10)
+        meter.release(100)
+        assert meter.used_bytes == 0
+
+    def test_reset_keeps_peak(self):
+        meter = MemoryMeter()
+        meter.charge(42)
+        meter.reset()
+        assert meter.used_bytes == 0
+        assert meter.peak_bytes == 42
+
+
+class TestBudgetTrace:
+    def test_figure9_shape(self):
+        trace = linear_budget_trace(100, steps=10)
+        assert len(trace) == 19
+        assert trace[0] == pytest.approx(10)
+        assert max(trace) == pytest.approx(100)
+        assert trace[-1] == pytest.approx(10)
+        # Monotone up then down.
+        peak = trace.index(max(trace))
+        assert trace[:peak + 1] == sorted(trace[:peak + 1])
+        assert trace[peak:] == sorted(trace[peak:], reverse=True)
+
+    def test_single_step(self):
+        assert linear_budget_trace(50, steps=1) == [50]
+
+    def test_invalid(self):
+        with pytest.raises(BudgetError):
+            linear_budget_trace(0)
+        with pytest.raises(BudgetError):
+            linear_budget_trace(10, steps=0)

@@ -1,0 +1,131 @@
+"""Unit tests for the walk engine (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro import Node2VecModel, SamplerKind
+from repro.exceptions import WalkError
+from repro.framework import WalkEngine, build_node_sampler
+
+
+def make_engine(graph, model, kind=SamplerKind.ALIAS):
+    samplers = [
+        build_node_sampler(kind, graph, model, v) if graph.degree(v) > 0 else None
+        for v in range(graph.num_nodes)
+    ]
+    return WalkEngine(graph, samplers)
+
+
+@pytest.fixture
+def engine(toy_graph, nv_model):
+    return make_engine(toy_graph, nv_model)
+
+
+class TestWalk:
+    def test_walk_length(self, engine, rng):
+        walk = engine.walk(0, 10, rng)
+        assert len(walk) == 11
+        assert walk[0] == 0
+
+    def test_walk_follows_edges(self, engine, toy_graph, rng):
+        walk = engine.walk(0, 30, rng)
+        for a, b in zip(walk, walk[1:]):
+            assert toy_graph.has_edge(int(a), int(b))
+
+    def test_zero_length(self, engine, rng):
+        walk = engine.walk(2, 0, rng)
+        assert list(walk) == [2]
+
+    def test_invalid_start(self, engine, rng):
+        with pytest.raises(WalkError):
+            engine.walk(99, 5, rng)
+
+    def test_negative_length(self, engine, rng):
+        with pytest.raises(WalkError):
+            engine.walk(0, -1, rng)
+
+    def test_dead_end_stops_early(self, rng, nv_model):
+        from repro import from_edges
+
+        # Directed: 0 → 1 → 2, then 2 has no successors.
+        g = from_edges([(0, 1), (1, 2)], undirected=False, num_nodes=3)
+        samplers = [
+            build_node_sampler(SamplerKind.NAIVE, g, nv_model, v)
+            if g.degree(v) > 0
+            else None
+            for v in range(3)
+        ]
+        engine = WalkEngine(g, samplers)
+        walk = engine.walk(0, 10, rng)
+        assert list(walk) == [0, 1, 2]
+
+    def test_deterministic_given_seed(self, toy_graph, nv_model):
+        e1 = make_engine(toy_graph, nv_model)
+        e2 = make_engine(toy_graph, nv_model)
+        w1 = e1.walk(0, 20, np.random.default_rng(5))
+        w2 = e2.walk(0, 20, np.random.default_rng(5))
+        assert np.array_equal(w1, w2)
+
+
+class TestWalkBatches:
+    def test_walks_from(self, engine, rng):
+        walks = engine.walks_from(0, num_walks=5, length=10, rng=rng)
+        assert len(walks) == 5
+        assert all(w[0] == 0 for w in walks)
+
+    def test_walks_all_nodes(self, engine, toy_graph, rng):
+        walks = engine.walks_all_nodes(num_walks=3, length=5, rng=rng)
+        assert len(walks) == 3 * toy_graph.num_nodes
+
+    def test_walks_all_nodes_skips_isolated(self, rng, nv_model):
+        from repro import from_edges
+
+        g = from_edges([(0, 1)], num_nodes=3)
+        samplers = [
+            build_node_sampler(SamplerKind.NAIVE, g, nv_model, v)
+            if g.degree(v) > 0
+            else None
+            for v in range(3)
+        ]
+        engine = WalkEngine(g, samplers)
+        walks = engine.walks_all_nodes(num_walks=2, length=3, rng=rng)
+        assert len(walks) == 4  # nodes 0 and 1 only
+
+    def test_restricted_start_nodes(self, engine, rng):
+        walks = engine.walks_all_nodes(num_walks=1, length=4, nodes=[2, 3], rng=rng)
+        assert len(walks) == 2
+        assert {int(w[0]) for w in walks} == {2, 3}
+
+
+class TestWalkWithRestart:
+    def test_decay_zero_stops_immediately(self, engine, rng):
+        walk = engine.walk_with_restart(0, decay=0.0, max_length=10, rng=rng)
+        assert list(walk) == [0]
+
+    def test_decay_one_runs_to_max(self, engine, rng):
+        walk = engine.walk_with_restart(0, decay=1.0, max_length=10, rng=rng)
+        assert len(walk) == 11
+
+    def test_invalid_decay(self, engine, rng):
+        with pytest.raises(WalkError):
+            engine.walk_with_restart(0, decay=1.5, max_length=5, rng=rng)
+
+    def test_average_length_matches_geometric(self, engine):
+        rng = np.random.default_rng(0)
+        decay = 0.5
+        lengths = [
+            len(engine.walk_with_restart(0, decay=decay, max_length=100, rng=rng)) - 1
+            for _ in range(4000)
+        ]
+        # Steps ~ geometric with mean decay/(1-decay) = 1 for decay=0.5.
+        assert np.mean(lengths) == pytest.approx(1.0, abs=0.1)
+
+
+class TestEngineValidation:
+    def test_length_mismatch(self, toy_graph, nv_model):
+        with pytest.raises(WalkError):
+            WalkEngine(toy_graph, [None, None])
+
+    def test_missing_sampler_for_connected_node(self, toy_graph):
+        with pytest.raises(WalkError, match="no sampler"):
+            WalkEngine(toy_graph, [None] * toy_graph.num_nodes)

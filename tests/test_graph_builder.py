@@ -1,0 +1,113 @@
+"""Unit tests for edge-list to CSR conversion."""
+
+import numpy as np
+import pytest
+
+from repro import GraphBuilder, from_edges
+from repro.exceptions import GraphFormatError
+
+
+class TestFromEdges:
+    def test_undirected_doubles_edges(self):
+        g = from_edges([(0, 1), (1, 2)])
+        assert g.num_edges == 4
+
+    def test_directed_keeps_edges(self):
+        g = from_edges([(0, 1), (1, 2)], undirected=False)
+        assert g.num_edges == 2
+
+    def test_self_loops_dropped_by_default(self):
+        g = from_edges([(0, 0), (0, 1)])
+        assert not g.has_edge(0, 0)
+        assert g.has_edge(0, 1)
+
+    def test_self_loops_kept_when_allowed(self):
+        g = from_edges([(0, 0), (0, 1)], allow_self_loops=True)
+        assert g.has_edge(0, 0)
+
+    def test_duplicate_edges_merge_weights(self):
+        g = from_edges([(0, 1), (0, 1)], weights=[1.0, 2.5])
+        assert g.edge_weight(0, 1) == pytest.approx(3.5)
+        assert g.degree(0) == 1
+
+    def test_num_nodes_inferred(self):
+        g = from_edges([(0, 5)])
+        assert g.num_nodes == 6
+
+    def test_num_nodes_explicit_adds_isolated(self):
+        g = from_edges([(0, 1)], num_nodes=10)
+        assert g.num_nodes == 10
+        assert g.degree(9) == 0
+
+    def test_num_nodes_too_small(self):
+        with pytest.raises(GraphFormatError):
+            from_edges([(0, 5)], num_nodes=3)
+
+    def test_negative_node_id(self):
+        with pytest.raises(GraphFormatError):
+            from_edges([(-1, 2)])
+
+    def test_weight_count_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            from_edges([(0, 1)], weights=[1.0, 2.0])
+
+    def test_negative_weight(self):
+        with pytest.raises(GraphFormatError):
+            from_edges([(0, 1)], weights=[-1.0])
+
+    def test_bad_shape(self):
+        with pytest.raises(GraphFormatError):
+            from_edges(np.array([[0, 1, 2]]))
+
+    def test_empty_edge_list(self):
+        g = from_edges([], num_nodes=4)
+        assert g.num_nodes == 4
+        assert g.num_edges == 0
+
+    def test_adjacency_sorted_after_build(self):
+        g = from_edges([(0, 3), (0, 1), (0, 2)])
+        assert list(g.neighbors(0)) == [1, 2, 3]
+
+    def test_undirected_weights_symmetric(self):
+        g = from_edges([(0, 1)], weights=[2.5])
+        assert g.edge_weight(0, 1) == 2.5
+        assert g.edge_weight(1, 0) == 2.5
+
+
+class TestGraphBuilder:
+    def test_incremental_build(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        b.add_edge(1, 2, weight=2.0)
+        g = b.build()
+        assert g.num_nodes == 3
+        assert g.edge_weight(1, 2) == 2.0
+
+    def test_add_edges_bulk(self):
+        b = GraphBuilder()
+        b.add_edges([(0, 1), (1, 2)], weights=[1.0, 3.0])
+        g = b.build()
+        assert g.edge_weight(1, 2) == 3.0
+
+    def test_add_edges_without_weights(self):
+        b = GraphBuilder()
+        b.add_edges([(0, 1), (1, 2)])
+        assert b.build().is_unit_weight
+
+    def test_directed_builder(self):
+        b = GraphBuilder(undirected=False)
+        b.add_edge(0, 1)
+        g = b.build()
+        assert g.has_edge(0, 1) and not g.has_edge(1, 0)
+
+    def test_invalid_edge_rejected_eagerly(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphFormatError):
+            b.add_edge(-1, 0)
+        with pytest.raises(GraphFormatError):
+            b.add_edge(0, 1, weight=float("inf"))
+
+    def test_empty_builder(self):
+        g = GraphBuilder().build(num_nodes=2)
+        assert g.num_nodes == 2
+        assert g.num_edges == 0

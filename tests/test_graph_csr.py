@@ -1,0 +1,179 @@
+"""Unit tests for the CSR graph structure."""
+
+import numpy as np
+import pytest
+
+from repro import CSRGraph
+from repro.exceptions import EmptyGraphError, GraphFormatError
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 4  # stored in both directions
+
+    def test_explicit_arrays(self):
+        g = CSRGraph(
+            indptr=[0, 1, 2],
+            indices=[1, 0],
+            weights=[2.0, 2.0],
+        )
+        assert g.num_nodes == 2
+        assert g.edge_weight(0, 1) == 2.0
+
+    def test_unweighted_defaults_to_unit(self):
+        g = CSRGraph(indptr=[0, 1, 2], indices=[1, 0])
+        assert g.is_unit_weight
+        assert np.all(g.weights == 1.0)
+
+    def test_directed_storage(self):
+        g = CSRGraph.from_edges([(0, 1)], undirected=False)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges([], num_nodes=3)
+        assert g.num_nodes == 3
+        assert g.num_edges == 0
+        assert g.degree(0) == 0
+
+    def test_zero_node_graph(self):
+        g = CSRGraph.from_edges([])
+        assert g.num_nodes == 0
+        with pytest.raises(EmptyGraphError):
+            _ = g.max_degree
+
+
+class TestValidation:
+    def test_bad_indptr_start(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(indptr=[1, 2], indices=[0, 1])
+
+    def test_decreasing_indptr(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(indptr=[0, 2, 1], indices=[1, 0])
+
+    def test_indptr_end_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(indptr=[0, 1, 3], indices=[1, 0])
+
+    def test_out_of_range_neighbor(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(indptr=[0, 1], indices=[5])
+
+    def test_negative_weight(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(indptr=[0, 1, 2], indices=[1, 0], weights=[-1.0, 1.0])
+
+    def test_nan_weight(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(indptr=[0, 1, 2], indices=[1, 0], weights=[np.nan, 1.0])
+
+    def test_unsorted_adjacency(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(indptr=[0, 2, 3, 4], indices=[2, 1, 0, 0])
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(indptr=[0, 1, 2], indices=[1, 0], weights=[1.0])
+
+
+class TestAccessors:
+    def test_degrees(self, toy_graph):
+        assert list(toy_graph.degrees) == [3, 1, 2, 2]
+        assert toy_graph.degree(0) == 3
+        assert toy_graph.max_degree == 3
+
+    def test_average_degree(self, toy_graph):
+        assert toy_graph.average_degree == pytest.approx(2.0)
+
+    def test_neighbors_sorted(self, toy_graph):
+        nbrs = toy_graph.neighbors(0)
+        assert list(nbrs) == [1, 2, 3]
+
+    def test_neighbor_weights(self, weighted_graph):
+        nbrs = weighted_graph.neighbors(0)
+        weights = weighted_graph.neighbor_weights(0)
+        expected = {1: 1.0, 2: 2.0}
+        for z, w in zip(nbrs, weights):
+            assert w == expected[int(z)]
+
+    def test_weight_sum(self, weighted_graph):
+        assert weighted_graph.weight_sum(0) == pytest.approx(3.0)
+        assert weighted_graph.weight_sum(2) == pytest.approx(5.5)
+
+    def test_weight_sums_match_manual(self, weighted_graph):
+        for v in range(weighted_graph.num_nodes):
+            manual = float(weighted_graph.neighbor_weights(v).sum())
+            assert weighted_graph.weight_sum(v) == pytest.approx(manual)
+
+    def test_weight_sum_isolated_node(self):
+        g = CSRGraph.from_edges([(0, 1)], num_nodes=3)
+        assert g.weight_sum(2) == 0.0
+
+    def test_nodes_iterator(self, toy_graph):
+        assert list(toy_graph.nodes()) == [0, 1, 2, 3]
+
+    def test_edges_iterator(self, path_graph):
+        edges = list(path_graph.edges())
+        assert (0, 1, 1.0) in edges
+        assert (1, 0, 1.0) in edges
+        assert len(edges) == path_graph.num_edges
+
+
+class TestEdgeQueries:
+    def test_has_edge(self, toy_graph):
+        assert toy_graph.has_edge(0, 1)
+        assert toy_graph.has_edge(2, 3)
+        assert not toy_graph.has_edge(1, 2)
+
+    def test_edge_weight_default(self, toy_graph):
+        assert toy_graph.edge_weight(1, 3) == 0.0
+        assert toy_graph.edge_weight(1, 3, default=-1.0) == -1.0
+
+    def test_edge_index(self, toy_graph):
+        pos = toy_graph.edge_index(0, 2)
+        assert toy_graph.indices[pos] == 2
+        assert toy_graph.edge_index(1, 2) == -1
+
+    def test_has_edges_bulk(self, toy_graph):
+        result = toy_graph.has_edges_bulk(0, np.array([0, 1, 2, 3]))
+        assert list(result) == [False, True, True, True]
+
+    def test_has_edges_bulk_empty_row(self):
+        g = CSRGraph.from_edges([(0, 1)], num_nodes=3)
+        result = g.has_edges_bulk(2, np.array([0, 1]))
+        assert not result.any()
+
+    def test_has_edges_bulk_matches_scalar(self, medium_graph, rng):
+        u = int(rng.integers(medium_graph.num_nodes))
+        targets = rng.integers(medium_graph.num_nodes, size=50)
+        bulk = medium_graph.has_edges_bulk(u, targets)
+        scalar = [medium_graph.has_edge(u, int(z)) for z in targets]
+        assert list(bulk) == scalar
+
+
+class TestDerived:
+    def test_symmetry_of_undirected(self, toy_graph):
+        assert toy_graph.is_symmetric()
+
+    def test_asymmetric_directed(self):
+        g = CSRGraph.from_edges([(0, 1)], undirected=False, num_nodes=2)
+        assert not g.is_symmetric()
+
+    def test_memory_bytes_unweighted(self, toy_graph):
+        expected = (4 + 1) * 4 + 8 * 4  # indptr + indices
+        assert toy_graph.memory_bytes() == expected
+
+    def test_memory_bytes_weighted(self, weighted_graph):
+        base = (weighted_graph.num_nodes + 1) * 4 + weighted_graph.num_edges * 4
+        assert weighted_graph.memory_bytes() == base + weighted_graph.num_edges * 4
+
+    def test_equality(self, toy_graph):
+        other = CSRGraph.from_edges([(0, 1), (0, 2), (0, 3), (2, 3)])
+        assert toy_graph == other
+        assert toy_graph != CSRGraph.from_edges([(0, 1)])
+
+    def test_repr(self, toy_graph):
+        assert "num_nodes=4" in repr(toy_graph)

@@ -1,0 +1,134 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graph import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    powerlaw_cluster_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.stats import triangle_count
+
+
+class TestErdosRenyi:
+    def test_edge_count_near_expectation(self):
+        n, p = 200, 0.1
+        g = erdos_renyi_graph(n, p, rng=0)
+        expected = p * n * (n - 1) / 2
+        stored = g.num_edges / 2
+        assert 0.7 * expected < stored < 1.3 * expected
+
+    def test_p_zero_empty(self):
+        g = erdos_renyi_graph(50, 0.0, rng=0)
+        assert g.num_edges == 0
+
+    def test_p_one_complete(self):
+        g = erdos_renyi_graph(10, 1.0, rng=0)
+        assert g.num_edges == 10 * 9
+
+    def test_deterministic_with_seed(self):
+        assert erdos_renyi_graph(50, 0.1, rng=5) == erdos_renyi_graph(50, 0.1, rng=5)
+
+    def test_invalid_probability(self):
+        with pytest.raises(GraphFormatError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_no_self_loops(self):
+        g = erdos_renyi_graph(60, 0.2, rng=1)
+        assert all(not g.has_edge(v, v) for v in range(g.num_nodes))
+
+
+class TestBarabasiAlbert:
+    def test_node_and_edge_count(self):
+        g = barabasi_albert_graph(100, 3, rng=0)
+        assert g.num_nodes == 100
+        # (n - attach) new nodes each add `attach` undirected edges.
+        assert g.num_edges == 2 * (100 - 3) * 3
+
+    def test_minimum_degree(self):
+        g = barabasi_albert_graph(100, 3, rng=0)
+        degs = g.degrees
+        # Every non-seed node attaches to 3 targets.
+        assert degs[3:].min() >= 3
+
+    def test_power_law_tail(self):
+        g = barabasi_albert_graph(400, 3, rng=0)
+        # Power-law graphs have hubs far above the average.
+        assert g.max_degree > 4 * g.average_degree
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphFormatError):
+            barabasi_albert_graph(5, 5)
+        with pytest.raises(GraphFormatError):
+            barabasi_albert_graph(10, 0)
+
+    def test_deterministic(self):
+        assert barabasi_albert_graph(50, 2, rng=3) == barabasi_albert_graph(50, 2, rng=3)
+
+
+class TestPowerlawCluster:
+    def test_basic_shape(self):
+        g = powerlaw_cluster_graph(100, 3, 0.5, rng=0)
+        assert g.num_nodes == 100
+        assert g.num_edges == 2 * (100 - 3) * 3
+
+    def test_triangle_prob_increases_clustering(self):
+        low = powerlaw_cluster_graph(150, 3, 0.0, rng=2)
+        high = powerlaw_cluster_graph(150, 3, 0.9, rng=2)
+        assert triangle_count(high) > triangle_count(low)
+
+    def test_invalid_triangle_prob(self):
+        with pytest.raises(GraphFormatError):
+            powerlaw_cluster_graph(20, 2, 1.5)
+
+
+class TestWattsStrogatz:
+    def test_no_rewire_is_ring(self):
+        g = watts_strogatz_graph(20, 4, 0.0, rng=0)
+        assert np.all(g.degrees == 4)
+
+    def test_rewire_preserves_edge_count(self):
+        g = watts_strogatz_graph(50, 4, 0.3, rng=0)
+        assert g.num_edges == 50 * 4  # stored directed
+
+    def test_odd_nearest_rejected(self):
+        with pytest.raises(GraphFormatError):
+            watts_strogatz_graph(20, 3, 0.1)
+
+
+class TestDeterministicShapes:
+    def test_complete(self):
+        g = complete_graph(6)
+        assert np.all(g.degrees == 5)
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.degree(0) == 7
+        assert all(g.degree(v) == 1 for v in range(1, 8))
+
+    def test_cycle(self):
+        g = cycle_graph(9)
+        assert np.all(g.degrees == 2)
+        assert g.has_edge(8, 0)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphFormatError):
+            cycle_graph(2)
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_nodes == 12
+        # Interior nodes have degree 4, corners 2.
+        assert g.degree(0) == 2
+        assert g.degree(5) == 4
+
+    def test_grid_invalid(self):
+        with pytest.raises(GraphFormatError):
+            grid_graph(0, 4)

@@ -1,0 +1,77 @@
+"""Unit tests for graph IO round-trips."""
+
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graph import (
+    load_csr_npz,
+    load_edge_list,
+    save_csr_npz,
+    save_edge_list,
+)
+
+
+class TestEdgeList:
+    def test_round_trip_unweighted(self, toy_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(toy_graph, path)
+        loaded = load_edge_list(path, undirected=False)
+        assert loaded == toy_graph
+
+    def test_round_trip_weighted(self, weighted_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(weighted_graph, path)
+        loaded = load_edge_list(path, undirected=False)
+        assert loaded == weighted_graph
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n% other comment\n0 1\n1 2\n")
+        g = load_edge_list(path)
+        assert g.num_nodes == 3
+        assert g.has_edge(0, 1)
+
+    def test_weighted_parsing(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2.5\n")
+        g = load_edge_list(path)
+        assert g.edge_weight(0, 1) == 2.5
+
+    def test_bad_field_count(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphFormatError, match="expected 2 or 3 fields"):
+            load_edge_list(path)
+
+    def test_bad_node_id(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError, match="bad node id"):
+            load_edge_list(path)
+
+    def test_bad_weight(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 xyz\n")
+        with pytest.raises(GraphFormatError, match="bad weight"):
+            load_edge_list(path)
+
+    def test_num_nodes_override(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = load_edge_list(path, num_nodes=5)
+        assert g.num_nodes == 5
+
+
+class TestNpz:
+    def test_round_trip(self, weighted_graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_csr_npz(weighted_graph, path)
+        assert load_csr_npz(path) == weighted_graph
+
+    def test_missing_arrays(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(path, indptr=np.array([0]))
+        with pytest.raises(GraphFormatError, match="missing arrays"):
+            load_csr_npz(path)

@@ -1,0 +1,69 @@
+"""Unit tests for common-neighbour checkers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graph import (
+    BinarySearchChecker,
+    HashSetChecker,
+    MergeChecker,
+    make_checker,
+)
+
+
+@pytest.fixture(params=["binary", "hash", "merge"])
+def checker(request, toy_graph):
+    return make_checker(request.param, toy_graph)
+
+
+class TestCheckers:
+    def test_has_edge_agreement(self, checker, toy_graph):
+        for u in range(toy_graph.num_nodes):
+            for z in range(toy_graph.num_nodes):
+                assert checker.has_edge(u, z) == toy_graph.has_edge(u, z)
+
+    def test_has_edges_bulk_agreement(self, checker, toy_graph):
+        targets = np.arange(toy_graph.num_nodes)
+        for u in range(toy_graph.num_nodes):
+            expected = [toy_graph.has_edge(u, int(z)) for z in targets]
+            assert list(checker.has_edges(u, targets)) == expected
+
+    def test_make_checker_unknown(self, toy_graph):
+        with pytest.raises(GraphFormatError):
+            make_checker("nope", toy_graph)
+
+
+class TestCosts:
+    def test_binary_cost_is_log(self, toy_graph):
+        checker = BinarySearchChecker(toy_graph)
+        assert checker.check_cost(8) == pytest.approx(3.0)
+        assert checker.check_cost(1) == 1.0  # clamped
+        assert checker.check_cost(0) == 1.0
+
+    def test_hash_cost_constant(self, toy_graph):
+        checker = HashSetChecker(toy_graph)
+        assert checker.check_cost(1) == 1.0
+        assert checker.check_cost(10_000) == 1.0
+
+    def test_merge_cost_constant(self, toy_graph):
+        assert MergeChecker(toy_graph).check_cost(500) == 1.0
+
+    def test_hash_extra_memory_positive(self, toy_graph):
+        checker = HashSetChecker(toy_graph)
+        assert checker.extra_memory_bytes() > 0
+
+    def test_binary_extra_memory_zero(self, toy_graph):
+        assert BinarySearchChecker(toy_graph).extra_memory_bytes() == 0
+
+
+class TestAgreementOnRandomGraph:
+    def test_all_checkers_agree(self, medium_graph, rng):
+        checkers = [
+            make_checker(name, medium_graph) for name in ("binary", "hash", "merge")
+        ]
+        for _ in range(100):
+            u = int(rng.integers(medium_graph.num_nodes))
+            z = int(rng.integers(medium_graph.num_nodes))
+            answers = {c.has_edge(u, z) for c in checkers}
+            assert len(answers) == 1

@@ -1,0 +1,97 @@
+"""Unit tests for graph statistics."""
+
+import pytest
+
+from repro import CSRGraph
+from repro.graph import compute_stats, triangle_count
+from repro.graph.stats import (
+    common_neighbor_count,
+    common_neighbors,
+    degree_histogram,
+    local_clustering_coefficient,
+)
+from repro.graph.generators import complete_graph, cycle_graph, star_graph
+
+
+class TestStats:
+    def test_compute_stats(self, toy_graph):
+        stats = compute_stats(toy_graph)
+        assert stats.num_nodes == 4
+        assert stats.num_edges == 8
+        assert stats.max_degree == 3
+        assert stats.min_degree == 1
+        assert stats.average_degree == pytest.approx(2.0)
+        assert stats.triangles is None
+
+    def test_compute_stats_with_triangles(self, toy_graph):
+        stats = compute_stats(toy_graph, with_triangles=True)
+        assert stats.triangles == 1
+
+    def test_describe(self, toy_graph):
+        text = compute_stats(toy_graph).describe()
+        assert "|V|=4" in text and "d_max=3" in text
+
+
+class TestTriangles:
+    def test_triangle_graph(self, triangle_graph):
+        assert triangle_count(triangle_graph) == 1
+
+    def test_complete_graph(self):
+        # K5 has C(5,3) = 10 triangles.
+        assert triangle_count(complete_graph(5)) == 10
+
+    def test_cycle_has_none(self):
+        assert triangle_count(cycle_graph(6)) == 0
+
+    def test_star_has_none(self):
+        assert triangle_count(star_graph(6)) == 0
+
+    def test_toy_graph(self, toy_graph):
+        assert triangle_count(toy_graph) == 1
+
+    def test_matches_networkx(self, medium_graph):
+        nx = pytest.importorskip("networkx")
+        g = nx.Graph()
+        g.add_nodes_from(range(medium_graph.num_nodes))
+        for u, v, _ in medium_graph.edges():
+            if u < v:
+                g.add_edge(u, v)
+        expected = sum(nx.triangles(g).values()) // 3
+        assert triangle_count(medium_graph) == expected
+
+
+class TestCommonNeighbors:
+    def test_counts(self, toy_graph):
+        # N(2) = {0, 3}, N(3) = {0, 2} -> common = {0}.
+        assert common_neighbor_count(toy_graph, 2, 3) == 1
+        assert common_neighbor_count(toy_graph, 0, 1) == 0
+
+    def test_common_neighbors_values(self, toy_graph):
+        assert list(common_neighbors(toy_graph, 2, 3)) == [0]
+
+    def test_isolated_node(self):
+        g = CSRGraph.from_edges([(0, 1)], num_nodes=3)
+        assert common_neighbor_count(g, 0, 2) == 0
+
+
+class TestClustering:
+    def test_triangle_node(self, triangle_graph):
+        assert local_clustering_coefficient(triangle_graph, 0) == pytest.approx(1.0)
+
+    def test_star_center(self):
+        assert local_clustering_coefficient(star_graph(5), 0) == 0.0
+
+    def test_leaf(self, path_graph):
+        assert local_clustering_coefficient(path_graph, 0) == 0.0
+
+
+class TestDegreeHistogram:
+    def test_toy(self, toy_graph):
+        hist = degree_histogram(toy_graph)
+        assert hist[1] == 1  # node 1
+        assert hist[2] == 2  # nodes 2, 3
+        assert hist[3] == 1  # node 0
+
+    def test_empty(self):
+        hist = degree_histogram(CSRGraph.from_edges([], num_nodes=0))
+        assert len(hist) == 1

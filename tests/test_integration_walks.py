@@ -1,0 +1,128 @@
+"""End-to-end statistical tests: generated walks obey the model.
+
+Runs the full framework (optimizer included) and verifies that the
+empirical second-order transition frequencies collected from real walks
+match the exact e2e distributions — for every sampler mix the optimizer
+produces.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AutoregressiveModel,
+    MemoryAwareFramework,
+    Node2VecModel,
+    SamplerKind,
+    WalkCorpus,
+)
+from repro.graph import powerlaw_cluster_graph
+from repro.sampling.utils import total_variation_distance
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return powerlaw_cluster_graph(30, 3, 0.5, rng=9)
+
+
+def transition_tv(graph, model, corpus, min_count=150):
+    # Thresholds are sized for multinomial noise at min_count samples over
+    # ~15 outcomes (expected TV ~0.09, so 0.15 is a ~3-sigma gate).
+    """Max TV distance over well-sampled (u, v) transition contexts."""
+    counts = corpus.second_order_transition_counts()
+    worst = 0.0
+    checked = 0
+    for (u, v), counter in counts.items():
+        total = sum(counter.values())
+        if total < min_count:
+            continue
+        neighbors = graph.neighbors(v)
+        empirical = np.array(
+            [counter.get(int(z), 0) for z in neighbors], dtype=np.float64
+        )
+        exact = model.e2e_distribution(graph, u, v)
+        worst = max(
+            worst, total_variation_distance(empirical / total, exact)
+        )
+        checked += 1
+    assert checked > 0, "no transition context reached the sample threshold"
+    return worst
+
+
+@pytest.mark.parametrize(
+    "budget_ratio,expected_mix",
+    [
+        (0.05, "mixed"),      # mostly naive/rejection
+        (1.0, "alias-heavy"),
+    ],
+)
+def test_node2vec_walks_match_model(small_graph, budget_ratio, expected_mix):
+    model = Node2VecModel(0.5, 2.0)
+    probe = MemoryAwareFramework(small_graph, model, budget=1e9, rng=0)
+    max_budget = probe.cost_table.max_memory()
+    fw = MemoryAwareFramework(
+        small_graph, model, budget=max_budget * budget_ratio, rng=0
+    )
+    counts = fw.assignment.counts()
+    if expected_mix == "alias-heavy":
+        assert counts[SamplerKind.ALIAS] > counts[SamplerKind.NAIVE]
+    walks = fw.generate_walks(num_walks=60, length=30, rng=1)
+    corpus = WalkCorpus.from_walks(walks)
+    assert transition_tv(small_graph, model, corpus) < 0.15
+
+
+def test_autoregressive_walks_match_model(small_graph):
+    model = AutoregressiveModel(0.6)
+    probe = MemoryAwareFramework(small_graph, model, budget=1e9, rng=0)
+    budget = probe.cost_table.max_memory() * 0.3
+    fw = MemoryAwareFramework(small_graph, model, budget=budget, rng=0)
+    walks = fw.generate_walks(num_walks=60, length=30, rng=2)
+    corpus = WalkCorpus.from_walks(walks)
+    assert transition_tv(small_graph, model, corpus) < 0.15
+
+
+def test_all_three_memory_unaware_agree(small_graph):
+    """The three uniform sampler builds produce statistically identical
+    transition distributions."""
+    model = Node2VecModel(0.25, 4.0)
+    tvs = {}
+    for kind in SamplerKind:
+        fw = MemoryAwareFramework.memory_unaware(small_graph, model, kind, rng=0)
+        walks = fw.generate_walks(num_walks=50, length=25, rng=3)
+        corpus = WalkCorpus.from_walks(walks)
+        tvs[kind] = transition_tv(small_graph, model, corpus)
+    for kind, tv in tvs.items():
+        assert tv < 0.15, f"{kind.name} deviates: TV={tv:.3f}"
+
+
+def test_first_step_uses_n2e(small_graph):
+    """Step 1 of every walk follows the first-order distribution."""
+    model = Node2VecModel(0.25, 4.0)
+    fw = MemoryAwareFramework.memory_unaware(
+        small_graph, model, SamplerKind.ALIAS, rng=0
+    )
+    rng = np.random.default_rng(4)
+    start = int(np.argmax(small_graph.degrees))
+    firsts = np.array(
+        [fw.walk(start, 1, rng)[1] for _ in range(6000)]
+    )
+    neighbors = small_graph.neighbors(start)
+    counts = np.array([(firsts == z).sum() for z in neighbors], dtype=np.float64)
+    exact = small_graph.neighbor_weights(start) / small_graph.weight_sum(start)
+    assert total_variation_distance(counts / counts.sum(), exact) < 0.05
+
+
+def test_mixed_assignment_has_all_kinds(small_graph):
+    """At an intermediate budget the optimizer genuinely mixes samplers and
+    the walks still traverse real edges only."""
+    model = Node2VecModel(0.25, 4.0)
+    probe = MemoryAwareFramework(small_graph, model, budget=1e9, rng=0)
+    budget = probe.cost_table.max_memory() * 0.30
+    fw = MemoryAwareFramework(small_graph, model, budget=budget, rng=0)
+    counts = fw.assignment.counts()
+    distinct = sum(1 for c in counts.values() if c > 0)
+    assert distinct >= 2
+    assert counts[SamplerKind.ALIAS] > 0
+    walk = fw.walk(0, 200, np.random.default_rng(5))
+    for a, b in zip(walk, walk[1:]):
+        assert small_graph.has_edge(int(a), int(b))

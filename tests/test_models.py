@@ -1,0 +1,191 @@
+"""Unit tests for the second-order random walk models."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AutoregressiveModel,
+    FirstOrderModel,
+    Node2VecModel,
+    available_models,
+    get_model,
+    register_model,
+)
+from repro.exceptions import ModelError
+from repro.models import SecondOrderModel
+
+
+class TestNode2Vec:
+    def test_distance_zero_uses_a(self, toy_graph):
+        model = Node2VecModel(a=0.5, b=2.0)
+        # From edge (1, 0), candidate z = 1 is the previous node.
+        assert model.biased_weight(toy_graph, 1, 0, 1) == pytest.approx(1 / 0.5)
+
+    def test_distance_one_unchanged(self, toy_graph):
+        model = Node2VecModel(a=0.5, b=2.0)
+        # From edge (2, 0), candidate 3 is adjacent to 2.
+        assert model.biased_weight(toy_graph, 2, 0, 3) == pytest.approx(1.0)
+
+    def test_distance_two_uses_b(self, toy_graph):
+        model = Node2VecModel(a=0.5, b=2.0)
+        # From edge (1, 0), candidate 2 is not adjacent to 1.
+        assert model.biased_weight(toy_graph, 1, 0, 2) == pytest.approx(1 / 2.0)
+
+    def test_vectorised_matches_scalar(self, toy_graph, nv_model):
+        for u, v in [(1, 0), (2, 0), (0, 2), (3, 2)]:
+            vectorised = nv_model.biased_weights(toy_graph, u, v)
+            scalar = [
+                nv_model.biased_weight(toy_graph, u, v, int(z))
+                for z in toy_graph.neighbors(v)
+            ]
+            assert np.allclose(vectorised, scalar)
+
+    def test_weighted_graph(self, weighted_graph):
+        model = Node2VecModel(a=2.0, b=0.5)
+        # From edge (0, 2): candidate 1 is adjacent to 0 (dist 1) → w.
+        w12 = weighted_graph.edge_weight(2, 1)
+        assert model.biased_weight(weighted_graph, 0, 2, 1) == pytest.approx(w12)
+
+    def test_e2e_distribution_normalised(self, toy_graph, nv_model):
+        p = nv_model.e2e_distribution(toy_graph, 1, 0)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p > 0)
+
+    def test_target_ratio_values(self, toy_graph):
+        model = Node2VecModel(a=0.25, b=4.0)
+        assert model.target_ratio(toy_graph, 1, 0, 1) == pytest.approx(4.0)
+        assert model.target_ratio(toy_graph, 1, 0, 2) == pytest.approx(0.25)
+        assert model.target_ratio(toy_graph, 2, 0, 3) == pytest.approx(1.0)
+
+    def test_target_ratios_subset(self, toy_graph, nv_model):
+        full = nv_model.target_ratios(toy_graph, 1, 0)
+        subset = nv_model.target_ratios_subset(
+            toy_graph, 1, 0, toy_graph.neighbors(0)[:2]
+        )
+        assert np.allclose(subset, full[:2])
+
+    def test_max_ratio_bound(self, toy_graph):
+        assert Node2VecModel(0.25, 4.0).max_ratio_bound(toy_graph) == 4.0
+        assert Node2VecModel(4.0, 0.25).max_ratio_bound(toy_graph) == 4.0
+        assert Node2VecModel(2.0, 2.0).max_ratio_bound(toy_graph) == 1.0
+
+    @pytest.mark.parametrize("a,b", [(0, 1), (-1, 1), (1, 0), (1, -2)])
+    def test_invalid_parameters(self, a, b):
+        with pytest.raises(ModelError):
+            Node2VecModel(a=a, b=b)
+
+    def test_repr(self):
+        assert "a=0.25" in repr(Node2VecModel(0.25, 4.0))
+
+
+class TestAutoregressive:
+    def test_alpha_zero_is_first_order(self, toy_graph):
+        model = AutoregressiveModel(alpha=0.0)
+        first = FirstOrderModel()
+        for u, v in [(1, 0), (0, 2)]:
+            p_auto = model.e2e_distribution(toy_graph, u, v)
+            p_first = first.e2e_distribution(toy_graph, u, v)
+            assert np.allclose(p_auto, p_first)
+
+    def test_biased_weight_formula(self, toy_graph):
+        model = AutoregressiveModel(alpha=0.4)
+        # From edge (2, 0) to z = 3: p_03 = 1/3, p_23 = 1/2 (2's nbrs {0,3}).
+        expected = 0.6 * (1 / 3) + 0.4 * (1 / 2)
+        assert model.biased_weight(toy_graph, 2, 0, 3) == pytest.approx(expected)
+
+    def test_no_back_edge_gives_first_order_term_only(self, toy_graph):
+        model = AutoregressiveModel(alpha=0.4)
+        # From edge (1, 0) to z = 2: p_12 = 0 (1 and 2 not adjacent).
+        assert model.biased_weight(toy_graph, 1, 0, 2) == pytest.approx(0.6 / 3)
+
+    def test_vectorised_matches_scalar(self, toy_graph, auto_model):
+        for u, v in [(1, 0), (2, 0), (0, 3)]:
+            vectorised = auto_model.biased_weights(toy_graph, u, v)
+            scalar = [
+                auto_model.biased_weight(toy_graph, u, v, int(z))
+                for z in toy_graph.neighbors(v)
+            ]
+            assert np.allclose(vectorised, scalar)
+
+    def test_target_ratios_subset_matches_full(self, toy_graph, auto_model):
+        full = auto_model.target_ratios(toy_graph, 2, 0)
+        subset = auto_model.target_ratios_subset(
+            toy_graph, 2, 0, toy_graph.neighbors(0)
+        )
+        assert np.allclose(subset, full)
+
+    def test_ratios_proportional_to_base_definition(self, weighted_graph, auto_model):
+        # target_ratios may be scaled per (u, v); verify proportionality to
+        # biased_weights / edge weights.
+        u, v = 0, 2
+        ratios = auto_model.target_ratios(weighted_graph, u, v)
+        reference = auto_model.biased_weights(
+            weighted_graph, u, v
+        ) / weighted_graph.neighbor_weights(v)
+        scale = ratios[0] / reference[0]
+        assert np.allclose(ratios, reference * scale)
+
+    def test_no_bound(self, toy_graph):
+        assert AutoregressiveModel(0.2).max_ratio_bound(toy_graph) is None
+
+    @pytest.mark.parametrize("alpha", [-0.1, 1.0, 1.5])
+    def test_invalid_alpha(self, alpha):
+        with pytest.raises(ModelError):
+            AutoregressiveModel(alpha=alpha)
+
+    def test_e2e_distribution_normalised(self, weighted_graph, auto_model):
+        p = auto_model.e2e_distribution(weighted_graph, 1, 2)
+        assert p.sum() == pytest.approx(1.0)
+
+
+class TestFirstOrder:
+    def test_matches_n2e(self, weighted_graph):
+        model = FirstOrderModel()
+        p = model.e2e_distribution(weighted_graph, 3, 2)
+        expected = weighted_graph.neighbor_weights(2) / weighted_graph.weight_sum(2)
+        assert np.allclose(p, expected)
+
+    def test_ratios_all_one(self, toy_graph):
+        model = FirstOrderModel()
+        assert np.all(model.target_ratios(toy_graph, 1, 0) == 1.0)
+        assert model.max_ratio_bound(toy_graph) == 1.0
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_models()
+        assert {"node2vec", "autoregressive", "first-order"} <= set(names)
+
+    def test_get_model_with_params(self):
+        model = get_model("node2vec", a=0.5, b=2.0)
+        assert isinstance(model, Node2VecModel)
+        assert model.a == 0.5
+
+    def test_get_unknown_model(self):
+        with pytest.raises(ModelError, match="unknown model"):
+            get_model("nope")
+
+    def test_register_custom_model(self, toy_graph):
+        class ConstantModel(SecondOrderModel):
+            name = "constant-test"
+
+            def biased_weight(self, graph, u, v, z):
+                return 1.0
+
+        register_model(ConstantModel)
+        assert "constant-test" in available_models()
+        model = get_model("constant-test")
+        p = model.e2e_distribution(toy_graph, 1, 0)
+        assert np.allclose(p, 1.0 / 3)
+
+    def test_register_requires_name(self):
+        class NoName(SecondOrderModel):
+            def biased_weight(self, graph, u, v, z):
+                return 1.0
+
+        with pytest.raises(ModelError, match="name"):
+            register_model(NoName)
+
+    def test_register_rejects_non_model(self):
+        with pytest.raises(ModelError):
+            register_model(dict)

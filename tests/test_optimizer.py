@@ -1,0 +1,362 @@
+"""Unit tests for the optimizer algorithms (dominance, greedy, exact)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostParams,
+    SamplerKind,
+    build_cost_table,
+    compute_bounding_constants,
+    degree_greedy,
+    dp_optimal,
+    exhaustive_optimal,
+    lp_greedy,
+)
+from repro.exceptions import (
+    AssignmentError,
+    InfeasibleBudgetError,
+    OptimizerError,
+)
+from repro.optimizer import AssignmentProblem, eliminate_dominated, node_chains
+from repro.optimizer.lp_greedy import build_schedule, lmckp_lower_bound
+
+FIGURE5_PARAMS = CostParams(float_bytes=4, int_bytes=4, fixed_check_cost=1.0)
+
+
+@pytest.fixture
+def toy_table(toy_graph, nv_model):
+    constants = compute_bounding_constants(toy_graph, nv_model)
+    return build_cost_table(toy_graph, constants, FIGURE5_PARAMS)
+
+
+@pytest.fixture
+def medium_table(medium_graph, nv_model):
+    constants = compute_bounding_constants(medium_graph, nv_model)
+    return build_cost_table(medium_graph, constants, CostParams())
+
+
+class TestDominance:
+    def test_keeps_proper_chain(self):
+        kept = eliminate_dominated(
+            memory=np.array([1.0, 5.0, 20.0]),
+            time=np.array([10.0, 4.0, 1.0]),
+        )
+        assert kept == [0, 1, 2]
+
+    def test_p_domination_drops_worse_option(self):
+        # Option 1 uses more memory AND more time than option 0.
+        kept = eliminate_dominated(
+            memory=np.array([1.0, 5.0, 20.0]),
+            time=np.array([4.0, 10.0, 1.0]),
+        )
+        assert kept == [0, 2]
+
+    def test_p_domination_ties(self):
+        kept = eliminate_dominated(
+            memory=np.array([1.0, 1.0]),
+            time=np.array([3.0, 3.0]),
+        )
+        assert len(kept) == 1
+
+    def test_lp_domination_drops_above_segment(self):
+        # Middle point above segment (0,10) - (20,0): at M=10 the hull line
+        # is T=5 but the middle has T=8 → LP-dominated.
+        kept = eliminate_dominated(
+            memory=np.array([0.0, 10.0, 20.0]),
+            time=np.array([10.0, 8.0, 0.0]),
+        )
+        assert kept == [0, 2]
+
+    def test_collinear_kept(self):
+        kept = eliminate_dominated(
+            memory=np.array([0.0, 10.0, 20.0]),
+            time=np.array([10.0, 5.0, 0.0]),
+        )
+        assert kept == [0, 1, 2]
+
+    def test_availability_mask(self):
+        kept = eliminate_dominated(
+            memory=np.array([1.0, 5.0, 20.0]),
+            time=np.array([10.0, 4.0, 1.0]),
+            available=np.array([True, False, True]),
+        )
+        assert kept == [0, 2]
+
+    def test_builtin_cost_model_has_no_domination(self, toy_table):
+        chains = node_chains(toy_table)
+        # Nodes 0, 2, 3 keep all three; node 1 (degree 1) loses alias to
+        # P-domination (equal time, more memory than rejection).
+        assert chains[0] == [0, 1, 2]
+        assert chains[2] == [0, 1, 2]
+        assert chains[1] == [0, 1]
+
+
+class TestLpGreedy:
+    def test_figure5_final_assignment(self, toy_table):
+        """The paper's worked example: budget 188 → {0:R, 1:R, 2:A, 3:A}."""
+        assignment = lp_greedy(toy_table, 188)
+        assert assignment[0] is SamplerKind.REJECTION
+        assert assignment[1] is SamplerKind.REJECTION
+        assert assignment[2] is SamplerKind.ALIAS
+        assert assignment[3] is SamplerKind.ALIAS
+        assert assignment.used_memory == pytest.approx(144.0)
+
+    def test_figure5_trace(self, toy_table):
+        """The figure's update log: N→R for {2,3},1,0 then R→A for {2,3}.
+
+        Nodes 2 and 3 share the steepest gradient (-0.114), so their mutual
+        order is an arbitrary tie-break (the figure lists 3 first, a stable
+        sort lists 2 first); the running memory totals are identical either
+        way because the tied steps have equal ΔM.
+        """
+        assignment = lp_greedy(toy_table, 188)
+        trace = [(e.node, e.previous.short, e.chosen.short) for e in assignment.trace]
+        assert sorted(trace[:2]) == [(2, "N", "R"), (3, "N", "R")]
+        assert trace[2] == (1, "N", "R")
+        assert trace[3] == (0, "N", "R")
+        assert sorted(trace[4:]) == [(2, "R", "A"), (3, "R", "A")]
+        mems = [e.used_memory_after for e in assignment.trace]
+        assert mems == [33, 54, 63, 96, 120, 144]
+
+    def test_figure5_gradients(self, toy_table):
+        """The figure's sorted gradient values."""
+        assignment = lp_greedy(toy_table, 188)
+        grads = [round(e.gradient, 3) for e in assignment.trace]
+        assert grads == [-0.114, -0.114, -0.111, -0.109, -0.025, -0.025]
+
+    def test_all_naive_at_minimum_budget(self, toy_table):
+        assignment = lp_greedy(toy_table, 12)
+        assert all(assignment[v] is SamplerKind.NAIVE for v in range(4))
+
+    def test_saturates_at_large_budget(self, toy_table):
+        assignment = lp_greedy(toy_table, 10_000)
+        # Hub and triangle nodes go alias; the degree-1 node's alias option
+        # is P-dominated, so it tops out at rejection.
+        assert assignment[0] is SamplerKind.ALIAS
+        assert assignment[1] is SamplerKind.REJECTION
+        assert assignment[2] is SamplerKind.ALIAS
+
+    def test_infeasible_budget(self, toy_table):
+        with pytest.raises(InfeasibleBudgetError):
+            lp_greedy(toy_table, 5)
+
+    def test_never_exceeds_budget(self, medium_table):
+        for budget_ratio in (0.05, 0.2, 0.5, 0.9):
+            budget = medium_table.max_memory() * budget_ratio
+            assignment = lp_greedy(medium_table, budget)
+            assert assignment.used_memory <= budget
+
+    def test_monotone_in_budget(self, medium_table):
+        times = []
+        for ratio in (0.1, 0.3, 0.5, 0.8, 1.0):
+            assignment = lp_greedy(medium_table, medium_table.max_memory() * ratio)
+            times.append(assignment.total_time)
+        assert times == sorted(times, reverse=True)
+
+    def test_time_bookkeeping_consistent(self, medium_table):
+        assignment = lp_greedy(medium_table, medium_table.max_memory() * 0.4)
+        recomputed = medium_table.assignment_time(assignment.samplers)
+        assert assignment.total_time == pytest.approx(recomputed)
+
+    def test_counts_and_describe(self, toy_table):
+        assignment = lp_greedy(toy_table, 188)
+        counts = assignment.counts()
+        assert counts[SamplerKind.REJECTION] == 2
+        assert counts[SamplerKind.ALIAS] == 2
+        assert "R=2" in assignment.describe()
+
+
+class TestLmckpBound:
+    def test_lower_bounds_greedy(self, medium_table):
+        for ratio in (0.1, 0.4, 0.7):
+            budget = medium_table.max_memory() * ratio
+            bound = lmckp_lower_bound(medium_table, budget)
+            greedy = lp_greedy(medium_table, budget).total_time
+            assert bound <= greedy + 1e-9
+
+    def test_equals_greedy_when_saturated(self, toy_table):
+        budget = toy_table.max_memory() * 2
+        assert lmckp_lower_bound(toy_table, budget) == pytest.approx(
+            lp_greedy(toy_table, budget).total_time
+        )
+
+
+class TestDegreeGreedy:
+    def test_respects_budget(self, medium_table, medium_graph):
+        for increasing in (True, False):
+            budget = medium_table.max_memory() * 0.2
+            assignment = degree_greedy(
+                medium_table, budget, medium_graph.degrees, increasing=increasing
+            )
+            assert assignment.used_memory <= budget
+
+    def test_inc_prefers_small_nodes(self, medium_table, medium_graph):
+        budget = medium_table.max_memory() * 0.1
+        inc = degree_greedy(medium_table, budget, medium_graph.degrees, increasing=True)
+        # The smallest-degree node should have been upgraded to alias.
+        smallest = int(np.argmin(medium_graph.degrees))
+        assert inc[smallest] is SamplerKind.ALIAS
+
+    def test_dec_prefers_large_nodes(self, medium_table, medium_graph):
+        budget = medium_table.max_memory() * 0.1
+        dec = degree_greedy(medium_table, budget, medium_graph.degrees, increasing=False)
+        largest = int(np.argmax(medium_graph.degrees))
+        assert dec[largest] is SamplerKind.ALIAS
+
+    def test_saturating_budget_all_alias(self, medium_table, medium_graph):
+        assignment = degree_greedy(
+            medium_table, medium_table.max_memory(), medium_graph.degrees
+        )
+        non_isolated = medium_graph.degrees > 0
+        assert np.all(
+            assignment.samplers[non_isolated] == SamplerKind.ALIAS
+        )
+
+    def test_lp_beats_degree_at_small_budget(self, medium_table, medium_graph):
+        """The paper's core Figure 7 claim, as an invariant."""
+        budget = medium_table.max_memory() * 0.1
+        lp = lp_greedy(medium_table, budget)
+        inc = degree_greedy(medium_table, budget, medium_graph.degrees, increasing=True)
+        dec = degree_greedy(medium_table, budget, medium_graph.degrees, increasing=False)
+        assert lp.total_time <= inc.total_time
+        assert lp.total_time <= dec.total_time
+
+    def test_degree_length_mismatch(self, medium_table):
+        with pytest.raises(OptimizerError):
+            degree_greedy(medium_table, 1e9, np.array([1, 2, 3]))
+
+
+class TestExactSolvers:
+    def test_exhaustive_on_figure5(self, toy_table):
+        optimal = exhaustive_optimal(toy_table, 188)
+        greedy = lp_greedy(toy_table, 188)
+        assert optimal.total_time <= greedy.total_time + 1e-9
+        # On the worked example the exact optimum (hub on alias: 4.6) beats
+        # the gradient greedy (5.41) — the expected MCKP approximation gap,
+        # well inside the Theorem 4 factor.
+        assert optimal.total_time == pytest.approx(4.6)
+        assert greedy.total_time == pytest.approx(5.413, abs=0.01)
+        assert greedy.total_time <= 2 * toy_table.num_nodes * optimal.total_time
+
+    def test_exhaustive_node_limit(self, medium_table):
+        with pytest.raises(OptimizerError, match="16 nodes"):
+            exhaustive_optimal(medium_table, 1e12)
+
+    def test_dp_matches_exhaustive(self, toy_table):
+        for budget in (50, 100, 188, 250):
+            dp = dp_optimal(toy_table, budget)
+            brute = exhaustive_optimal(toy_table, budget)
+            assert dp.total_time == pytest.approx(brute.total_time)
+
+    def test_dp_respects_budget(self, toy_table):
+        dp = dp_optimal(toy_table, 150)
+        assert dp.used_memory <= 150
+
+    def test_dp_invalid_resolution(self, toy_table):
+        with pytest.raises(OptimizerError):
+            dp_optimal(toy_table, 188, resolution=0)
+
+    def test_theorem4_bound_holds(self, toy_graph, nv_model):
+        """OPT <= A <= max{(c+1)/c, c} d_max OPT on the worked example."""
+        constants = compute_bounding_constants(toy_graph, nv_model)
+        table = build_cost_table(toy_graph, constants, FIGURE5_PARAMS)
+        d_max = toy_graph.max_degree
+        c = 1.0
+        factor = max((c + 1) / c, c) * d_max
+        for budget in (12, 50, 100, 188, 300):
+            opt = exhaustive_optimal(table, budget).total_time
+            greedy = lp_greedy(table, budget).total_time
+            assert opt <= greedy + 1e-9
+            assert greedy <= factor * opt + 1e-9
+
+
+class TestAssignmentProblem:
+    def test_feasibility_check(self, toy_table):
+        with pytest.raises(InfeasibleBudgetError):
+            AssignmentProblem(toy_table, 1.0)
+
+    def test_invalid_budget(self, toy_table):
+        with pytest.raises(OptimizerError):
+            AssignmentProblem(toy_table, float("nan"))
+
+    def test_saturating_budget(self, toy_table):
+        problem = AssignmentProblem(toy_table, 500)
+        assert problem.saturating_budget() == toy_table.max_memory()
+
+    def test_standard_mckp_profits(self, toy_table):
+        problem = AssignmentProblem(toy_table, 188)
+        profits, weights, capacity = problem.to_standard_mckp()
+        assert capacity == 188
+        assert np.all(profits >= 0)
+        # Minimising time == maximising profit: ordering inverted.
+        assert profits[0, SamplerKind.ALIAS] > profits[0, SamplerKind.NAIVE]
+
+    def test_theorem2_complement_identity(self, toy_table):
+        """Σ M* x >= |V| M_max - M  <=>  Σ M x <= M (Theorem 2)."""
+        problem = AssignmentProblem(toy_table, 188)
+        complement, threshold = problem.complemented_constraint()
+        rows = np.arange(toy_table.num_nodes)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            cols = rng.integers(0, 3, size=toy_table.num_nodes)
+            used = toy_table.memory[rows, cols].sum()
+            comp_used = complement[rows, cols].sum()
+            assert (used <= 188) == (comp_used >= threshold - 1e-9)
+
+
+class TestAssignmentValidation:
+    def test_wrong_length(self, toy_table):
+        from repro.optimizer import Assignment
+
+        bad = Assignment(
+            samplers=np.zeros(2, dtype=np.int8),
+            used_memory=0,
+            total_time=0,
+            budget=100,
+        )
+        with pytest.raises(AssignmentError):
+            bad.validate_against(toy_table)
+
+    def test_memory_bookkeeping_mismatch(self, toy_table):
+        from repro.optimizer import Assignment
+
+        bad = Assignment(
+            samplers=np.zeros(4, dtype=np.int8),
+            used_memory=999.0,
+            total_time=16.0,
+            budget=1000,
+        )
+        with pytest.raises(AssignmentError, match="bookkept"):
+            bad.validate_against(toy_table)
+
+    def test_budget_violation(self, toy_table):
+        from repro.optimizer import Assignment
+
+        samplers = np.full(4, SamplerKind.ALIAS, dtype=np.int8)
+        memory = toy_table.assignment_memory(samplers)
+        bad = Assignment(
+            samplers=samplers,
+            used_memory=memory,
+            total_time=toy_table.assignment_time(samplers),
+            budget=10.0,
+        )
+        with pytest.raises(AssignmentError, match="over budget"):
+            bad.validate_against(toy_table)
+
+
+class TestSchedule:
+    def test_stable_per_node_order(self, toy_table):
+        _, steps = build_schedule(toy_table)
+        seen_second: set[int] = set()
+        for step in steps:
+            if step.from_col == SamplerKind.REJECTION:
+                seen_second.add(step.node)
+            if step.from_col == SamplerKind.NAIVE:
+                # N→R must come before the node's R→A in the sorted list.
+                assert step.node not in seen_second
+
+    def test_gradients_ascending(self, medium_table):
+        _, steps = build_schedule(medium_table)
+        grads = [s.gradient for s in steps]
+        assert grads == sorted(grads)

@@ -1,0 +1,87 @@
+"""Tests for process-parallel walk generation."""
+
+import numpy as np
+import pytest
+
+from repro import MemoryAwareFramework, Node2VecModel
+from repro.exceptions import WalkError
+from repro.sampling.utils import total_variation_distance
+from repro.walks import parallel_walks
+
+
+@pytest.fixture(scope="module")
+def framework(medium_graph):
+    return MemoryAwareFramework(
+        medium_graph, Node2VecModel(0.5, 2.0), budget=1e6, rng=0
+    )
+
+
+class TestParallelWalks:
+    def test_walk_counts(self, framework, medium_graph):
+        corpus = parallel_walks(
+            framework.walk_engine, num_walks=2, length=5, workers=2, rng=0
+        )
+        non_isolated = int((medium_graph.degrees > 0).sum())
+        assert len(corpus) == 2 * non_isolated
+
+    def test_walks_follow_edges(self, framework, medium_graph):
+        corpus = parallel_walks(
+            framework.walk_engine, num_walks=1, length=8, workers=2, rng=0
+        )
+        for walk in list(corpus)[:50]:
+            for a, b in zip(walk, walk[1:]):
+                assert medium_graph.has_edge(int(a), int(b))
+
+    def test_deterministic_across_worker_counts(self, framework):
+        kwargs = dict(num_walks=1, length=6, chunk_size=16, rng=42)
+        seq = parallel_walks(framework.walk_engine, workers=1, **kwargs)
+        par = parallel_walks(framework.walk_engine, workers=3, **kwargs)
+        assert len(seq) == len(par)
+        for a, b in zip(seq, par):
+            assert np.array_equal(a, b)
+
+    def test_restricted_nodes(self, framework):
+        corpus = parallel_walks(
+            framework.walk_engine, num_walks=3, length=4,
+            nodes=[0, 1, 2], workers=2, rng=0,
+        )
+        assert len(corpus) == 9
+        starts = {int(w[0]) for w in corpus}
+        assert starts == {0, 1, 2}
+
+    def test_distribution_matches_sequential(self):
+        """Parallel generation draws from the same e2e distributions.
+
+        Uses a small dense graph so individual (u, v) contexts accumulate
+        enough transitions for a meaningful comparison.
+        """
+        from repro.graph import powerlaw_cluster_graph
+
+        graph = powerlaw_cluster_graph(25, 3, 0.5, rng=5)
+        model = Node2VecModel(0.5, 2.0)
+        fw = MemoryAwareFramework(graph, model, budget=1e6, rng=0)
+        corpus = parallel_walks(
+            fw.walk_engine, num_walks=80, length=15, workers=4, rng=7
+        )
+        counts = corpus.second_order_transition_counts()
+        checked = 0
+        for (u, v), counter in counts.items():
+            total = sum(counter.values())
+            if total < 200:
+                continue
+            neighbors = graph.neighbors(v)
+            empirical = np.array(
+                [counter.get(int(z), 0) for z in neighbors], dtype=np.float64
+            )
+            exact = model.e2e_distribution(graph, u, v)
+            assert total_variation_distance(empirical / total, exact) < 0.15
+            checked += 1
+        assert checked > 0
+
+    def test_invalid_parameters(self, framework):
+        with pytest.raises(WalkError):
+            parallel_walks(framework.walk_engine, num_walks=0, length=5)
+        with pytest.raises(WalkError):
+            parallel_walks(
+                framework.walk_engine, num_walks=1, length=5, chunk_size=0
+            )

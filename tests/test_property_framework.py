@@ -1,0 +1,126 @@
+"""Property-based tests spanning framework-level invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CostParams,
+    Node2VecModel,
+    build_cost_table,
+    compute_bounding_constants,
+    from_edges,
+    lp_greedy,
+)
+from repro.framework.serialize import (
+    load_assignment,
+    load_bounding_constants,
+    save_assignment,
+    save_bounding_constants,
+)
+from repro.optimizer import Assignment
+from repro.optimizer.inverse import min_memory_for_time
+from repro.walks.batch import batch_walks
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+
+
+@st.composite
+def graph_strategy(draw):
+    n = draw(st.integers(min_value=4, max_value=12))
+    extra = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=15,
+        )
+    )
+    edges = [(i, i + 1) for i in range(n - 1)]
+    edges.extend((u, v) for u, v in extra if u != v)
+    unique = sorted({(min(u, v), max(u, v)) for u, v in edges})
+    return from_edges(unique, num_nodes=n)
+
+
+class TestSerializeProperties:
+    @given(
+        samplers=st.lists(
+            st.integers(min_value=0, max_value=2), min_size=1, max_size=30
+        ),
+        used=st.floats(min_value=0, max_value=1e12, allow_nan=False),
+        total=st.floats(min_value=0, max_value=1e12, allow_nan=False),
+    )
+    @SETTINGS
+    def test_assignment_round_trip(self, samplers, used, total, tmp_path):
+        original = Assignment(
+            samplers=np.asarray(samplers, dtype=np.int8),
+            used_memory=used,
+            total_time=total,
+            budget=used + 1.0,
+            algorithm="property-test",
+        )
+        path = tmp_path / "a.npz"
+        save_assignment(original, path)
+        loaded = load_assignment(path)
+        assert np.array_equal(loaded.samplers, original.samplers)
+        assert loaded.used_memory == pytest.approx(original.used_memory)
+        assert loaded.total_time == pytest.approx(original.total_time)
+
+    @given(graph=graph_strategy())
+    @SETTINGS
+    def test_constants_round_trip(self, graph, tmp_path):
+        model = Node2VecModel(0.25, 4.0)
+        constants = compute_bounding_constants(graph, model)
+        path = tmp_path / "c.npz"
+        save_bounding_constants(constants, path)
+        loaded = load_bounding_constants(path)
+        assert np.allclose(loaded.values, constants.values)
+        assert loaded.exact == constants.exact
+
+
+class TestInverseForwardDuality:
+    @given(
+        graph=graph_strategy(),
+        fraction=st.floats(min_value=0.05, max_value=1.0),
+    )
+    @SETTINGS
+    def test_duality(self, graph, fraction):
+        """inverse(target).memory fed back into forward lp_greedy gives an
+        assignment at least as fast as the target — on ANY instance."""
+        model = Node2VecModel(0.25, 4.0)
+        constants = compute_bounding_constants(graph, model)
+        table = build_cost_table(
+            graph, constants, CostParams(fixed_check_cost=1.0)
+        )
+        all_naive = float(table.time[:, 0].sum())
+        saturated = lp_greedy(table, table.max_memory()).total_time
+        target = saturated + fraction * (all_naive - saturated)
+        inverse = min_memory_for_time(table, target)
+        assert inverse.total_time <= target + 1e-9
+        forward = lp_greedy(table, inverse.used_memory)
+        assert forward.total_time <= target + 1e-9
+
+
+class TestBatchWalkProperties:
+    @given(
+        graph=graph_strategy(),
+        length=st.integers(min_value=0, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @SETTINGS
+    def test_walks_follow_edges_and_lengths(self, graph, length, seed):
+        model = Node2VecModel(0.5, 2.0)
+        corpus = batch_walks(graph, model, num_walks=2, length=length, rng=seed)
+        for walk in corpus:
+            assert 1 <= len(walk) <= length + 1
+            for a, b in zip(walk, walk[1:]):
+                assert graph.has_edge(int(a), int(b))

@@ -1,0 +1,131 @@
+"""Property-based tests for the graph substrate and model invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import AutoregressiveModel, Node2VecModel, from_edges
+from repro.bounding import (
+    compute_bounding_constants,
+    edge_bounding_constant,
+    theorem1_bound,
+)
+from repro.graph.stats import common_neighbor_count
+
+
+def build_unweighted(edges):
+    """Deduplicate the raw pairs so merging never produces weights > 1."""
+    unique = {(min(u, v), max(u, v)) for u, v in edges if u != v}
+    if not unique:
+        unique = {(0, 1)}
+    return from_edges(sorted(unique))
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+edge_list = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=14),
+        st.integers(min_value=0, max_value=14),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestCSRInvariants:
+    @given(edges=edge_list)
+    @SETTINGS
+    def test_builder_invariants(self, edges):
+        g = from_edges(edges)
+        # indptr consistency.
+        assert g.indptr[0] == 0
+        assert g.indptr[-1] == len(g.indices)
+        assert np.all(np.diff(g.indptr) >= 0)
+        # Sorted rows, no self loops, symmetric storage.
+        for v in range(g.num_nodes):
+            row = g.neighbors(v)
+            assert np.all(np.diff(row) > 0)  # sorted AND deduplicated
+            assert v not in row
+        assert g.is_symmetric()
+
+    @given(edges=edge_list)
+    @SETTINGS
+    def test_degree_sum_equals_stored_edges(self, edges):
+        g = from_edges(edges)
+        assert int(g.degrees.sum()) == g.num_edges
+
+    @given(edges=edge_list)
+    @SETTINGS
+    def test_common_neighbors_symmetric(self, edges):
+        g = from_edges(edges)
+        if g.num_nodes >= 2:
+            assert common_neighbor_count(g, 0, 1) == common_neighbor_count(g, 1, 0)
+
+
+class TestModelInvariants:
+    @given(
+        edges=edge_list,
+        a=st.sampled_from([0.25, 0.5, 1.0, 2.0, 4.0]),
+        b=st.sampled_from([0.25, 0.5, 1.0, 2.0, 4.0]),
+    )
+    @SETTINGS
+    def test_node2vec_e2e_is_distribution(self, edges, a, b):
+        g = from_edges(edges)
+        model = Node2VecModel(a, b)
+        for u, v, _ in list(g.edges())[:10]:
+            p = model.e2e_distribution(g, u, v)
+            assert p.sum() == 1.0 or abs(p.sum() - 1.0) < 1e-9
+            assert np.all(p >= 0)
+
+    @given(edges=edge_list, alpha=st.sampled_from([0.0, 0.2, 0.5, 0.8]))
+    @SETTINGS
+    def test_autoregressive_e2e_is_distribution(self, edges, alpha):
+        g = from_edges(edges)
+        model = AutoregressiveModel(alpha)
+        for u, v, _ in list(g.edges())[:10]:
+            p = model.e2e_distribution(g, u, v)
+            assert abs(p.sum() - 1.0) < 1e-9
+            assert np.all(p >= 0)
+
+
+class TestTheorem1Property:
+    @given(
+        edges=edge_list,
+        a=st.sampled_from([0.25, 1.0, 4.0]),
+        b=st.sampled_from([0.25, 1.0, 4.0]),
+    )
+    @SETTINGS
+    def test_node2vec_bound(self, edges, a, b):
+        g = build_unweighted(edges)
+        model = Node2VecModel(a, b)
+        for u, v, _ in list(g.edges())[:10]:
+            actual = edge_bounding_constant(g, model, u, v)
+            bound = theorem1_bound(g, model, u, v)
+            assert actual <= bound + 1e-9
+
+    @given(edges=edge_list, alpha=st.sampled_from([0.0, 0.3, 0.8]))
+    @SETTINGS
+    def test_autoregressive_bound(self, edges, alpha):
+        g = build_unweighted(edges)
+        model = AutoregressiveModel(alpha)
+        for u, v, _ in list(g.edges())[:10]:
+            actual = edge_bounding_constant(g, model, u, v)
+            bound = theorem1_bound(g, model, u, v)
+            assert actual <= bound + 1e-9
+
+    @given(edges=edge_list)
+    @SETTINGS
+    def test_constants_bounded_by_degree(self, edges):
+        """Section 4.2's 1 <= C_v <= d_v claim (for standard parameters)."""
+        g = build_unweighted(edges)
+        model = Node2VecModel(0.25, 4.0)
+        constants = compute_bounding_constants(g, model)
+        for v in range(g.num_nodes):
+            d = g.degree(v)
+            assert constants[v] >= 1.0 - 1e-12
+            if d > 0:
+                assert constants[v] <= d + 1e-9

@@ -1,0 +1,103 @@
+"""Property-based tests: samplers reproduce arbitrary discrete distributions.
+
+Hypothesis generates the distributions; correctness is checked by
+total-variation distance against the exact probabilities (chance of a
+false alarm is negligible at the chosen sample sizes and thresholds).
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import AliasTable, CumulativeSampler, NaiveSampler, RejectionSampler
+from repro.sampling.utils import (
+    empirical_distribution,
+    normalize_distribution,
+    total_variation_distance,
+)
+
+weights_strategy = st.lists(
+    st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=24,
+)
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def check_sampler(sampler, weights, seed=0, n=4000, tol=0.12):
+    rng = np.random.default_rng(seed)
+    samples = sampler.sample_many(n, rng)
+    emp = empirical_distribution(samples, len(weights))
+    exact = normalize_distribution(np.asarray(weights))
+    assert total_variation_distance(emp, exact) < tol
+
+
+class TestAliasProperty:
+    @given(weights=weights_strategy)
+    @SETTINGS
+    def test_matches_distribution(self, weights):
+        check_sampler(AliasTable(np.asarray(weights)), weights)
+
+    @given(weights=weights_strategy)
+    @SETTINGS
+    def test_tables_reconstruct_exactly(self, weights):
+        """(U, K) always encode the target probabilities exactly."""
+        table = AliasTable(np.asarray(weights))
+        n = table.num_outcomes
+        recon = table.probability_table.copy()
+        for j in range(n):
+            if table.alias_table[j] != j:
+                recon[table.alias_table[j]] += 1.0 - table.probability_table[j]
+        exact = normalize_distribution(np.asarray(weights))
+        assert np.allclose(recon / n, exact, atol=1e-9)
+
+
+class TestCumulativeProperty:
+    @given(weights=weights_strategy)
+    @SETTINGS
+    def test_matches_distribution(self, weights):
+        check_sampler(CumulativeSampler(np.asarray(weights)), weights)
+
+
+class TestNaiveProperty:
+    @given(weights=weights_strategy)
+    @SETTINGS
+    def test_matches_distribution(self, weights):
+        check_sampler(NaiveSampler(np.asarray(weights)), weights)
+
+
+class TestRejectionProperty:
+    @given(
+        target=weights_strategy,
+        proposal_seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @SETTINGS
+    def test_matches_distribution_any_proposal(self, target, proposal_seed):
+        """Rejection is exact for ANY strictly positive proposal."""
+        target_arr = np.asarray(target)
+        gen = np.random.default_rng(proposal_seed)
+        proposal = gen.uniform(0.1, 1.0, size=len(target_arr))
+        sampler = RejectionSampler.from_distributions(
+            target_arr, proposal, AliasTable(proposal)
+        )
+        rng = np.random.default_rng(1)
+        samples = np.array([sampler.sample(rng) for _ in range(4000)])
+        emp = empirical_distribution(samples, len(target_arr))
+        exact = normalize_distribution(target_arr)
+        assert total_variation_distance(emp, exact) < 0.12
+
+    @given(target=weights_strategy)
+    @SETTINGS
+    def test_acceptance_ratios_in_unit_interval(self, target):
+        target_arr = np.asarray(target)
+        proposal = np.ones(len(target_arr))
+        sampler = RejectionSampler.from_distributions(
+            target_arr, proposal, AliasTable(proposal)
+        )
+        assert np.all(sampler.acceptance_ratios <= 1.0 + 1e-12)
+        assert np.any(np.isclose(sampler.acceptance_ratios.max(), 1.0))

@@ -1,0 +1,84 @@
+"""Tests for the RNG helpers and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import exceptions
+from repro.rng import ensure_rng, spawn_rng
+
+
+class TestEnsureRng:
+    def test_none_is_deterministic_default(self):
+        a = ensure_rng(None).random(5)
+        b = ensure_rng(None).random(5)
+        assert np.allclose(a, b)
+
+    def test_int_seed(self):
+        a = ensure_rng(7).random(5)
+        b = ensure_rng(7).random(5)
+        c = ensure_rng(8).random(5)
+        assert np.allclose(a, b)
+        assert not np.allclose(a, c)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(ensure_rng(np.int64(5)), np.random.Generator)
+
+    def test_invalid_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawnRng:
+    def test_children_deterministic(self):
+        a = spawn_rng(1, 0).random(4)
+        b = spawn_rng(1, 0).random(4)
+        assert np.allclose(a, b)
+
+    def test_children_independent(self):
+        a = spawn_rng(1, 0).random(4)
+        b = spawn_rng(1, 1).random(4)
+        assert not np.allclose(a, b)
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(exceptions):
+            obj = getattr(exceptions, name)
+            if (
+                isinstance(obj, type)
+                and issubclass(obj, Exception)
+                and obj is not exceptions.ReproError
+            ):
+                assert issubclass(obj, exceptions.ReproError), name
+
+    def test_oom_error_fields(self):
+        err = exceptions.SimulatedOOMError(1000, 500, what="alias")
+        assert err.required_bytes == 1000
+        assert err.available_bytes == 500
+        assert "alias" in str(err)
+        assert "1000" in str(err)
+
+    def test_timeout_error_fields(self):
+        err = exceptions.SimulatedTimeoutError(100.0, 10.0, what="naive walk")
+        assert err.modeled_cost == 100.0
+        assert err.limit == 10.0
+        assert "naive walk" in str(err)
+
+    def test_infeasible_is_budget_error(self):
+        assert issubclass(
+            exceptions.InfeasibleBudgetError, exceptions.BudgetError
+        )
+
+    def test_empty_graph_is_format_error(self):
+        assert issubclass(exceptions.EmptyGraphError, exceptions.GraphFormatError)
+
+    def test_catch_all_pattern(self, toy_graph, nv_model):
+        """Library failures are catchable with one except clause."""
+        from repro import MemoryAwareFramework
+
+        with pytest.raises(exceptions.ReproError):
+            MemoryAwareFramework(toy_graph, nv_model, budget=-5)

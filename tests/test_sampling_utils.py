@@ -1,0 +1,78 @@
+"""Unit tests for distribution helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DistributionError
+from repro.sampling import normalize_distribution, validate_distribution
+from repro.sampling.utils import empirical_distribution, total_variation_distance
+
+
+class TestValidate:
+    def test_valid_passes_through(self):
+        arr = validate_distribution([1, 2, 3])
+        assert arr.dtype == np.float64
+        assert list(arr) == [1.0, 2.0, 3.0]
+
+    def test_rejects_2d(self):
+        with pytest.raises(DistributionError, match="1-D"):
+            validate_distribution([[1, 2]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(DistributionError, match="non-empty"):
+            validate_distribution([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(DistributionError, match="non-finite"):
+            validate_distribution([1.0, np.nan])
+
+    def test_rejects_negative(self):
+        with pytest.raises(DistributionError, match="negative"):
+            validate_distribution([1.0, -0.5])
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(DistributionError, match="zero total"):
+            validate_distribution([0.0, 0.0])
+
+
+class TestNormalize:
+    def test_sums_to_one(self):
+        p = normalize_distribution([2, 2, 4])
+        assert p.sum() == pytest.approx(1.0)
+        assert p[2] == pytest.approx(0.5)
+
+    def test_already_normalised_unchanged(self):
+        p = normalize_distribution([0.25, 0.75])
+        assert list(p) == [0.25, 0.75]
+
+
+class TestTotalVariation:
+    def test_identical_distributions(self):
+        assert total_variation_distance([1, 2], [2, 4]) == pytest.approx(0.0)
+
+    def test_disjoint_distributions(self):
+        assert total_variation_distance([1, 0], [0, 1]) == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(DistributionError, match="length mismatch"):
+            total_variation_distance([1, 1], [1, 1, 1])
+
+    def test_symmetric(self):
+        p, q = [0.2, 0.3, 0.5], [0.5, 0.2, 0.3]
+        assert total_variation_distance(p, q) == pytest.approx(
+            total_variation_distance(q, p)
+        )
+
+
+class TestEmpirical:
+    def test_histogram(self):
+        p = empirical_distribution(np.array([0, 0, 1, 2]), 3)
+        assert list(p) == [0.5, 0.25, 0.25]
+
+    def test_out_of_range(self):
+        with pytest.raises(DistributionError):
+            empirical_distribution(np.array([5]), 3)
+
+    def test_no_samples(self):
+        with pytest.raises(DistributionError):
+            empirical_distribution(np.array([]), 3)

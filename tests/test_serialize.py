@@ -1,0 +1,102 @@
+"""Tests for assignment / bounding-constant persistence."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostParams,
+    build_cost_table,
+    compute_bounding_constants,
+    estimate_bounding_constants,
+    lp_greedy,
+)
+from repro.exceptions import AssignmentError, BoundingConstantError
+from repro.framework.serialize import (
+    load_assignment,
+    load_bounding_constants,
+    save_assignment,
+    save_bounding_constants,
+)
+
+
+@pytest.fixture
+def assignment(medium_graph, nv_model):
+    constants = compute_bounding_constants(medium_graph, nv_model)
+    table = build_cost_table(medium_graph, constants, CostParams())
+    return lp_greedy(table, 0.3 * table.max_memory()), table, constants
+
+
+class TestAssignmentRoundTrip:
+    def test_round_trip(self, assignment, tmp_path):
+        original, table, _ = assignment
+        path = tmp_path / "assignment.npz"
+        save_assignment(original, path)
+        loaded = load_assignment(path)
+        assert np.array_equal(loaded.samplers, original.samplers)
+        assert loaded.used_memory == pytest.approx(original.used_memory)
+        assert loaded.total_time == pytest.approx(original.total_time)
+        assert loaded.budget == pytest.approx(original.budget)
+        assert loaded.algorithm == original.algorithm
+        loaded.validate_against(table)  # still consistent
+
+    def test_infinite_budget_round_trip(self, assignment, tmp_path):
+        from repro.optimizer import Assignment
+
+        original, _, _ = assignment
+        unbounded = Assignment(
+            samplers=original.samplers,
+            used_memory=original.used_memory,
+            total_time=original.total_time,
+            budget=np.inf,
+            algorithm="all-alias",
+        )
+        path = tmp_path / "a.npz"
+        save_assignment(unbounded, path)
+        assert load_assignment(path).budget == np.inf
+
+    def test_rejects_wrong_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez_compressed(path, stuff=np.ones(3))
+        with pytest.raises(AssignmentError, match="not a repro assignment"):
+            load_assignment(path)
+
+
+class TestConstantsRoundTrip:
+    def test_exact_round_trip(self, medium_graph, nv_model, tmp_path):
+        constants = compute_bounding_constants(medium_graph, nv_model)
+        path = tmp_path / "cv.npz"
+        save_bounding_constants(constants, path)
+        loaded = load_bounding_constants(path)
+        assert np.allclose(loaded.values, constants.values)
+        assert loaded.exact
+        assert loaded.meta == constants.meta
+
+    def test_estimated_round_trip(self, medium_graph, nv_model, tmp_path):
+        constants = estimate_bounding_constants(
+            medium_graph, nv_model, degree_threshold=10, rng=0
+        )
+        path = tmp_path / "cv.npz"
+        save_bounding_constants(constants, path)
+        loaded = load_bounding_constants(path)
+        assert not loaded.exact
+        assert loaded.estimated_nodes == constants.estimated_nodes
+        assert loaded.degree_threshold == 10
+
+    def test_loaded_constants_drive_framework(self, medium_graph, nv_model, tmp_path):
+        """The whole point of the cache: skip T_Cv on restart."""
+        from repro import MemoryAwareFramework
+
+        constants = compute_bounding_constants(medium_graph, nv_model)
+        path = tmp_path / "cv.npz"
+        save_bounding_constants(constants, path)
+        fw = MemoryAwareFramework(
+            medium_graph, nv_model, budget=1e6,
+            bounding_constants=load_bounding_constants(path),
+        )
+        assert fw.timings.bounding_seconds == 0.0
+
+    def test_rejects_wrong_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez_compressed(path, stuff=np.ones(3))
+        with pytest.raises(BoundingConstantError, match="not a repro bounding"):
+            load_bounding_constants(path)

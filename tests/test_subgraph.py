@@ -1,0 +1,64 @@
+"""Tests for subgraph extraction."""
+
+import numpy as np
+import pytest
+
+from repro import from_edges
+from repro.exceptions import GraphFormatError
+from repro.graph import induced_subgraph, largest_connected_component
+
+
+class TestInducedSubgraph:
+    def test_preserves_internal_edges(self, toy_graph):
+        sub, ids = induced_subgraph(toy_graph, [0, 2, 3])
+        assert sub.num_nodes == 3
+        assert list(ids) == [0, 2, 3]
+        # Triangle 0-2-3 survives (relabelled 0-1-2).
+        assert sub.has_edge(0, 1) and sub.has_edge(0, 2) and sub.has_edge(1, 2)
+
+    def test_drops_external_edges(self, toy_graph):
+        sub, _ = induced_subgraph(toy_graph, [1, 2])
+        # 1 and 2 are not adjacent in the toy graph.
+        assert sub.num_edges == 0
+
+    def test_preserves_weights(self, weighted_graph):
+        sub, ids = induced_subgraph(weighted_graph, [0, 2])
+        original = weighted_graph.edge_weight(0, 2)
+        assert sub.edge_weight(0, 1) == pytest.approx(original)
+
+    def test_duplicate_and_unsorted_input(self, toy_graph):
+        sub, ids = induced_subgraph(toy_graph, [3, 0, 3, 2])
+        assert sub.num_nodes == 3
+        assert list(ids) == [0, 2, 3]
+
+    def test_out_of_range(self, toy_graph):
+        with pytest.raises(GraphFormatError):
+            induced_subgraph(toy_graph, [0, 99])
+
+    def test_empty_selection(self, toy_graph):
+        sub, ids = induced_subgraph(toy_graph, [])
+        assert sub.num_nodes == 0
+        assert len(ids) == 0
+
+
+class TestLargestComponent:
+    def test_picks_biggest(self):
+        g = from_edges([(0, 1), (1, 2), (3, 4)], num_nodes=6)
+        sub, ids = largest_connected_component(g)
+        assert sub.num_nodes == 3
+        assert set(ids) == {0, 1, 2}
+
+    def test_connected_graph_unchanged(self, toy_graph):
+        sub, ids = largest_connected_component(toy_graph)
+        assert sub.num_nodes == toy_graph.num_nodes
+        assert sub == toy_graph
+
+    def test_isolated_nodes_excluded(self):
+        g = from_edges([(0, 1)], num_nodes=5)
+        sub, ids = largest_connected_component(g)
+        assert sub.num_nodes == 2
+
+    def test_empty_graph(self):
+        g = from_edges([], num_nodes=0)
+        with pytest.raises(GraphFormatError):
+            largest_connected_component(g)

@@ -1,0 +1,66 @@
+"""Tests for budget sweeps."""
+
+import pytest
+
+from repro import Node2VecModel, compute_bounding_constants
+from repro.analysis import sweep_budgets
+from repro.exceptions import OptimizerError
+
+
+@pytest.fixture(scope="module")
+def sweep(medium_graph):
+    model = Node2VecModel(0.25, 4.0)
+    constants = compute_bounding_constants(medium_graph, model)
+    return sweep_budgets(
+        medium_graph, model,
+        ratios=(0.05, 0.1, 0.3, 0.6, 1.0),
+        constants=constants,
+    )
+
+
+class TestSweep:
+    def test_monotone_tradeoff(self, sweep):
+        times = [p.modeled_time for p in sweep.points]
+        assert times == sorted(times, reverse=True)
+        used = [p.used_bytes for p in sweep.points]
+        assert used == sorted(used)
+
+    def test_budget_respected_everywhere(self, sweep):
+        for p in sweep.points:
+            assert p.used_bytes <= max(p.budget_bytes, sweep.min_budget) + 1e-9
+
+    def test_mix_shifts_toward_alias(self, sweep):
+        assert sweep.points[-1].alias_nodes >= sweep.points[0].alias_nodes
+        assert sweep.points[0].naive_nodes + sweep.points[0].rejection_nodes >= (
+            sweep.points[-1].naive_nodes + sweep.points[-1].rejection_nodes
+        )
+
+    def test_speedup_at(self, sweep):
+        assert sweep.speedup_at(1.0) >= sweep.speedup_at(0.05) == pytest.approx(1.0)
+
+    def test_knee_ratio_in_range(self, sweep):
+        knee = sweep.knee_ratio()
+        assert 0.05 <= knee <= 1.0
+
+    def test_render(self, sweep):
+        text = sweep.render()
+        assert "modeled time" in text
+        assert len(text.splitlines()) == len(sweep.points) + 1
+
+    def test_matches_from_scratch(self, medium_graph):
+        """The adaptive shortcut must equal independent lp_greedy runs."""
+        from repro import CostParams, build_cost_table, lp_greedy
+
+        model = Node2VecModel(0.25, 4.0)
+        constants = compute_bounding_constants(medium_graph, model)
+        table = build_cost_table(medium_graph, constants, CostParams())
+        sweep = sweep_budgets(
+            medium_graph, model, ratios=(0.1, 0.5), constants=constants
+        )
+        for point in sweep.points:
+            reference = lp_greedy(table, point.budget_bytes)
+            assert point.modeled_time == pytest.approx(reference.total_time)
+
+    def test_invalid_ratios(self, medium_graph):
+        with pytest.raises(OptimizerError):
+            sweep_budgets(medium_graph, Node2VecModel(1, 1), ratios=())

@@ -1,0 +1,114 @@
+"""Tests for the weighted-graph bounding-constant extension."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import AutoregressiveModel, FirstOrderModel, Node2VecModel, from_edges
+from repro.bounding import (
+    edge_bounding_constant,
+    verify_weighted_bound,
+    weighted_bound,
+)
+from repro.exceptions import BoundingConstantError
+from repro.models import EdgeSimilarityModel
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def weighted_graph_strategy(draw):
+    n = draw(st.integers(min_value=3, max_value=10))
+    edges = [(i, i + 1) for i in range(n - 1)]
+    extra = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=10,
+        )
+    )
+    edges.extend((u, v) for u, v in extra if u != v)
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=10.0),
+            min_size=len(edges),
+            max_size=len(edges),
+        )
+    )
+    return from_edges(edges, weights, num_nodes=n)
+
+
+class TestNode2VecWeightedBound:
+    def test_closed_form(self, weighted_graph):
+        model = Node2VecModel(0.25, 4.0)
+        # max_r = 4, min_r = 0.25 -> bound 16 on every edge.
+        assert weighted_bound(weighted_graph, model, 0, 1) == pytest.approx(16.0)
+
+    @given(graph=weighted_graph_strategy())
+    @SETTINGS
+    def test_bound_holds_on_weighted_graphs(self, graph):
+        model = Node2VecModel(0.25, 4.0)
+        assert verify_weighted_bound(graph, model) == []
+
+    @given(
+        graph=weighted_graph_strategy(),
+        a=st.sampled_from([0.25, 1.0, 4.0]),
+        b=st.sampled_from([0.25, 1.0, 4.0]),
+    )
+    @SETTINGS
+    def test_bound_holds_all_parameters(self, graph, a, b):
+        model = Node2VecModel(a, b)
+        assert verify_weighted_bound(graph, model) == []
+
+
+class TestAutoregressiveWeightedBound:
+    @given(graph=weighted_graph_strategy(), alpha=st.sampled_from([0.0, 0.3, 0.8]))
+    @SETTINGS
+    def test_bound_holds(self, graph, alpha):
+        model = AutoregressiveModel(alpha)
+        assert verify_weighted_bound(graph, model) == []
+
+    def test_alpha_zero_is_one(self, weighted_graph):
+        model = AutoregressiveModel(0.0)
+        assert weighted_bound(weighted_graph, model, 0, 1) == 1.0
+
+
+class TestGenericFallback:
+    def test_edge_similarity_bound(self, medium_graph):
+        model = EdgeSimilarityModel(gamma=0.5)
+        violations = [
+            (u, v)
+            for u, v, _ in list(medium_graph.edges())[:40]
+            if edge_bounding_constant(medium_graph, model, u, v)
+            > weighted_bound(medium_graph, model, u, v) + 1e-9
+        ]
+        assert violations == []
+
+    def test_first_order_bound_is_one(self, weighted_graph):
+        assert weighted_bound(weighted_graph, FirstOrderModel(), 0, 1) == pytest.approx(1.0)
+
+    def test_isolated_node_rejected(self):
+        g = from_edges([(0, 1)], num_nodes=3)
+        with pytest.raises(BoundingConstantError):
+            weighted_bound(g, Node2VecModel(1, 1), 0, 2)
+
+
+class TestBoundQuality:
+    def test_weighted_bound_can_be_tighter_than_degree(self, rng):
+        """On a high-degree unweighted star with few common neighbours, the
+        ratio bound (16) beats the Theorem 1 degree bound (d_v)."""
+        from repro.graph import star_graph
+
+        g = star_graph(50)
+        model = Node2VecModel(0.25, 4.0)
+        leaf = 1
+        actual = edge_bounding_constant(g, model, leaf, 0)
+        weighted = weighted_bound(g, model, leaf, 0)
+        assert actual <= weighted <= 16.0 < g.degree(0)

@@ -1,0 +1,123 @@
+"""End-to-end tests on weighted graphs.
+
+Most of the suite uses unweighted graphs (like the paper's datasets);
+these tests certify that nothing silently assumes unit weights: the
+framework, all samplers, the optimizer, and the PageRank estimator must
+work — and agree with exact computations — on arbitrarily weighted graphs.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AutoregressiveModel,
+    MemoryAwareFramework,
+    Node2VecModel,
+    SamplerKind,
+    WalkCorpus,
+    from_edges,
+    second_order_pagerank,
+)
+from repro.analysis import diagnose_walks
+from repro.rng import ensure_rng
+from repro.sampling.utils import total_variation_distance
+from repro.walks import exact_second_order_pagerank
+from repro.walks.batch import batch_walks
+
+
+@pytest.fixture(scope="module")
+def weighted_community_graph():
+    """A weighted graph with strong/weak ties and skewed weights."""
+    gen = ensure_rng(17)
+    edges = []
+    weights = []
+    n = 40
+    for i in range(n):
+        for j in range(i + 1, n):
+            same = (i < n // 2) == (j < n // 2)
+            p = 0.3 if same else 0.05
+            if gen.random() < p:
+                edges.append((i, j))
+                weights.append(float(gen.uniform(0.1, 5.0)))
+    return from_edges(edges, weights, num_nodes=n)
+
+
+class TestWeightedFramework:
+    @pytest.mark.parametrize(
+        "model",
+        [Node2VecModel(0.25, 4.0), AutoregressiveModel(0.6)],
+        ids=["node2vec", "auto"],
+    )
+    def test_framework_walks_faithful(self, weighted_community_graph, model):
+        graph = weighted_community_graph
+        probe = MemoryAwareFramework(graph, model, budget=1e12, rng=0)
+        budget = 0.25 * probe.cost_table.max_memory()
+        fw = MemoryAwareFramework(graph, model, budget=budget, rng=0)
+        corpus = WalkCorpus.from_walks(
+            fw.generate_walks(num_walks=40, length=15, rng=1)
+        )
+        diagnostics = diagnose_walks(graph, model, corpus, min_samples=150)
+        assert diagnostics.contexts_checked > 0
+        assert diagnostics.is_faithful(max_noise_units=3.5)
+
+    def test_all_memory_unaware_agree(self, weighted_community_graph):
+        graph = weighted_community_graph
+        model = Node2VecModel(0.5, 2.0)
+        for kind in SamplerKind:
+            fw = MemoryAwareFramework.memory_unaware(graph, model, kind, rng=0)
+            corpus = WalkCorpus.from_walks(
+                fw.generate_walks(num_walks=50, length=12, rng=2)
+            )
+            diagnostics = diagnose_walks(graph, model, corpus, min_samples=80)
+            assert diagnostics.is_faithful(max_noise_units=3.5), kind
+
+    def test_batch_engine_weighted(self, weighted_community_graph):
+        graph = weighted_community_graph
+        model = Node2VecModel(0.5, 2.0)
+        corpus = batch_walks(graph, model, num_walks=40, length=15, rng=3)
+        diagnostics = diagnose_walks(graph, model, corpus, min_samples=150)
+        assert diagnostics.is_faithful(max_noise_units=3.5)
+
+    def test_pagerank_mc_matches_exact(self, weighted_community_graph):
+        graph = weighted_community_graph
+        model = AutoregressiveModel(0.4)
+        query = int(graph.degrees.argmax())
+        exact = exact_second_order_pagerank(
+            graph, model, query, decay=0.8, max_length=6
+        )
+        fw = MemoryAwareFramework.memory_unaware(
+            graph, model, SamplerKind.ALIAS, rng=0
+        )
+        estimate = second_order_pagerank(
+            fw.walk_engine, query, decay=0.8, max_length=6,
+            num_samples=6000, rng=4,
+        )
+        assert total_variation_distance(
+            estimate.scores + 1e-15, exact + 1e-15
+        ) < 0.05
+
+    def test_optimizer_budget_respected(self, weighted_community_graph):
+        graph = weighted_community_graph
+        model = Node2VecModel(0.25, 4.0)
+        probe = MemoryAwareFramework(graph, model, budget=1e12, rng=0)
+        for ratio in (0.1, 0.4, 0.8):
+            budget = ratio * probe.cost_table.max_memory()
+            fw = MemoryAwareFramework(
+                graph, model, budget=budget,
+                bounding_constants=probe.bounding_constants, rng=0,
+            )
+            assert fw.assignment.used_memory <= budget
+
+    def test_heavy_weight_dominates_transitions(self):
+        """A 100x heavier edge must dominate the e2e distribution."""
+        g = from_edges(
+            [(0, 1), (1, 2), (1, 3)], weights=[1.0, 100.0, 1.0]
+        )
+        model = Node2VecModel(1.0, 1.0)
+        fw = MemoryAwareFramework.memory_unaware(
+            g, model, SamplerKind.ALIAS, rng=0
+        )
+        gen = np.random.default_rng(5)
+        nexts = [fw.walk_engine.samplers[1].sample(0, gen) for _ in range(500)]
+        share_of_2 = nexts.count(2) / len(nexts)
+        assert share_of_2 > 0.9
