@@ -25,11 +25,15 @@ from .exceptions import (
     AssignmentError,
     BoundingConstantError,
     BudgetError,
+    CheckpointError,
+    ChunkFailure,
     CostModelError,
     DatasetError,
+    DegradedRunWarning,
     DistributionError,
     GraphFormatError,
     InfeasibleBudgetError,
+    InjectedFaultError,
     ModelError,
     OptimizerError,
     ReproError,
@@ -37,6 +41,7 @@ from .exceptions import (
     SimulatedOOMError,
     SimulatedTimeoutError,
     WalkError,
+    WalkTimeoutError,
 )
 from .graph import CSRGraph, GraphBuilder, from_edges
 from .sampling import AliasTable, CumulativeSampler, NaiveSampler, RejectionSampler
@@ -82,6 +87,15 @@ from .walks import (
     second_order_pagerank,
 )
 from .analysis import diagnose_walks, profile_assignment
+from .resilience import (
+    DeadLetter,
+    DegradationEvent,
+    DegradationLog,
+    FaultKind,
+    FaultPlan,
+    RetryPolicy,
+    WalkCheckpoint,
+)
 
 __version__ = "1.0.0"
 
@@ -138,6 +152,14 @@ __all__ = [
     "EdgeSimilarityModel",
     "diagnose_walks",
     "profile_assignment",
+    # resilience
+    "FaultKind",
+    "FaultPlan",
+    "RetryPolicy",
+    "DeadLetter",
+    "WalkCheckpoint",
+    "DegradationEvent",
+    "DegradationLog",
     # constants
     "DEFAULT_WALKS_PER_NODE",
     "DEFAULT_WALK_LENGTH",
@@ -157,5 +179,10 @@ __all__ = [
     "AssignmentError",
     "ModelError",
     "WalkError",
+    "WalkTimeoutError",
+    "ChunkFailure",
+    "InjectedFaultError",
+    "CheckpointError",
+    "DegradedRunWarning",
     "DatasetError",
 ]

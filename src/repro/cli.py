@@ -117,6 +117,21 @@ def build_tool_parser() -> argparse.ArgumentParser:
         "--optimizer", default="lp", choices=["lp", "deg-inc", "deg-dec"]
     )
     common.add_argument("--seed", type=int, default=None)
+    common.add_argument(
+        "--physical-memory",
+        type=float,
+        default=None,
+        help="simulated physical memory in bytes (enables the OOM gate)",
+    )
+    common.add_argument(
+        "--oom-policy",
+        default="raise",
+        choices=["raise", "degrade"],
+        help=(
+            "on OOM: 'raise' aborts, 'degrade' downgrades samplers "
+            "(alias->rejection->naive) until the footprint fits"
+        ),
+    )
 
     sub.add_parser(
         "optimize",
@@ -130,6 +145,38 @@ def build_tool_parser() -> argparse.ArgumentParser:
     walk.add_argument("--num-walks", type=int, default=10)
     walk.add_argument("--length", type=int, default=80)
     walk.add_argument("--output", default=None, help="write walks to this file")
+    walk.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for chunked generation (default: inline)",
+    )
+    walk.add_argument("--chunk-size", type=int, default=64)
+    walk.add_argument(
+        "--checkpoint",
+        default=None,
+        help="JSONL chunk checkpoint; an interrupted run resumes from it",
+    )
+    walk.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help="attempts per chunk before it is given up (default 3)",
+    )
+    walk.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        help="per-chunk wall-clock limit in seconds; late chunks retry",
+    )
+    walk.add_argument(
+        "--dead-letter",
+        action="store_true",
+        help=(
+            "keep going when a chunk exhausts its retries and report the "
+            "dead-lettered chunks, instead of aborting the whole corpus"
+        ),
+    )
 
     return parser
 
@@ -147,6 +194,8 @@ def _build_framework(args):
         model,
         budget=args.budget,
         optimizer=args.optimizer,
+        physical_memory=args.physical_memory,
+        oom_policy=args.oom_policy,
         rng=args.seed,
     )
 
@@ -182,18 +231,45 @@ def _run_tool(argv: list[str]) -> int:
     # walk
     from .walks import WalkCorpus
 
-    walks = framework.generate_walks(
-        num_walks=args.num_walks, length=args.length, rng=args.seed
+    if framework.degradation_log is not None:
+        print(framework.degradation_log.describe())
+
+    supervised = (
+        args.workers is not None
+        or args.checkpoint is not None
+        or args.chunk_timeout is not None
+        or args.dead_letter
     )
-    corpus = WalkCorpus.from_walks(walks)
+    if supervised:
+        from .walks import parallel_walks
+
+        corpus = parallel_walks(
+            framework.walk_engine,
+            num_walks=args.num_walks,
+            length=args.length,
+            workers=args.workers if args.workers is not None else 1,
+            chunk_size=args.chunk_size,
+            rng=args.seed,
+            retry=args.max_retries,
+            timeout=args.chunk_timeout,
+            checkpoint=args.checkpoint,
+            on_exhausted="dead-letter" if args.dead_letter else "raise",
+        )
+    else:
+        walks = framework.generate_walks(
+            num_walks=args.num_walks, length=args.length, rng=args.seed
+        )
+        corpus = WalkCorpus.from_walks(walks)
     print(
         f"generated {len(corpus)} walks, {corpus.total_steps} steps, "
         f"avg length {corpus.average_length:.1f}"
     )
+    for letter in corpus.failed_chunks:
+        print(f"DEAD-LETTER: {letter.describe()}", file=sys.stderr)
     if args.output:
         corpus.save(args.output)
         print(f"written to {args.output}")
-    return 0
+    return 0 if corpus.is_complete else 3
 
 
 # ----------------------------------------------------------------------

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -15,6 +16,8 @@ from ..graph import CSRGraph
 from ..models import SecondOrderModel
 from ..optimizer import Assignment, lp_greedy
 from ..rng import RngLike, ensure_rng
+from ..walks.corpus import WalkCorpus
+from ..walks.parallel import run_chunked_walks
 
 
 def hash_partition(num_nodes: int, workers: int) -> np.ndarray:
@@ -168,6 +171,64 @@ class PartitionedFramework:
         """One cross-partition second-order walk."""
         return self._engine.walk(
             start, length, rng if rng is not None else self._rng
+        )
+
+    def generate_walks(
+        self,
+        *,
+        num_walks: int,
+        length: int,
+        workers: int | None = None,
+        chunk_size: int = 64,
+        rng: RngLike = None,
+        fault_plan=None,
+        retry=None,
+        timeout: float | None = None,
+        checkpoint=None,
+        on_exhausted: str = "raise",
+    ) -> WalkCorpus:
+        """Cluster-wide corpus generation under the resilience supervisor.
+
+        Chunks are aligned to partition boundaries — a chunk never spans
+        two workers, so a chunk failure (or dead letter) maps to exactly
+        one simulated worker, mirroring how a Pregel-style system loses a
+        task when a worker dies.  ``fault_plan``, ``retry``, ``timeout``,
+        ``checkpoint``, and ``on_exhausted`` behave exactly as in
+        :func:`repro.walks.parallel_walks`; seeds are drawn one per chunk
+        from ``rng`` up-front, so the corpus is deterministic for a fixed
+        seed regardless of the process count.
+        """
+        if num_walks < 1 or length < 0:
+            raise WalkError("num_walks must be >= 1 and length >= 0")
+        if chunk_size < 1:
+            raise WalkError("chunk_size must be >= 1")
+        if workers is None:
+            workers = min(os.cpu_count() or 1, 16)
+        chunks: list[list[int]] = []
+        for worker in range(self.num_workers):
+            nodes = [
+                int(v)
+                for v in np.flatnonzero(self.partition == worker)
+                if self.graph.degree(int(v)) > 0
+            ]
+            chunks.extend(
+                nodes[i : i + chunk_size]
+                for i in range(0, len(nodes), chunk_size)
+            )
+        base = ensure_rng(rng)
+        seeds = [int(base.integers(0, 2**63 - 1)) for _ in chunks]
+        return run_chunked_walks(
+            self._engine,
+            chunks,
+            seeds,
+            num_walks=num_walks,
+            length=length,
+            workers=workers,
+            fault_plan=fault_plan,
+            retry=retry,
+            timeout=timeout,
+            checkpoint=checkpoint,
+            on_exhausted=on_exhausted,
         )
 
     def sampler_kind(self, node: int) -> SamplerKind | None:

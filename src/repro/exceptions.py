@@ -101,9 +101,101 @@ class WalkError(ReproError):
     length, etc.)."""
 
 
+class WalkTimeoutError(WalkError):
+    """A walk chunk exceeded its wall-clock timeout.
+
+    Raised (or recorded as a retry cause) by the chunk supervisor when a
+    worker fails to return within ``timeout`` seconds — the containment
+    that keeps one hung worker from wedging an entire corpus run.
+    """
+
+    def __init__(self, chunk_index: int, timeout_seconds: float) -> None:
+        self.chunk_index = int(chunk_index)
+        self.timeout_seconds = float(timeout_seconds)
+        super().__init__(
+            f"chunk {chunk_index} exceeded its {timeout_seconds:.3g}s timeout"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.chunk_index, self.timeout_seconds))
+
+
+class ChunkFailure(WalkError):
+    """A walk worker chunk failed, wrapped with its execution context.
+
+    Carries the chunk index, the chunk's start nodes, how many attempts
+    were made, and the original cause, so a failure deep inside a worker
+    process surfaces as "chunk 17 (nodes 1088..1151) failed after 3
+    attempts: ..." instead of a bare traceback.  Picklable, so it crosses
+    the multiprocessing pool boundary intact.
+    """
+
+    def __init__(
+        self,
+        chunk_index: int,
+        start_nodes: tuple,
+        attempts: int,
+        cause: BaseException | str,
+    ) -> None:
+        self.chunk_index = int(chunk_index)
+        self.start_nodes = tuple(int(v) for v in start_nodes)
+        self.attempts = int(attempts)
+        self.cause = cause
+        if self.start_nodes:
+            span = f"nodes {self.start_nodes[0]}..{self.start_nodes[-1]}"
+        else:
+            span = "no start nodes"
+        super().__init__(
+            f"chunk {self.chunk_index} ({span}, {len(self.start_nodes)} "
+            f"starts) failed after {self.attempts} attempt(s): {cause!r}"
+        )
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.chunk_index, self.start_nodes, self.attempts, self.cause),
+        )
+
+
+class InjectedFaultError(ReproError):
+    """A deterministic fault raised by a :class:`repro.resilience.FaultPlan`.
+
+    Only ever raised when fault injection is explicitly installed; its
+    presence in a dead-letter record identifies a test-induced failure.
+    """
+
+    def __init__(self, chunk_index: int, attempt: int) -> None:
+        self.chunk_index = int(chunk_index)
+        self.attempt = int(attempt)
+        super().__init__(
+            f"injected fault in chunk {chunk_index} (attempt {attempt})"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.chunk_index, self.attempt))
+
+
+class CheckpointError(ReproError):
+    """A walk checkpoint file is unreadable or belongs to a different run
+    (mismatched signature, seeds, or chunking)."""
+
+
 class DatasetError(ReproError):
     """An unknown dataset name or invalid dataset scale was requested."""
 
 
 class ExperimentError(ReproError):
     """An experiment harness was configured incorrectly."""
+
+
+class DegradedRunWarning(UserWarning, ReproError):
+    """The run completed, but only after graceful degradation.
+
+    Emitted (via :mod:`warnings`) when memory pressure was answered by
+    downgrading node samplers (alias → rejection → naive) instead of
+    raising :class:`SimulatedOOMError`.  A warning rather than an error —
+    results are still correct, just slower than planned; the framework's
+    ``degradation_log`` holds the byte-accurate event record.  Inherits
+    :class:`ReproError` too, so the package-wide hierarchy stays single
+    rooted; ``warnings.filterwarnings`` targets it via ``UserWarning``.
+    """

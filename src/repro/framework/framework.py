@@ -17,6 +17,7 @@ the affected node samplers are rebuilt or dropped.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,11 +29,16 @@ from ..bounding import (
 )
 from ..constants import DEFAULT_DEGREE_THRESHOLD
 from ..cost import CostParams, CostTable, SamplerKind, build_cost_table
-from ..exceptions import OptimizerError
+from ..exceptions import DegradedRunWarning, OptimizerError, SimulatedOOMError
 from ..graph import CSRGraph
 from ..models import SecondOrderModel
 from ..optimizer import AdaptiveOptimizer, Assignment, degree_greedy, lp_greedy
 from ..optimizer.adaptive import BudgetUpdate
+from ..resilience.degradation import (
+    DegradationLog,
+    chain_downgrade,
+    events_from_trace,
+)
 from ..rng import RngLike, ensure_rng
 from .interfaces import NodeSampler
 from .memory import MemoryMeter
@@ -44,6 +50,9 @@ OPTIMIZERS = ("lp", "deg-inc", "deg-dec")
 
 #: bounding-constant computation modes.
 BOUNDING_MODES = ("exact", "estimate")
+
+#: how the framework answers a tripped OOM gate.
+OOM_POLICIES = ("raise", "degrade")
 
 
 @dataclass
@@ -94,6 +103,13 @@ class MemoryAwareFramework:
     physical_memory:
         Simulated physical memory in bytes for the OOM gate (``None``
         disables the gate).
+    oom_policy:
+        ``"raise"`` (default) propagates :class:`SimulatedOOMError` when
+        the assignment's footprint exceeds ``physical_memory``;
+        ``"degrade"`` instead downgrades samplers (reverse LP-greedy
+        trace, or highest-memory-first chain downgrade for the other
+        optimizers) until the footprint fits, records the downgrades in
+        :attr:`degradation_log`, and emits a :class:`DegradedRunWarning`.
     extra_samplers:
         User-defined :class:`~repro.framework.extra_samplers.SamplerSpec`
         entries enrolled alongside the built-in trio — the paper's §5.1
@@ -113,6 +129,7 @@ class MemoryAwareFramework:
         degree_threshold: int = DEFAULT_DEGREE_THRESHOLD,
         bounding_constants: BoundingConstants | None = None,
         physical_memory: float | None = None,
+        oom_policy: str = "raise",
         extra_samplers: list | None = None,
         rng: RngLike = None,
     ) -> None:
@@ -124,10 +141,16 @@ class MemoryAwareFramework:
             raise OptimizerError(
                 f"unknown bounding mode {bounding!r}; choose from {BOUNDING_MODES}"
             )
+        if oom_policy not in OOM_POLICIES:
+            raise OptimizerError(
+                f"unknown oom_policy {oom_policy!r}; choose from {OOM_POLICIES}"
+            )
         self.graph = graph
         self.model = model
         self.cost_params = cost_params or CostParams()
         self.optimizer_name = optimizer
+        self.oom_policy = oom_policy
+        self.degradation_log: DegradationLog | None = None
         self.timings = FrameworkTimings()
         self.meter = MemoryMeter(physical_memory)
         self._rng = ensure_rng(rng)
@@ -171,15 +194,8 @@ class MemoryAwareFramework:
             )
         self.timings.optimize_seconds = time.perf_counter() - started
 
-        # Phase 3: sampler materialisation (T_NS).
-        started = time.perf_counter()
-        self._samplers: list[NodeSampler | None] = [None] * graph.num_nodes
-        for v in range(graph.num_nodes):
-            self._build_sampler(v, int(self._assignment.samplers[v]))
-        self.timings.build_seconds = time.perf_counter() - started
-
-        # Phase 4: ready to walk.
-        self._engine = WalkEngine(graph, self._samplers)
+        # Phases 3-4: sampler materialisation (T_NS) + walk engine.
+        self._materialise_samplers()
 
     # ------------------------------------------------------------------
     # accessors
@@ -260,6 +276,7 @@ class MemoryAwareFramework:
         *,
         cost_params: CostParams | None = None,
         physical_memory: float | None = None,
+        oom_policy: str = "raise",
         bounding_constants: BoundingConstants | None = None,
         rng: RngLike = None,
     ) -> "MemoryAwareFramework":
@@ -269,13 +286,22 @@ class MemoryAwareFramework:
         every (non-isolated) node onto ``kind``.  The memory meter still
         applies, so an all-alias build on a graph that does not fit the
         simulated physical memory raises :class:`SimulatedOOMError`
-        exactly like the paper's Table 5.
+        exactly like the paper's Table 5 — unless ``oom_policy="degrade"``
+        is requested, in which case the over-budget nodes are stepped down
+        the sampler chain (alias → rejection → naive) until the baseline
+        fits, with the downgrades recorded in ``degradation_log``.
         """
+        if oom_policy not in OOM_POLICIES:
+            raise OptimizerError(
+                f"unknown oom_policy {oom_policy!r}; choose from {OOM_POLICIES}"
+            )
         self = cls.__new__(cls)
         self.graph = graph
         self.model = model
         self.cost_params = cost_params or CostParams()
         self.optimizer_name = f"all-{SamplerKind(kind).name.lower()}"
+        self.oom_policy = oom_policy
+        self.degradation_log = None
         self.timings = FrameworkTimings()
         self.meter = MemoryMeter(physical_memory)
         self._rng = ensure_rng(rng)
@@ -309,12 +335,7 @@ class MemoryAwareFramework:
             algorithm=self.optimizer_name,
         )
 
-        started = time.perf_counter()
-        self._samplers = [None] * graph.num_nodes
-        for v in range(graph.num_nodes):
-            self._build_sampler(v, int(self._assignment.samplers[v]))
-        self.timings.build_seconds = time.perf_counter() - started
-        self._engine = WalkEngine(graph, self._samplers)
+        self._materialise_samplers()
         return self
 
     # ------------------------------------------------------------------
@@ -333,6 +354,82 @@ class MemoryAwareFramework:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _materialise_samplers(self) -> None:
+        """Phase 3: degrade if policy demands, then build every sampler."""
+        if self.oom_policy == "degrade":
+            self._degrade_to_fit()
+        started = time.perf_counter()
+        self._samplers: list[NodeSampler | None] = [None] * self.graph.num_nodes
+        for v in range(self.graph.num_nodes):
+            self._build_sampler(v, int(self._assignment.samplers[v]))
+        self.timings.build_seconds = time.perf_counter() - started
+        self._engine = WalkEngine(self.graph, self._samplers)
+
+    def _chargeable_memory(self, samplers: np.ndarray) -> float:
+        """Modeled bytes the meter will charge: non-isolated nodes only."""
+        mask = self.graph.degrees > 0
+        rows = np.arange(self.graph.num_nodes)
+        return float(self.cost_table.memory[rows, samplers][mask].sum())
+
+    def _degrade_to_fit(self) -> None:
+        """Shrink the assignment until its footprint fits physical memory.
+
+        LP assignments replay the greedy trace in reverse (the adaptive
+        optimizer's own budget-decrease move, so its internal schedule
+        cursor stays consistent); traceless assignments fall back to the
+        highest-memory-first chain downgrade.  No-op when the footprint
+        already fits.  Raises :class:`SimulatedOOMError` only when even
+        the all-cheapest assignment cannot fit.
+        """
+        physical = self.meter.physical_bytes
+        if physical is None:
+            return
+        limit = physical - self.meter.used_bytes
+        mask = self.graph.degrees > 0
+        initial = self._chargeable_memory(self._assignment.samplers)
+        if initial <= limit:
+            return
+
+        if self._adaptive is not None:
+            # Isolated nodes sit in the assignment's bookkeeping but are
+            # never charged to the meter; shed against the shifted limit.
+            overhead = self._adaptive.used_memory - initial
+            popped = self._adaptive.shed_memory(limit + overhead)
+            self._assignment = self._adaptive.assignment
+            events = events_from_trace(
+                self.cost_table, popped, initial, chargeable_mask=mask
+            )
+            final = self._chargeable_memory(self._assignment.samplers)
+            if final > limit:
+                raise SimulatedOOMError(
+                    required_bytes=int(np.ceil(final)),
+                    available_bytes=int(physical),
+                    what="minimum sampler footprint after degradation",
+                )
+        else:
+            samplers, events = chain_downgrade(
+                self.cost_table, self._assignment.samplers, mask, limit
+            )
+            old = self._assignment
+            self._assignment = Assignment(
+                samplers=samplers,
+                used_memory=float(self.cost_table.assignment_memory(samplers)),
+                total_time=float(self.cost_table.assignment_time(samplers)),
+                budget=old.budget,
+                algorithm=f"{old.algorithm or self.optimizer_name}+degraded",
+                trace=list(old.trace),
+            )
+            self._assignment.validate_against(self.cost_table)
+
+        self.degradation_log = DegradationLog(
+            physical_bytes=float(physical),
+            initial_bytes=initial,
+            events=events,
+        )
+        warnings.warn(
+            DegradedRunWarning(self.degradation_log.describe()), stacklevel=3
+        )
+
     def _build_sampler(self, v: int, column: int) -> None:
         if self.graph.degree(v) == 0:
             self._samplers[v] = None

@@ -88,6 +88,25 @@ class MemoryMeter:
         """High-water mark."""
         return self._peak
 
+    @property
+    def headroom_bytes(self) -> float:
+        """Bytes left before the OOM gate trips (``inf`` when ungated)."""
+        if self.physical_bytes is None:
+            return float("inf")
+        return max(0.0, self.physical_bytes - self._used)
+
+    def can_charge(self, amount: float) -> bool:
+        """Whether :meth:`charge` of ``amount`` would succeed.
+
+        The non-raising probe used by graceful degradation to decide
+        whether sampler downgrades are needed before materialisation.
+        """
+        if amount < 0:
+            raise BudgetError("cannot charge a negative amount")
+        if self.physical_bytes is None:
+            return True
+        return self._used + amount <= self.physical_bytes
+
     def charge(self, amount: float, what: str = "") -> None:
         """Account ``amount`` modeled bytes; OOM when over physical memory."""
         if amount < 0:

@@ -14,7 +14,7 @@ Knapsack Problem (Theorem 2).  This subpackage provides:
 from .assignment import Assignment, TraceEntry
 from .dominance import eliminate_dominated, node_chains
 from .problem import AssignmentProblem
-from .lp_greedy import lp_greedy, lmckp_lower_bound
+from .lp_greedy import lp_greedy, lmckp_lower_bound, trace_deltas
 from .degree_greedy import degree_greedy
 from .dp import dp_optimal, exhaustive_optimal
 from .inverse import min_memory_for_time
@@ -28,6 +28,7 @@ __all__ = [
     "node_chains",
     "lp_greedy",
     "lmckp_lower_bound",
+    "trace_deltas",
     "degree_greedy",
     "dp_optimal",
     "exhaustive_optimal",

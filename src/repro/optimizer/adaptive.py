@@ -109,6 +109,26 @@ class AdaptiveOptimizer:
         reverted = self._revert_backward()
         return BudgetUpdate(old_budget, self._budget, 0, reverted)
 
+    def shed_memory(self, limit: float) -> list[TraceEntry]:
+        """Revert applied upgrades (newest first) until ``used <= limit``.
+
+        The graceful-degradation primitive: unlike :meth:`set_budget` it
+        leaves the budget untouched, so a later budget increase resumes
+        the schedule from the shed position.  Returns the reverted
+        entries, newest first; when even the all-cheapest assignment
+        exceeds ``limit`` the trace is fully drained and the caller is
+        expected to surface the residual pressure (e.g. as an OOM).
+        """
+        popped: list[TraceEntry] = []
+        while self._used > limit and self._trace:
+            popped.append(self._trace.pop())
+            self._cursor -= 1
+            step = self._steps[self._cursor]
+            self._samplers[step.node] = step.from_col
+            self._used -= step.delta_memory
+            self._time -= step.delta_time
+        return popped
+
     # ------------------------------------------------------------------
     def _apply_forward(self) -> int:
         applied = 0

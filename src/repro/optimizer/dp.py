@@ -18,6 +18,18 @@ from .assignment import Assignment
 from .problem import AssignmentProblem
 
 
+def _within_budget(memory: float, budget: float) -> bool:
+    """Feasibility test shared by both exact solvers.
+
+    A single relative-plus-absolute tolerance keeps the two solvers'
+    feasible sets identical: float summation of exactly-feasible fractional
+    weights (e.g. nine ``1.6 B`` naive samplers) can land a hair above the
+    budget, and if one solver accepted such sums while the other rejected
+    them the "DP never beats brute force" invariant would break.
+    """
+    return memory <= budget * (1 + 1e-12) + 1e-9
+
+
 def exhaustive_optimal(table: CostTable, budget: float) -> Assignment:
     """Brute-force optimum by enumerating all sampler combinations.
 
@@ -36,7 +48,7 @@ def exhaustive_optimal(table: CostTable, budget: float) -> Assignment:
     for combo in itertools.product(*options):
         cols = np.asarray(combo)
         memory = float(table.memory[rows, cols].sum())
-        if memory > budget:
+        if not _within_budget(memory, budget):
             continue
         time = float(table.time[rows, cols].sum())
         if best is None or time < best[0]:
@@ -82,7 +94,7 @@ def dp_optimal(
         if samplers is None:
             raise OptimizerError("DP found no feasible assignment")
         used = float(table.memory[rows, samplers].sum())
-        if used <= budget * (1 + 1e-12) + 1e-9:
+        if _within_budget(used, budget):
             return Assignment(
                 samplers=samplers,
                 used_memory=used,

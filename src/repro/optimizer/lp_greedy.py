@@ -122,6 +122,31 @@ def lp_greedy(
     return assignment
 
 
+def trace_deltas(
+    table: CostTable, trace: "list[TraceEntry]"
+) -> list[tuple[TraceEntry, float, float]]:
+    """Per-entry ``(entry, delta_memory, delta_time)`` of a greedy trace.
+
+    Recomputed from the cost table so the trace can be *replayed in
+    reverse*: undoing entry ``e`` returns ``e.node`` from ``e.chosen`` to
+    ``e.previous`` and reclaims exactly ``delta_memory`` bytes.  This is
+    the hook graceful OOM degradation (``repro.resilience``) uses to
+    downgrade samplers along the LP-greedy trace, newest upgrade first.
+    """
+    deltas: list[tuple[TraceEntry, float, float]] = []
+    for entry in trace:
+        node = int(entry.node)
+        previous, chosen = int(entry.previous), int(entry.chosen)
+        deltas.append(
+            (
+                entry,
+                float(table.memory[node, chosen] - table.memory[node, previous]),
+                float(table.time[node, chosen] - table.time[node, previous]),
+            )
+        )
+    return deltas
+
+
 def lmckp_lower_bound(table: CostTable, budget: float) -> float:
     """Optimal objective of the LP relaxation (LMCKP).
 

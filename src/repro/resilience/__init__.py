@@ -1,0 +1,49 @@
+"""Resilient walk execution: fault injection, supervision, checkpointing,
+and graceful memory degradation.
+
+Long walk jobs on large graphs are restartable, partitioned workloads
+(GraSorw, ThunderRW); this subpackage gives the reproduction the same
+posture:
+
+* :class:`FaultPlan` — seeded, deterministic fault injection (crash, hang,
+  corrupt) at chunk granularity, so every recovery path is testable;
+* :class:`ChunkSupervisor` / :class:`RetryPolicy` — per-chunk timeouts,
+  bounded retry with exponential backoff and jitter, and a dead-letter
+  list instead of whole-run aborts;
+* :class:`WalkCheckpoint` — append-only chunk-result persistence so an
+  interrupted run resumes bit-identically for a fixed seed;
+* :func:`chain_downgrade` / :class:`DegradationLog` — sampler downgrade
+  (alias → rejection → naive) under memory pressure, replacing
+  ``SimulatedOOMError`` with a structured event log.
+
+See ``docs/robustness.md`` for the full policy description.
+"""
+
+from .checkpoint import WalkCheckpoint
+from .degradation import (
+    DegradationEvent,
+    DegradationLog,
+    chain_downgrade,
+    events_from_trace,
+)
+from .faults import FaultKind, FaultPlan
+from .supervisor import (
+    ChunkSupervisor,
+    DeadLetter,
+    RetryPolicy,
+    SupervisedRun,
+)
+
+__all__ = [
+    "FaultKind",
+    "FaultPlan",
+    "RetryPolicy",
+    "DeadLetter",
+    "SupervisedRun",
+    "ChunkSupervisor",
+    "WalkCheckpoint",
+    "DegradationEvent",
+    "DegradationLog",
+    "chain_downgrade",
+    "events_from_trace",
+]

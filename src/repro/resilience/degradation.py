@@ -1,0 +1,188 @@
+"""Graceful degradation: answer memory pressure with sampler downgrades.
+
+When the modeled footprint of a sampler assignment exceeds the simulated
+physical memory, the memory-unaware behaviour is a hard
+:class:`~repro.exceptions.SimulatedOOMError`.  The framework can instead
+*degrade*: walk the LP-greedy upgrade trace in reverse (undoing the least
+profitable upgrades first, exactly the adaptive optimizer's
+budget-decrease move) or, for traceless assignments such as the all-alias
+baseline, step the highest-memory nodes down their per-node sampler chain
+(alias → rejection → naive) until the footprint fits.  Every downgrade is
+recorded as a :class:`DegradationEvent`, so the log accounts for each byte
+reclaimed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cost import CostTable
+from ..exceptions import SimulatedOOMError
+from ..optimizer.assignment import as_kind, column_code
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One sampler downgrade applied under memory pressure.
+
+    ``node`` moved from sampler column ``previous`` (the expensive one it
+    had) to ``chosen`` (the cheaper one it keeps), reclaiming
+    ``reclaimed_bytes`` of modeled memory; ``used_after`` is the running
+    chargeable footprint once the downgrade is applied.
+    """
+
+    node: int
+    previous: object  # SamplerKind | int
+    chosen: object  # SamplerKind | int
+    reclaimed_bytes: float
+    used_after: float
+
+    def describe(self) -> str:
+        """Compact ``vid A->R -bytes @mem`` rendering (trace style)."""
+        return (
+            f"{self.node} {column_code(int(self.previous))}->"
+            f"{column_code(int(self.chosen))} -{self.reclaimed_bytes:.0f}B "
+            f"@{self.used_after:.0f}"
+        )
+
+
+@dataclass
+class DegradationLog:
+    """Structured record of one graceful-degradation episode."""
+
+    physical_bytes: float
+    initial_bytes: float
+    events: list = field(default_factory=list)
+
+    @property
+    def total_reclaimed(self) -> float:
+        """Bytes recovered across all downgrades."""
+        return float(sum(e.reclaimed_bytes for e in self.events))
+
+    @property
+    def final_bytes(self) -> float:
+        """Chargeable footprint after the last downgrade."""
+        return self.initial_bytes - self.total_reclaimed
+
+    def describe(self) -> str:
+        return (
+            f"degraded {len(self.events)} sampler(s): "
+            f"{self.initial_bytes:.0f}B -> {self.final_bytes:.0f}B "
+            f"(limit {self.physical_bytes:.0f}B, "
+            f"reclaimed {self.total_reclaimed:.0f}B)"
+        )
+
+
+def events_from_trace(
+    table: CostTable,
+    popped_entries,
+    initial_used: float,
+    chargeable_mask: np.ndarray | None = None,
+) -> list[DegradationEvent]:
+    """Degradation events for LP-trace entries reverted newest-first.
+
+    Each reverted :class:`~repro.optimizer.assignment.TraceEntry` undoes
+    one upgrade: the node returns from ``entry.chosen`` to
+    ``entry.previous``, reclaiming the cost-table memory delta.  Nodes
+    outside ``chargeable_mask`` (isolated nodes never charged to the
+    meter) contribute zero reclaimed bytes.
+    """
+    events: list[DegradationEvent] = []
+    running = float(initial_used)
+    for entry in popped_entries:
+        node = int(entry.node)
+        upper, lower = int(entry.chosen), int(entry.previous)
+        reclaimed = float(table.memory[node, upper] - table.memory[node, lower])
+        if chargeable_mask is not None and not chargeable_mask[node]:
+            reclaimed = 0.0
+        running -= reclaimed
+        events.append(
+            DegradationEvent(
+                node=node,
+                previous=as_kind(upper),
+                chosen=as_kind(lower),
+                reclaimed_bytes=reclaimed,
+                used_after=running,
+            )
+        )
+    return events
+
+
+def chain_downgrade(
+    table: CostTable,
+    samplers: np.ndarray,
+    chargeable_mask: np.ndarray,
+    limit: float,
+) -> tuple[np.ndarray, list[DegradationEvent]]:
+    """Downgrade traceless assignments until the footprint fits ``limit``.
+
+    Greedy policy: repeatedly step the node whose current sampler holds
+    the most memory down to its next-cheaper available sampler (for the
+    built-in trio: alias → rejection → naive).  Raises
+    :class:`SimulatedOOMError` when even every node's cheapest sampler
+    exceeds the limit.
+
+    Returns the downgraded sampler columns and the event log; the input
+    array is not modified.
+    """
+    samplers = np.array(samplers, dtype=np.int8, copy=True)
+    chargeable_mask = np.asarray(chargeable_mask, dtype=bool)
+    used = float(
+        table.memory[np.flatnonzero(chargeable_mask),
+                     samplers[chargeable_mask]].sum()
+    )
+    events: list[DegradationEvent] = []
+    if used <= limit:
+        return samplers, events
+
+    # Per-node columns sorted cheapest-first; position[v] indexes into it.
+    chains: dict[int, list[int]] = {}
+    position: dict[int, int] = {}
+    heap: list[tuple[float, int]] = []  # (-current_memory, node), lazy
+    for v in np.flatnonzero(chargeable_mask):
+        v = int(v)
+        cols = [j for j in range(table.num_samplers) if table.available[v, j]]
+        cols.sort(key=lambda j: (float(table.memory[v, j]), float(table.time[v, j])))
+        current = int(samplers[v])
+        if current not in cols:  # dominated columns still sort by memory
+            cols.append(current)
+            cols.sort(key=lambda j: (float(table.memory[v, j]), float(table.time[v, j])))
+        pos = cols.index(current)
+        if pos > 0:
+            chains[v] = cols
+            position[v] = pos
+            heapq.heappush(heap, (-float(table.memory[v, current]), v))
+
+    while used > limit and heap:
+        neg_memory, v = heapq.heappop(heap)
+        current = int(samplers[v])
+        if -neg_memory != float(table.memory[v, current]):
+            continue  # stale heap entry from an earlier downgrade
+        pos = position[v]
+        nxt = chains[v][pos - 1]
+        reclaimed = float(table.memory[v, current] - table.memory[v, nxt])
+        samplers[v] = nxt
+        position[v] = pos - 1
+        used -= reclaimed
+        events.append(
+            DegradationEvent(
+                node=v,
+                previous=as_kind(current),
+                chosen=as_kind(nxt),
+                reclaimed_bytes=reclaimed,
+                used_after=used,
+            )
+        )
+        if position[v] > 0:
+            heapq.heappush(heap, (-float(table.memory[v, nxt]), v))
+
+    if used > limit:
+        raise SimulatedOOMError(
+            required_bytes=int(np.ceil(used)),
+            available_bytes=int(limit),
+            what="minimum sampler footprint after degradation",
+        )
+    return samplers, events

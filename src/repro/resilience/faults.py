@@ -1,0 +1,143 @@
+"""Deterministic fault injection for chunked walk execution.
+
+A :class:`FaultPlan` decides, purely from ``(seed, chunk_index, attempt)``,
+whether a worker chunk crashes, hangs, or returns corrupt walks.  Because
+the decision is a pure function, the same plan produces the same faults in
+sequential and pooled execution, on every platform, and on every rerun —
+which is what makes the recovery paths (retry, dead-letter, timeout)
+testable with exact assertions instead of sleeps and luck.
+
+The plan travels into worker processes by fork inheritance (it is also a
+plain picklable dataclass), and its ``rate`` draws use a per-chunk
+:class:`numpy.random.SeedSequence` so chunk ``i`` faulting is independent
+of how many chunks exist.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..exceptions import InjectedFaultError, WalkError
+
+
+class FaultKind(str, Enum):
+    """What an injected fault does to the worker chunk."""
+
+    #: raise :class:`InjectedFaultError` before any walk is generated.
+    CRASH = "crash"
+    #: sleep ``hang_seconds`` before returning (trips supervisor timeouts).
+    HANG = "hang"
+    #: return the right number of walks but with out-of-range node ids.
+    CORRUPT = "corrupt"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, deterministic per-chunk fault schedule.
+
+    Parameters
+    ----------
+    seed:
+        Entropy for the per-chunk fault draws; two plans with the same
+        seed and rate target the same chunks.
+    rate:
+        Probability that a given chunk is faulty (ignored when ``chunks``
+        is given explicitly).
+    kind:
+        Which :class:`FaultKind` faulty chunks exhibit.
+    failures_per_chunk:
+        How many attempts of a faulty chunk fail before it succeeds;
+        ``None`` means the chunk fails on every attempt (a *persistent*
+        fault, used to exercise dead-lettering).
+    hang_seconds:
+        Sleep duration of :attr:`FaultKind.HANG` faults.
+    chunks:
+        Explicit faulty chunk indices; overrides ``rate``-based selection.
+    """
+
+    seed: int = 0
+    rate: float = 0.1
+    kind: FaultKind = FaultKind.CRASH
+    failures_per_chunk: int | None = 1
+    hang_seconds: float = 30.0
+    chunks: frozenset | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise WalkError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.hang_seconds < 0:
+            raise WalkError("hang_seconds must be non-negative")
+        if self.failures_per_chunk is not None and self.failures_per_chunk < 1:
+            raise WalkError("failures_per_chunk must be >= 1 or None")
+        if self.chunks is not None:
+            object.__setattr__(
+                self, "chunks", frozenset(int(c) for c in self.chunks)
+            )
+        object.__setattr__(self, "kind", FaultKind(self.kind))
+
+    # ------------------------------------------------------------------
+    @property
+    def persistent(self) -> bool:
+        """Whether faulty chunks fail on every attempt."""
+        return self.failures_per_chunk is None
+
+    def is_faulty(self, chunk_index: int) -> bool:
+        """Whether ``chunk_index`` is on the fault schedule at all."""
+        if self.chunks is not None:
+            return int(chunk_index) in self.chunks
+        draw = np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=int(self.seed), spawn_key=(int(chunk_index),)
+            )
+        ).random()
+        return bool(draw < self.rate)
+
+    def fault_for(self, chunk_index: int, attempt: int) -> FaultKind | None:
+        """The fault (if any) chunk ``chunk_index`` exhibits on ``attempt``.
+
+        Attempts are 0-based; with the default ``failures_per_chunk=1`` a
+        faulty chunk fails its first attempt and succeeds on retry.
+        """
+        if not self.is_faulty(chunk_index):
+            return None
+        if (
+            self.failures_per_chunk is not None
+            and attempt >= self.failures_per_chunk
+        ):
+            return None
+        return self.kind
+
+    def injected_chunks(self, num_chunks: int) -> list[int]:
+        """All faulty chunk indices among ``range(num_chunks)``."""
+        return [i for i in range(num_chunks) if self.is_faulty(i)]
+
+    # ------------------------------------------------------------------
+    # worker-side hooks
+    # ------------------------------------------------------------------
+    def before_chunk(self, chunk_index: int, attempt: int) -> None:
+        """Crash or hang hook, called before the chunk does any work."""
+        fault = self.fault_for(chunk_index, attempt)
+        if fault is FaultKind.CRASH:
+            raise InjectedFaultError(chunk_index, attempt)
+        if fault is FaultKind.HANG:
+            time.sleep(self.hang_seconds)
+
+    def after_chunk(self, chunk_index: int, attempt: int, walks: list) -> list:
+        """Corruption hook, applied to the chunk's finished walk list.
+
+        Corruption keeps the walk *count* intact but poisons node ids with
+        ``-1`` — the shape of bug that silently ruins a corpus unless the
+        supervisor validates results.
+        """
+        if self.fault_for(chunk_index, attempt) is not FaultKind.CORRUPT:
+            return walks
+        corrupted = list(walks)
+        if corrupted:
+            bad = np.array(corrupted[0], copy=True)
+            bad[:] = -1
+            corrupted[0] = bad
+        return corrupted

@@ -19,9 +19,21 @@ from ..exceptions import WalkError
 
 @dataclass
 class WalkCorpus:
-    """A list of random walks over one graph."""
+    """A list of random walks over one graph.
+
+    ``failed_chunks`` holds :class:`~repro.resilience.DeadLetter` records
+    for worker chunks that exhausted their retries under a dead-letter
+    policy — surfaced here instead of silently dropping their walks, so a
+    partially failed run is visibly partial (:attr:`is_complete`).
+    """
 
     walks: list[np.ndarray] = field(default_factory=list)
+    failed_chunks: list = field(default_factory=list)
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every dispatched chunk contributed its walks."""
+        return not self.failed_chunks
 
     @classmethod
     def from_walks(cls, walks: Iterable[np.ndarray]) -> "WalkCorpus":

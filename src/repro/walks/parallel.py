@@ -1,4 +1,4 @@
-"""Parallel walk generation (paper §5.4: node-level parallelism).
+"""Parallel walk generation (paper §5.4) with chunk-level fault tolerance.
 
 The C++ framework parallelises walk generation across nodes with OpenMP
 (default parallelism 16).  The Python counterpart forks worker processes
@@ -6,21 +6,48 @@ that inherit the fully-built walk engine copy-on-write — no per-worker
 sampler reconstruction and no pickling of the (potentially large) alias
 tables — and partitions the start nodes across them.
 
-Determinism: each (worker chunk) derives its RNG from the caller's seed
-and the chunk index, so results are reproducible for a fixed seed and
-chunk size regardless of worker count.
+Determinism
+-----------
+Every chunk's RNG seed is drawn **up-front** from the caller's RNG, one
+draw per chunk in chunk order, *before* the sequential-vs-pool decision is
+made.  Consequences, which the test suite pins with a corpus hash:
+
+* the worker count never changes the output — workers only decide *where*
+  a chunk runs, never which seed it gets;
+* a retried chunk regenerates bit-identical walks, so transient faults
+  that retry eventually masks leave no statistical fingerprint;
+* a checkpoint-resumed run replays saved chunks verbatim and recomputes
+  the rest with their original seeds, reproducing the uninterrupted run.
+
+Resilience (``repro.resilience``)
+---------------------------------
+Dispatch runs under a :class:`~repro.resilience.ChunkSupervisor`: failures
+are contained at chunk granularity, retried with exponential backoff, and
+— under ``on_exhausted="dead-letter"`` — surfaced on
+``WalkCorpus.failed_chunks`` instead of aborting the corpus.  A
+``checkpoint`` path persists completed chunks for resumable runs, and a
+seeded :class:`~repro.resilience.FaultPlan` can be installed to exercise
+every recovery path deterministically.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-from ..exceptions import WalkError
+from ..exceptions import CheckpointError, ChunkFailure, WalkError
 from ..framework import WalkEngine
+from ..resilience import (
+    ChunkSupervisor,
+    FaultPlan,
+    RetryPolicy,
+    WalkCheckpoint,
+)
+from ..resilience.supervisor import EXHAUSTION_POLICIES, as_retry_policy
 from ..rng import RngLike, ensure_rng
 from .corpus import WalkCorpus
 
@@ -29,18 +56,188 @@ from .corpus import WalkCorpus
 _SHARED_ENGINE: WalkEngine | None = None
 
 
-def _walk_chunk(task: tuple[list[int], int, int, int]) -> list[np.ndarray]:
-    """Worker body: generate walks for one chunk of start nodes."""
-    nodes, num_walks, length, seed = task
+@dataclass(frozen=True)
+class WalkChunkTask:
+    """One unit of supervised work: a chunk of start nodes plus its seed."""
+
+    index: int
+    nodes: tuple
+    num_walks: int
+    length: int
+    seed: int
+    fault_plan: FaultPlan | None = None
+    attempt: int = 0
+
+
+def _walk_chunk(task: WalkChunkTask) -> list[np.ndarray]:
+    """Worker body: generate walks for one chunk of start nodes.
+
+    Any failure — injected or genuine — crosses the process boundary as a
+    :class:`ChunkFailure` carrying the chunk index and start-node range,
+    on the pool path *and* the sequential fallback alike.
+    """
     engine = _SHARED_ENGINE
     if engine is None:  # pragma: no cover - defensive, fork guarantees it
         raise WalkError("worker has no inherited walk engine")
-    rng = np.random.default_rng(seed)
-    walks: list[np.ndarray] = []
-    for v in nodes:
-        for _ in range(num_walks):
-            walks.append(engine.walk(v, length, rng))
-    return walks
+    try:
+        if task.fault_plan is not None:
+            task.fault_plan.before_chunk(task.index, task.attempt)
+        rng = np.random.default_rng(task.seed)
+        walks: list[np.ndarray] = []
+        for v in task.nodes:
+            for _ in range(task.num_walks):
+                walks.append(engine.walk(v, task.length, rng))
+        if task.fault_plan is not None:
+            walks = task.fault_plan.after_chunk(task.index, task.attempt, walks)
+        return walks
+    except ChunkFailure:
+        raise
+    except Exception as exc:
+        raise ChunkFailure(task.index, task.nodes, task.attempt + 1, exc) from exc
+
+
+def _chunk_validator(num_nodes: int):
+    """Supervisor-side result validation: catches corrupt chunk output."""
+
+    def validate(task: WalkChunkTask, walks: list) -> None:
+        expected = len(task.nodes) * task.num_walks
+        if len(walks) != expected:
+            raise WalkError(
+                f"chunk {task.index}: expected {expected} walks, "
+                f"got {len(walks)}"
+            )
+        for k, walk in enumerate(walks):
+            walk = np.asarray(walk)
+            if len(walk) == 0 or walk.min() < 0 or walk.max() >= num_nodes:
+                raise WalkError(
+                    f"chunk {task.index}: corrupt walk {k} "
+                    f"(node id out of range)"
+                )
+            start = task.nodes[k // task.num_walks]
+            if int(walk[0]) != int(start):
+                raise WalkError(
+                    f"chunk {task.index}: walk {k} starts at {int(walk[0])}, "
+                    f"expected {start}"
+                )
+
+    return validate
+
+
+def run_chunked_walks(
+    engine: WalkEngine,
+    chunks: list[list[int]],
+    seeds: list[int],
+    *,
+    num_walks: int,
+    length: int,
+    workers: int,
+    fault_plan: FaultPlan | None = None,
+    retry: "RetryPolicy | int | None" = None,
+    timeout: float | None = None,
+    checkpoint: "WalkCheckpoint | str | os.PathLike | None" = None,
+    on_exhausted: str = "raise",
+) -> WalkCorpus:
+    """Supervised execution of pre-chunked walk tasks.
+
+    The chunk/seed pairing is the caller's contract (``seeds[i]`` drives
+    ``chunks[i]``); :func:`parallel_walks` derives both from one RNG, and
+    :meth:`repro.distributed.PartitionedFramework.generate_walks` aligns
+    chunks to partition boundaries.  Results are assembled in chunk order
+    regardless of completion order, so the corpus is deterministic.
+    """
+    if on_exhausted not in EXHAUSTION_POLICIES:
+        raise WalkError(
+            f"on_exhausted must be one of {EXHAUSTION_POLICIES}, "
+            f"got {on_exhausted!r}"
+        )
+    if len(chunks) != len(seeds):
+        raise WalkError(f"{len(chunks)} chunks but {len(seeds)} seeds")
+    policy = as_retry_policy(retry)
+
+    tasks = [
+        WalkChunkTask(
+            index=i,
+            nodes=tuple(int(v) for v in chunk),
+            num_walks=num_walks,
+            length=length,
+            seed=int(seed),
+            fault_plan=fault_plan,
+        )
+        for i, (chunk, seed) in enumerate(zip(chunks, seeds))
+    ]
+
+    # ------------------------------------------------------------------
+    # checkpoint: load completed chunks, persist new ones as they finish
+    # ------------------------------------------------------------------
+    completed: dict[int, list[np.ndarray]] = {}
+    on_success = None
+    if checkpoint is not None:
+        store = (
+            checkpoint
+            if isinstance(checkpoint, WalkCheckpoint)
+            else WalkCheckpoint(checkpoint)
+        )
+        signature = {
+            "num_walks": int(num_walks),
+            "length": int(length),
+            "num_chunks": len(chunks),
+            "num_nodes": int(engine.graph.num_nodes),
+        }
+        for index, (seed, nodes, walks) in store.load(signature).items():
+            if index >= len(tasks):
+                raise CheckpointError(
+                    f"checkpoint chunk {index} out of range "
+                    f"({len(tasks)} chunks)"
+                )
+            task = tasks[index]
+            if seed != task.seed or tuple(nodes) != task.nodes:
+                raise CheckpointError(
+                    f"checkpoint chunk {index} was generated with a "
+                    f"different seed or node set; refusing to resume"
+                )
+            completed[index] = walks
+        store.start(signature)
+
+        def on_success(task: WalkChunkTask, walks: list) -> None:
+            store.append(task.index, task.seed, task.nodes, walks)
+
+    remaining = [task for task in tasks if task.index not in completed]
+
+    supervisor = ChunkSupervisor(
+        _walk_chunk,
+        policy=policy,
+        timeout=timeout,
+        validator=_chunk_validator(engine.graph.num_nodes),
+        on_exhausted=on_exhausted,
+        on_success=on_success,
+    )
+
+    sequential = workers <= 1 or len(remaining) <= 1
+    if not sequential and "fork" not in multiprocessing.get_all_start_methods():
+        sequential = True  # pragma: no cover - non-POSIX platforms
+
+    global _SHARED_ENGINE
+    _SHARED_ENGINE = engine
+    try:
+        if sequential:
+            run = supervisor.run_sequential(remaining)
+        else:
+            context = multiprocessing.get_context("fork")
+            with context.Pool(processes=workers) as pool:
+                run = supervisor.run_pool(pool, remaining)
+    finally:
+        _SHARED_ENGINE = None
+
+    corpus = WalkCorpus(failed_chunks=list(run.dead_letters))
+    for task in tasks:
+        chunk_walks = completed.get(task.index)
+        if chunk_walks is None:
+            chunk_walks = run.results.get(task.index)
+        if chunk_walks is None:
+            continue  # dead-lettered; recorded on corpus.failed_chunks
+        for walk in chunk_walks:
+            corpus.add(walk)
+    return corpus
 
 
 def parallel_walks(
@@ -52,6 +249,11 @@ def parallel_walks(
     nodes: Sequence[int] | None = None,
     chunk_size: int = 64,
     rng: RngLike = None,
+    fault_plan: FaultPlan | None = None,
+    retry: "RetryPolicy | int | None" = None,
+    timeout: float | None = None,
+    checkpoint: "WalkCheckpoint | str | os.PathLike | None" = None,
+    on_exhausted: str = "raise",
 ) -> WalkCorpus:
     """Generate ``num_walks`` walks per start node across worker processes.
 
@@ -62,10 +264,30 @@ def parallel_walks(
     workers:
         Process count; defaults to ``os.cpu_count()`` capped at 16 (the
         paper's default parallelism).  ``workers <= 1`` runs inline.
+        Worker count never changes the output: one seed per chunk is drawn
+        from ``rng`` before dispatch, even when the run falls back to the
+        sequential path.
     nodes:
         Start nodes (default: every non-isolated node).
     chunk_size:
         Start nodes per work unit; determinism is per-(seed, chunk_size).
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan` injected into the
+        workers (testing the recovery machinery).
+    retry:
+        ``None`` (default 3-attempt policy), an attempt count, or a
+        :class:`~repro.resilience.RetryPolicy`.
+    timeout:
+        Per-chunk wall-clock limit in seconds; a late chunk is retried.
+    checkpoint:
+        Path (or :class:`~repro.resilience.WalkCheckpoint`) persisting
+        completed chunks; an interrupted run resumes from it
+        bit-identically for the same seed and chunking.
+    on_exhausted:
+        ``"raise"`` — a chunk that exhausts its retries raises
+        :class:`~repro.exceptions.ChunkFailure`; ``"dead-letter"`` — it is
+        recorded on ``WalkCorpus.failed_chunks`` and the rest of the
+        corpus is still returned.
 
     Requires a ``fork``-capable platform (Linux/macOS).  Falls back to the
     sequential path when fork is unavailable.
@@ -84,29 +306,20 @@ def parallel_walks(
 
     base = ensure_rng(rng)
     chunks = [nodes[i : i + chunk_size] for i in range(0, len(nodes), chunk_size)]
+    # One seed per chunk, drawn in chunk order *before* the dispatch-mode
+    # decision: output depends only on (rng, chunk_size), never on workers.
     seeds = [int(base.integers(0, 2**63 - 1)) for _ in chunks]
-    tasks = [
-        (chunk, num_walks, length, seed) for chunk, seed in zip(chunks, seeds)
-    ]
 
-    sequential = workers <= 1 or len(chunks) <= 1
-    if not sequential and "fork" not in multiprocessing.get_all_start_methods():
-        sequential = True  # pragma: no cover - non-POSIX platforms
-
-    global _SHARED_ENGINE
-    _SHARED_ENGINE = engine
-    try:
-        if sequential:
-            results = [_walk_chunk(task) for task in tasks]
-        else:
-            context = multiprocessing.get_context("fork")
-            with context.Pool(processes=workers) as pool:
-                results = pool.map(_walk_chunk, tasks)
-    finally:
-        _SHARED_ENGINE = None
-
-    corpus = WalkCorpus()
-    for chunk_walks in results:
-        for walk in chunk_walks:
-            corpus.add(walk)
-    return corpus
+    return run_chunked_walks(
+        engine,
+        chunks,
+        seeds,
+        num_walks=num_walks,
+        length=length,
+        workers=workers,
+        fault_plan=fault_plan,
+        retry=retry,
+        timeout=timeout,
+        checkpoint=checkpoint,
+        on_exhausted=on_exhausted,
+    )

@@ -1,5 +1,7 @@
 """Tests for process-parallel walk generation."""
 
+import hashlib
+
 import numpy as np
 import pytest
 
@@ -77,6 +79,34 @@ class TestParallelWalks:
             assert total_variation_distance(empirical / total, exact) < 0.15
             checked += 1
         assert checked > 0
+
+    def test_regression_corpus_hash(self, framework):
+        """Pins the exact corpus for a fixed seed, for any worker count.
+
+        Seeds are drawn one per chunk before the sequential-vs-pool
+        decision (see the determinism contract in
+        ``repro/walks/parallel.py``), so this hash must never move when
+        the dispatch, retry, or checkpoint machinery changes.  If it does,
+        every previously generated corpus silently loses reproducibility —
+        treat a change here as a breaking change, not a test update.
+        """
+        expected = (
+            "97e2f60749c8e359e6799b20a4f6815d11a0e1a8989abb4ea56c19d154241633"
+        )
+        for workers in (1, 3):
+            corpus = parallel_walks(
+                framework.walk_engine,
+                num_walks=1,
+                length=10,
+                workers=workers,
+                chunk_size=16,
+                rng=2024,
+            )
+            payload = "\n".join(
+                " ".join(map(str, w.tolist())) for w in corpus
+            )
+            digest = hashlib.sha256(payload.encode()).hexdigest()
+            assert digest == expected, f"corpus hash moved (workers={workers})"
 
     def test_invalid_parameters(self, framework):
         with pytest.raises(WalkError):
