@@ -1,0 +1,262 @@
+"""Walk-engine trajectory benchmark: scalar vs batched-naive vs
+assignment-aware batch.
+
+Measures corpus generation throughput (walks/second) on power-law graphs
+at several scales, for the three engine configurations the repository has
+grown through:
+
+1. **scalar** — the per-sample :class:`~repro.framework.WalkEngine` over
+   the cost-optimised assignment (Algorithm 1, one interpreter round-trip
+   per step per walk);
+2. **batched-naive** — :class:`~repro.walks.BatchWalkEngine` with no
+   sampler array: every node on the vectorised on-demand path;
+3. **assignment-aware batch** — the same engine over the optimizer's
+   sampler assignment plus a hot edge-state cache sized to the budget
+   headroom.
+
+Methodology: batch engines run the full workload in frontier chunks; the
+scalar engine walks start nodes under a wall-clock budget and its rate is
+extrapolated from the walks it completed (flagged ``extrapolated`` in the
+output — the per-walk cost is constant, so the extrapolation is safe).
+
+Usage::
+
+    python benchmarks/bench_engine.py                  # full trajectory
+    python benchmarks/bench_engine.py --smoke --check  # CI smoke gate
+    python benchmarks/bench_engine.py --output BENCH_walks.json
+
+``--check`` exits non-zero if the assignment-aware batch engine is not
+faster than the scalar engine at every scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro import (
+    CostParams,
+    MemoryAwareFramework,
+    Node2VecModel,
+    build_cost_table,
+    compute_bounding_constants,
+)
+from repro.cost import SamplerKind
+from repro.graph.generators import barabasi_albert_graph
+from repro.walks import BatchWalkEngine
+
+#: starts handed to one walk_chunk call; bounds frontier memory.
+BATCH_CHUNK = 4096
+
+
+def build_graph(num_nodes: int, *, attach: int = 5, seed: int = 0):
+    """Power-law benchmark substrate (preferential attachment)."""
+    return barabasi_albert_graph(num_nodes, attach, rng=seed)
+
+
+def _measure(chunks, *, time_budget: float) -> tuple[int, float, bool]:
+    """Run walk-producing thunks until done or over budget.
+
+    ``chunks`` yields callables returning the number of walks generated.
+    Returns (walks completed, elapsed seconds, truncated?).
+    """
+    done = 0
+    truncated = False
+    started = time.perf_counter()
+    for thunk in chunks:
+        done += thunk()
+        if time.perf_counter() - started > time_budget:
+            truncated = True
+            break
+    return done, time.perf_counter() - started, truncated
+
+
+def bench_scalar(framework, starts, num_walks, length, time_budget):
+    engine = framework.walk_engine
+    rng = np.random.default_rng(1)
+
+    def thunks():
+        for v in starts:
+            yield lambda v=v: len(
+                [engine.walk(int(v), length, rng) for _ in range(num_walks)]
+            )
+
+    return _measure(thunks(), time_budget=time_budget)
+
+
+def bench_batch(engine, starts, num_walks, length, time_budget):
+    rng = np.random.default_rng(1)
+
+    def thunks():
+        for i in range(0, len(starts), BATCH_CHUNK):
+            chunk = starts[i : i + BATCH_CHUNK]
+            yield lambda c=chunk: len(
+                engine.walk_chunk(
+                    c, num_walks=num_walks, length=length, rng=rng
+                )
+            )
+
+    return _measure(thunks(), time_budget=time_budget)
+
+
+def run_scale(num_nodes, *, num_walks, length, time_budget, seed=0):
+    graph = build_graph(num_nodes, seed=seed)
+    model = Node2VecModel(0.25, 4.0)  # the paper's node2vec setting
+    starts = np.flatnonzero(graph.degrees > 0)
+    total_walks = len(starts) * num_walks
+
+    # Budget: half of the all-alias footprint, so the optimizer must mix
+    # sampler kinds — the regime the assignment-aware dispatch targets.
+    # Priced off the cost table; nothing is materialised for the sizing.
+    constants = compute_bounding_constants(graph, model)
+    table = build_cost_table(graph, constants, CostParams())
+    budget = 0.5 * float(table.memory[:, int(SamplerKind.ALIAS)].sum())
+    framework = MemoryAwareFramework(
+        graph, model, budget=budget, bounding_constants=constants, rng=0
+    )
+
+    configs = {}
+    done, secs, trunc = bench_scalar(
+        framework, starts, num_walks, length, time_budget
+    )
+    configs["scalar"] = (done, secs, trunc)
+
+    naive_engine = BatchWalkEngine(graph, model)
+    done, secs, trunc = bench_batch(
+        naive_engine, starts, num_walks, length, time_budget
+    )
+    configs["batched_naive"] = (done, secs, trunc)
+
+    aware_engine = framework.batch_engine()
+    done, secs, trunc = bench_batch(
+        aware_engine, starts, num_walks, length, time_budget
+    )
+    configs["assignment_aware_batch"] = (done, secs, trunc)
+
+    engines = {}
+    for name, (done, secs, trunc) in configs.items():
+        engines[name] = {
+            "walks_per_sec": round(done / secs, 2) if secs > 0 else None,
+            "walks_timed": int(done),
+            "seconds": round(secs, 3),
+            "extrapolated": bool(trunc),
+        }
+    cache_stats = aware_engine.cache.stats() if aware_engine.cache else None
+    counts = framework.assignment.counts()
+    scalar_rate = engines["scalar"]["walks_per_sec"]
+    aware_rate = engines["assignment_aware_batch"]["walks_per_sec"]
+    return {
+        "num_nodes": int(graph.num_nodes),
+        "num_edges": int(graph.num_edges),
+        "total_walks": int(total_walks),
+        "budget_bytes": round(budget, 0),
+        "assignment": {str(k): int(v) for k, v in counts.items()},
+        "engines": engines,
+        "cache": cache_stats,
+        "speedup_batch_vs_scalar": (
+            round(aware_rate / scalar_rate, 2) if scalar_rate else None
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small single-scale run for CI (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless assignment-aware batch beats scalar",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_walks.json",
+        help="result JSON path (default: BENCH_walks.json)",
+    )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        help="per-engine wall-clock budget in seconds per scale",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        scales = [2_000]
+        num_walks, length = 2, 20
+        time_budget = args.time_budget or 10.0
+    else:
+        scales = [5_000, 20_000, 50_000]
+        num_walks, length = 10, 80  # the paper's node2vec workload
+        time_budget = args.time_budget or 45.0
+
+    results = []
+    for num_nodes in scales:
+        print(f"[bench_engine] scale {num_nodes} nodes ...", flush=True)
+        entry = run_scale(
+            num_nodes,
+            num_walks=num_walks,
+            length=length,
+            time_budget=time_budget,
+        )
+        for name, stats in entry["engines"].items():
+            print(
+                f"  {name:>24}: {stats['walks_per_sec']:>10} walks/s"
+                f"{'  (extrapolated)' if stats['extrapolated'] else ''}"
+            )
+        print(f"  speedup (aware batch / scalar): {entry['speedup_batch_vs_scalar']}")
+        results.append(entry)
+
+    report = {
+        "benchmark": "walk-engine-trajectory",
+        "mode": "smoke" if args.smoke else "full",
+        "workload": {
+            "graph": "barabasi-albert power law (attach=5)",
+            "model": "node2vec a=0.25 b=4.0",
+            "num_walks_per_node": num_walks,
+            "length": length,
+        },
+        "methodology": (
+            "walks/sec over start-major corpus generation; engines over "
+            "their time budget are truncated and the rate extrapolated "
+            "(per-walk cost is constant)"
+        ),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "results": results,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"[bench_engine] wrote {output}")
+
+    if args.check:
+        failures = []
+        for entry in results:
+            scalar = entry["engines"]["scalar"]["walks_per_sec"]
+            aware = entry["engines"]["assignment_aware_batch"]["walks_per_sec"]
+            if scalar is None or aware is None or aware <= scalar:
+                failures.append(
+                    f"{entry['num_nodes']} nodes: batch {aware} <= scalar {scalar}"
+                )
+        if failures:
+            print("[bench_engine] CHECK FAILED:", "; ".join(failures))
+            return 1
+        print("[bench_engine] check passed: batch beats scalar at every scale")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

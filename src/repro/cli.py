@@ -146,6 +146,25 @@ def build_tool_parser() -> argparse.ArgumentParser:
     walk.add_argument("--length", type=int, default=80)
     walk.add_argument("--output", default=None, help="write walks to this file")
     walk.add_argument(
+        "--engine",
+        default="scalar",
+        choices=["scalar", "batch"],
+        help=(
+            "walk engine: 'scalar' samples one step at a time, 'batch' "
+            "advances all walks vectorised with assignment-aware dispatch "
+            "(same distribution, different RNG stream)"
+        ),
+    )
+    walk.add_argument(
+        "--cache-budget",
+        type=float,
+        default=None,
+        help=(
+            "bytes for the batch engine's hot edge-state cache (default: "
+            "the assignment budget headroom; 0 disables it)"
+        ),
+    )
+    walk.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -240,11 +259,16 @@ def _run_tool(argv: list[str]) -> int:
         or args.chunk_timeout is not None
         or args.dead_letter
     )
+    if args.engine == "batch":
+        engine = framework.batch_engine(cache_budget=args.cache_budget)
+    else:
+        engine = framework.walk_engine
+
     if supervised:
         from .walks import parallel_walks
 
         corpus = parallel_walks(
-            framework.walk_engine,
+            engine,
             num_walks=args.num_walks,
             length=args.length,
             workers=args.workers if args.workers is not None else 1,
@@ -255,6 +279,10 @@ def _run_tool(argv: list[str]) -> int:
             checkpoint=args.checkpoint,
             on_exhausted="dead-letter" if args.dead_letter else "raise",
         )
+    elif args.engine == "batch":
+        corpus = engine.walks(
+            num_walks=args.num_walks, length=args.length, rng=args.seed
+        )
     else:
         walks = framework.generate_walks(
             num_walks=args.num_walks, length=args.length, rng=args.seed
@@ -264,6 +292,8 @@ def _run_tool(argv: list[str]) -> int:
         f"generated {len(corpus)} walks, {corpus.total_steps} steps, "
         f"avg length {corpus.average_length:.1f}"
     )
+    if args.engine == "batch":
+        print(engine.describe())
     for letter in corpus.failed_chunks:
         print(f"DEAD-LETTER: {letter.describe()}", file=sys.stderr)
     if args.output:

@@ -147,6 +147,25 @@ class PartitionedFramework:
         """Cluster-wide walk engine (walks cross partitions freely)."""
         return self._engine
 
+    def batch_engine(self, *, cache_budget: float | None = None):
+        """Assignment-aware :class:`~repro.walks.BatchWalkEngine` over the
+        stitched cluster samplers.
+
+        The default cache budget is the summed headroom the per-worker
+        optimisers left unused (finite worker budgets only).
+        """
+        from ..walks.batch import BatchWalkEngine
+
+        if cache_budget is None:
+            cache_budget = sum(
+                max(0.0, a.budget - a.used_memory)
+                for a in self.worker_assignments
+                if np.isfinite(a.budget)
+            )
+        return BatchWalkEngine(
+            self.graph, self.model, self._samplers, cache=cache_budget
+        )
+
     def worker_stats(self) -> list[WorkerStats]:
         """Per-worker assignment summaries."""
         stats = []
@@ -186,6 +205,8 @@ class PartitionedFramework:
         timeout: float | None = None,
         checkpoint=None,
         on_exhausted: str = "raise",
+        engine: str = "scalar",
+        cache_budget: float | None = None,
     ) -> WalkCorpus:
         """Cluster-wide corpus generation under the resilience supervisor.
 
@@ -196,12 +217,18 @@ class PartitionedFramework:
         ``checkpoint``, and ``on_exhausted`` behave exactly as in
         :func:`repro.walks.parallel_walks`; seeds are drawn one per chunk
         from ``rng`` up-front, so the corpus is deterministic for a fixed
-        seed regardless of the process count.
+        seed regardless of the process count.  ``engine="batch"`` runs
+        chunks through the vectorised assignment-aware engine
+        (``cache_budget`` as in :meth:`batch_engine`).
         """
         if num_walks < 1 or length < 0:
             raise WalkError("num_walks must be >= 1 and length >= 0")
         if chunk_size < 1:
             raise WalkError("chunk_size must be >= 1")
+        if engine not in ("scalar", "batch"):
+            raise WalkError(
+                f"unknown engine {engine!r}; choose from ('scalar', 'batch')"
+            )
         if workers is None:
             workers = min(os.cpu_count() or 1, 16)
         chunks: list[list[int]] = []
@@ -217,8 +244,13 @@ class PartitionedFramework:
             )
         base = ensure_rng(rng)
         seeds = [int(base.integers(0, 2**63 - 1)) for _ in chunks]
+        walk_engine = (
+            self.batch_engine(cache_budget=cache_budget)
+            if engine == "batch"
+            else self._engine
+        )
         return run_chunked_walks(
-            self._engine,
+            walk_engine,
             chunks,
             seeds,
             num_walks=num_walks,

@@ -215,6 +215,28 @@ class MemoryAwareFramework:
         """The walk engine over the materialised samplers."""
         return self._engine
 
+    def batch_engine(self, *, cache_budget: float | None = None):
+        """An assignment-aware :class:`~repro.walks.BatchWalkEngine` over
+        the materialised samplers.
+
+        ``cache_budget`` sizes the hot edge-state cache in bytes.  The
+        default gives it the budget headroom the optimizer left unused
+        (``budget - used_memory``) — the cache dynamically materialises
+        distributions the assignment could not afford to, in the same byte
+        currency.  Pass ``0`` to disable the cache.
+        """
+        from ..walks.batch import BatchWalkEngine
+
+        if cache_budget is None:
+            budget = self._assignment.budget
+            if np.isfinite(budget):
+                cache_budget = max(0.0, budget - self._assignment.used_memory)
+            else:
+                cache_budget = 0.0
+        return BatchWalkEngine(
+            self.graph, self.model, self._samplers, cache=cache_budget
+        )
+
     def sampler(self, node: int) -> NodeSampler | None:
         """The materialised sampler of ``node`` (``None`` for isolated nodes)."""
         return self._samplers[node]
@@ -227,9 +249,31 @@ class MemoryAwareFramework:
         return self._engine.walk(start, length, rng if rng is not None else self._rng)
 
     def generate_walks(
-        self, *, num_walks: int, length: int, rng: RngLike = None
+        self,
+        *,
+        num_walks: int,
+        length: int,
+        rng: RngLike = None,
+        engine: str = "scalar",
+        cache_budget: float | None = None,
     ) -> list[np.ndarray]:
-        """The node2vec pattern: ``num_walks`` walks of ``length`` per node."""
+        """The node2vec pattern: ``num_walks`` walks of ``length`` per node.
+
+        ``engine="batch"`` runs the vectorised assignment-aware engine
+        (same walk distribution, different RNG stream; ``cache_budget``
+        as in :meth:`batch_engine`).
+        """
+        if engine not in ("scalar", "batch"):
+            raise OptimizerError(
+                f"unknown engine {engine!r}; choose from ('scalar', 'batch')"
+            )
+        if engine == "batch":
+            corpus = self.batch_engine(cache_budget=cache_budget).walks(
+                num_walks=num_walks,
+                length=length,
+                rng=rng if rng is not None else self._rng,
+            )
+            return list(corpus)
         return self._engine.walks_all_nodes(
             num_walks=num_walks,
             length=length,

@@ -54,6 +54,40 @@ class NodeSampler(ABC):
         """Draw a successor from the e2e distribution ``p(z | v, previous)``."""
 
     # ------------------------------------------------------------------
+    # batch drawing (the vectorised walk engine's entry points)
+    # ------------------------------------------------------------------
+    def sample_first_batch(
+        self, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """``count`` i.i.d. draws from the n2e distribution ``p(z | v)``.
+
+        Default loops over :meth:`sample_first`; the built-in samplers
+        override it vectorised.  Returns node ids (not positions).
+        """
+        return np.fromiter(
+            (self.sample_first(rng) for _ in range(count)),
+            dtype=np.int64,
+            count=count,
+        )
+
+    def sample_batch(
+        self, previous: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """``count`` i.i.d. draws from ``p(z | v, previous)``.
+
+        The batch walk engine groups its frontier by edge state
+        ``(previous, v)`` and serves each group with one call.  Default
+        loops over :meth:`sample`; the built-in samplers override it with
+        vectorised implementations whose cost profile mirrors the paper's
+        per-kind cost model.  Returns node ids (not positions).
+        """
+        return np.fromiter(
+            (self.sample(previous, rng) for _ in range(count)),
+            dtype=np.int64,
+            count=count,
+        )
+
+    # ------------------------------------------------------------------
     @abstractmethod
     def memory_cost(self, params: CostParams) -> float:
         """Modeled memory footprint in bytes (the ``M`` of Table 1)."""

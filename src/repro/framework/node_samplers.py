@@ -75,6 +75,32 @@ class NaiveNodeSampler(NodeSampler):
                 break
         return int(neighbors[position])
 
+    def sample_first_batch(
+        self, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        self._require_neighbors()
+        cumulative = np.cumsum(
+            self.graph.neighbor_weights(self.node), dtype=np.float64
+        )
+        picks = _inverse_cdf_batch(cumulative, count, rng)
+        return self.graph.neighbors(self.node)[picks].astype(np.int64)
+
+    def sample_batch(
+        self, previous: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        # The scalar path keeps the paper's per-neighbour operation count
+        # physically real; the batch path is the vectorised engine's and
+        # amortises one distribution build over the whole group.
+        self._require_neighbors()
+        weights = self.model.biased_weights(self.graph, previous, self.node)
+        cumulative = np.cumsum(weights, dtype=np.float64)
+        if cumulative[-1] <= 0:
+            raise SamplerError(
+                f"e2e distribution at node {self.node} has zero total mass"
+            )
+        picks = _inverse_cdf_batch(cumulative, count, rng)
+        return self.graph.neighbors(self.node)[picks].astype(np.int64)
+
     def memory_cost(self, params: CostParams) -> float:
         # Charged as the amortised share of the graph-wide scratch buffer;
         # the framework adds the d_max·b_f term globally.
@@ -145,6 +171,15 @@ class RejectionNodeSampler(NodeSampler):
                 )
 
     # ------------------------------------------------------------------
+    @property
+    def proposal(self) -> AliasTable:
+        """The n2e alias table proposals are drawn from."""
+        return self._proposal
+
+    def acceptance_factor(self, previous: int) -> float:
+        """``1 / max_t r_uvt`` for walks arriving from ``previous``."""
+        return self._factor_for(previous)
+
     def _factor_for(self, previous: int) -> float:
         if self._global_factor is not None:
             return self._global_factor
@@ -176,6 +211,44 @@ class RejectionNodeSampler(NodeSampler):
             f"rejection sampler at node {self.node} exceeded "
             f"{self._max_tries} proposal draws"
         )
+
+    def sample_first_batch(
+        self, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return self._neighbors[self._proposal.sample_many(count, rng)].astype(
+            np.int64
+        )
+
+    def sample_batch(
+        self, previous: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Vectorised acceptance–rejection: proposals and acceptance draws
+        are whole-array operations, looping only over the rejected
+        remainder (geometrically shrinking, expected ``C_uv`` rounds)."""
+        factor = self._factor_for(previous)
+        out = np.empty(count, dtype=np.int64)
+        pending = np.arange(count)
+        for _ in range(self._max_tries):
+            if pending.size == 0:
+                break
+            k = len(pending)
+            positions = self._proposal.sample_many(k, rng)
+            candidates = self._neighbors[positions]
+            ratios = self.model.target_ratios_subset(
+                self.graph, previous, self.node, candidates
+            )
+            acceptance = np.minimum(1.0, ratios * factor)
+            accepted = rng.random(k) <= acceptance
+            out[pending[accepted]] = candidates[accepted]
+            self._tries += k
+            self._accepted += int(accepted.sum())
+            pending = pending[~accepted]
+        if pending.size:
+            raise SamplerError(
+                f"rejection sampler at node {self.node} exceeded "
+                f"{self._max_tries} proposal rounds"
+            )
+        return out
 
     @property
     def empirical_tries(self) -> float:
@@ -213,21 +286,53 @@ class AliasNodeSampler(NodeSampler):
         ]
         self._extra_tables: dict[int, AliasTable] = {}
 
+    @property
+    def first_order(self) -> AliasTable:
+        """The n2e alias table (used for the first hop of a walk)."""
+        return self._first_order
+
+    @property
+    def tables(self) -> list[AliasTable]:
+        """The pre-built e2e tables, aligned with ``graph.neighbors(node)``
+        (table ``i`` serves walks arriving from ``neighbors[i]``)."""
+        return self._tables
+
     def sample_first(self, rng: np.random.Generator) -> int:
         return int(self._neighbors[self._first_order.sample(rng)])
 
-    def sample(self, previous: int, rng: np.random.Generator) -> int:
+    def table_for(self, previous: int) -> AliasTable:
+        """The e2e alias table of edge ``(previous, node)``.
+
+        Prebuilt for ``previous ∈ N(v)``; built on demand and memoised for
+        out-of-neighbourhood arrivals (directed traces).
+        """
         position = int(np.searchsorted(self._neighbors, previous))
         if position < len(self._neighbors) and self._neighbors[position] == previous:
-            table = self._tables[position]
-        else:
-            table = self._extra_tables.get(previous)
-            if table is None:
-                table = AliasTable(
-                    self.model.biased_weights(self.graph, previous, self.node)
-                )
-                self._extra_tables[previous] = table
-        return int(self._neighbors[table.sample(rng)])
+            return self._tables[position]
+        table = self._extra_tables.get(previous)
+        if table is None:
+            table = AliasTable(
+                self.model.biased_weights(self.graph, previous, self.node)
+            )
+            self._extra_tables[previous] = table
+        return table
+
+    def sample(self, previous: int, rng: np.random.Generator) -> int:
+        return int(self._neighbors[self.table_for(previous).sample(rng)])
+
+    def sample_first_batch(
+        self, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return self._neighbors[
+            self._first_order.sample_many(count, rng)
+        ].astype(np.int64)
+
+    def sample_batch(
+        self, previous: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return self._neighbors[
+            self.table_for(previous).sample_many(count, rng)
+        ].astype(np.int64)
 
     def memory_cost(self, params: CostParams) -> float:
         return alias_memory(params, self.degree)
@@ -252,6 +357,16 @@ def build_node_sampler(
     if kind is SamplerKind.ALIAS:
         return AliasNodeSampler(graph, model, node)
     raise SamplerError(f"unknown sampler kind {kind!r}")
+
+
+def _inverse_cdf_batch(
+    cumulative: np.ndarray, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``count`` vectorised inverse-CDF draws over a cumulative table."""
+    r = rng.random(count) * cumulative[-1]
+    return np.searchsorted(cumulative, r, side="right").clip(
+        max=len(cumulative) - 1
+    )
 
 
 def _inverse_cdf(weights: np.ndarray, rng: np.random.Generator) -> int:

@@ -35,7 +35,14 @@ class CSRGraph:
     out-degree of ``v`` in the stored adjacency.
     """
 
-    __slots__ = ("indptr", "indices", "weights", "_weight_sums", "_is_unit_weight")
+    __slots__ = (
+        "indptr",
+        "indices",
+        "weights",
+        "_weight_sums",
+        "_is_unit_weight",
+        "_edge_keys",
+    )
 
     def __init__(
         self,
@@ -59,6 +66,7 @@ class CSRGraph:
         # Prefix-sum differences handle empty rows and trailing rows safely.
         prefix = np.concatenate(([0.0], np.cumsum(self.weights, dtype=np.float64)))
         self._weight_sums = prefix[self.indptr[1:]] - prefix[self.indptr[:-1]]
+        self._edge_keys: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # validation
@@ -192,6 +200,63 @@ class CSRGraph:
         if ok.any():
             result[ok] = row[pos[ok]] == targets[ok]
         return result
+
+    def has_edge_pairs(self, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Vectorised edge-existence over aligned ``(sources[i], targets[i])``
+        pairs — one ``searchsorted`` call for the whole batch.
+
+        Lazily builds (and keeps) a globally sorted composite-key view of
+        the adjacency (``u * |V| + z`` per stored edge, ``O(|E|)`` int64),
+        which is sorted because rows are ascending and each row's
+        neighbours are sorted.  The batch walk engine's frontier-wide
+        node2vec classification is the hot caller.
+        """
+        keys = self._ensure_edge_keys()
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        queries = sources * self.num_nodes + targets
+        pos = np.searchsorted(keys, queries)
+        ok = pos < len(keys)
+        result = np.zeros(len(queries), dtype=bool)
+        if ok.any():
+            result[ok] = keys[pos[ok]] == queries[ok]
+        return result
+
+    def edge_positions(
+        self, sources: np.ndarray, targets: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised CSR row positions over aligned pairs: for each
+        ``(sources[i], targets[i])``, the index of ``targets[i]`` within
+        ``neighbors(sources[i])`` plus a found mask.
+
+        Positions are meaningful only where ``found`` is ``True``.  Because
+        the composite keys are built in CSR order, a key's rank in the
+        sorted view *is* its flat CSR position, so the in-row index is one
+        subtraction away.  The batch walk engine uses this to address its
+        consolidated per-incoming-edge alias tables.
+        """
+        keys = self._ensure_edge_keys()
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        queries = sources * self.num_nodes + targets
+        pos = np.searchsorted(keys, queries)
+        if len(keys):
+            found = keys[np.minimum(pos, len(keys) - 1)] == queries
+            found &= pos < len(keys)
+        else:
+            found = np.zeros(len(queries), dtype=bool)
+        return pos - self.indptr[sources], found
+
+    def _ensure_edge_keys(self) -> np.ndarray:
+        """The lazily-built composite-key view ``u * |V| + z`` per stored
+        edge — globally sorted because rows are ascending and each row's
+        neighbours are sorted."""
+        if self._edge_keys is None:
+            rows = np.repeat(
+                np.arange(self.num_nodes, dtype=np.int64), np.diff(self.indptr)
+            )
+            self._edge_keys = rows * self.num_nodes + self.indices
+        return self._edge_keys
 
     # ------------------------------------------------------------------
     # derived quantities

@@ -53,6 +53,34 @@ class SecondOrderModel(ABC):
             dtype=np.float64,
         )
 
+    def biased_weights_many(
+        self, graph: CSRGraph, us: np.ndarray, vs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """e2e weights for a batch of edge states ``(us[i], vs[i])``.
+
+        Returns ``(flat, sizes)``: the per-state weight vectors (each in
+        ``graph.neighbors(vs[i])`` order) concatenated into one flat array,
+        plus the vector length per state.  The batch walk engine calls this
+        once per step with every distinct edge state on the frontier; the
+        default loops over :meth:`biased_weights`, concrete models override
+        it with a fully vectorised version.
+
+        Contract: for a given ``(u, v)`` the returned values must be
+        bit-identical regardless of which other states share the batch —
+        the engine's edge-state cache relies on recomputation being an
+        exact memoisation.
+        """
+        chunks = [
+            self.biased_weights(graph, int(u), int(v)) for u, v in zip(us, vs)
+        ]
+        sizes = np.array([len(c) for c in chunks], dtype=np.int64)
+        flat = (
+            np.concatenate(chunks)
+            if chunks
+            else np.empty(0, dtype=np.float64)
+        )
+        return flat, sizes
+
     def e2e_distribution(self, graph: CSRGraph, u: int, v: int) -> np.ndarray:
         """Normalised ``p(z | v, u)`` over ``graph.neighbors(v)``."""
         weights = self.biased_weights(graph, u, v)
@@ -99,6 +127,27 @@ class SecondOrderModel(ABC):
         """
         return np.array(
             [self.target_ratio(graph, u, v, int(z)) for z in candidates],
+            dtype=np.float64,
+        )
+
+    def target_ratio_bulk(
+        self,
+        graph: CSRGraph,
+        us: np.ndarray,
+        vs: np.ndarray,
+        zs: np.ndarray,
+    ) -> np.ndarray:
+        """``r_uvz`` for aligned arrays of ``(u, v, z)`` triples.
+
+        The batch walk engine's frontier-wide rejection step scores every
+        walker's proposal in one call.  The default loops over
+        :meth:`target_ratio`; concrete models override it vectorised.
+        """
+        return np.array(
+            [
+                self.target_ratio(graph, int(u), int(v), int(z))
+                for u, v, z in zip(us, vs, zs)
+            ],
             dtype=np.float64,
         )
 

@@ -67,6 +67,33 @@ class Node2VecModel(SecondOrderModel):
         factors[neighbors == u] = 1.0 / self.a
         return weights * factors
 
+    def biased_weights_many(
+        self, graph: CSRGraph, us: np.ndarray, vs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        starts = graph.indptr[vs]
+        sizes = (graph.indptr[vs + 1] - starts).astype(np.int64)
+        total = int(sizes.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.float64), sizes
+        # Segmented gather of each state's neighbour row from the CSR.
+        offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        flat_pos = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(offsets, sizes)
+            + np.repeat(starts, sizes)
+        )
+        z = graph.indices[flat_pos]
+        weights = graph.weights[flat_pos].astype(np.float64, copy=True)
+        u_rep = np.repeat(us, sizes)
+        # Same elementwise ops as biased_weights, so per-state results are
+        # bit-identical to the scalar path regardless of batch composition.
+        adjacent = graph.has_edge_pairs(u_rep, z)
+        factors = np.where(adjacent, 1.0, 1.0 / self.b)
+        factors[z == u_rep] = 1.0 / self.a
+        return weights * factors, sizes
+
     def target_ratios(self, graph: CSRGraph, u: int, v: int) -> np.ndarray:
         neighbors = graph.neighbors(v)
         adjacent = graph.has_edges_bulk(u, neighbors)
@@ -88,6 +115,20 @@ class Node2VecModel(SecondOrderModel):
         adjacent = graph.has_edges_bulk(u, candidates)
         ratios = np.where(adjacent, 1.0, 1.0 / self.b)
         ratios[candidates == u] = 1.0 / self.a
+        return ratios
+
+    def target_ratio_bulk(
+        self,
+        graph: CSRGraph,
+        us: np.ndarray,
+        vs: np.ndarray,
+        zs: np.ndarray,
+    ) -> np.ndarray:
+        us = np.asarray(us, dtype=np.int64)
+        zs = np.asarray(zs, dtype=np.int64)
+        adjacent = graph.has_edge_pairs(us, zs)
+        ratios = np.where(adjacent, 1.0, 1.0 / self.b)
+        ratios[zs == us] = 1.0 / self.a
         return ratios
 
     def max_ratio_bound(self, graph: CSRGraph) -> float:

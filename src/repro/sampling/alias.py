@@ -27,28 +27,38 @@ class AliasTable(DiscreteSampler):
     def __init__(self, weights: np.ndarray) -> None:
         p = normalize_distribution(weights)
         n = len(p)
-        scaled = p * n
-        prob = np.zeros(n, dtype=np.float64)
+        scaled_arr = p * n
+        # Array-based build: the small/large classification and the final
+        # table writes are vectorised; only the inherently sequential Vose
+        # pairing (each donation mutates the donor's residual) stays a
+        # loop, run over native lists/floats for speed.  The pairing order
+        # matches the historical list-worklist build exactly, so tables
+        # are bit-identical to previous releases.
+        prob = np.ones(n, dtype=np.float64)
         alias = np.arange(n, dtype=np.int64)
-
-        small = [i for i in range(n) if scaled[i] < 1.0]
-        large = [i for i in range(n) if scaled[i] >= 1.0]
-        scaled = scaled.copy()
+        small = np.flatnonzero(scaled_arr < 1.0).tolist()
+        large = np.flatnonzero(scaled_arr >= 1.0).tolist()
+        scaled = scaled_arr.tolist()
+        done_idx: list[int] = []
+        done_prob: list[float] = []
+        done_alias: list[int] = []
         while small and large:
             s = small.pop()
             l = large.pop()
-            prob[s] = scaled[s]
-            alias[s] = l
-            scaled[l] = (scaled[l] + scaled[s]) - 1.0
-            if scaled[l] < 1.0:
+            done_idx.append(s)
+            done_prob.append(scaled[s])
+            done_alias.append(l)
+            residual = (scaled[l] + scaled[s]) - 1.0
+            scaled[l] = residual
+            if residual < 1.0:
                 small.append(l)
             else:
                 large.append(l)
-        # Leftovers are exactly-1 columns up to float error.
-        for leftover in large:
-            prob[leftover] = 1.0
-        for leftover in small:
-            prob[leftover] = 1.0
+        if done_idx:
+            prob[done_idx] = done_prob
+            alias[done_idx] = done_alias
+        # Leftovers (still in either worklist) are exactly-1 columns up to
+        # float error and keep prob=1, alias=self from the initialisation.
 
         self._prob = prob
         self._alias = alias

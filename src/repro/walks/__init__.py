@@ -8,7 +8,8 @@
   transition counts used by the statistical sampler tests.
 """
 
-from .batch import batch_second_order_pagerank, batch_walks
+from .batch import BatchWalkEngine, batch_second_order_pagerank, batch_walks
+from .cache import EdgeStateCache
 from .corpus import WalkCorpus
 from .exact_pagerank import exact_second_order_pagerank
 from .parallel import parallel_walks
@@ -24,4 +25,6 @@ __all__ = [
     "parallel_walks",
     "batch_walks",
     "batch_second_order_pagerank",
+    "BatchWalkEngine",
+    "EdgeStateCache",
 ]

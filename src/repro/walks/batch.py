@@ -1,36 +1,669 @@
-"""Batched walk generation: vectorised second-order stepping.
+"""Batched walk generation: vectorised, assignment-aware second-order stepping.
 
 Pure-Python per-sample loops are the reproduction's biggest slowdown vs
 the paper's C++ (the per-step work is tiny; the interpreter overhead is
-not).  The batch engine removes most of that overhead by advancing *all*
-walks one step at a time and grouping walkers by their **edge state**
-``(previous, current)``:
+not).  The batch engine removes that overhead by advancing *all* walks one
+step at a time and grouping the walker frontier by its **edge state**
+``(previous, current)``: walkers on the same edge state share one e2e
+distribution, which is materialised once and sampled for the whole group
+in one vectorised call.
 
-* walkers on the same edge state share one e2e distribution — it is built
-  once (vectorised) and sampled for the whole group in one call;
-* node2vec-style workloads start many walks per node, so early steps have
-  huge groups, and on heavy-tailed graphs popular hubs keep group sizes
-  large throughout.
+Unlike the original "batched-naive" engine, :class:`BatchWalkEngine` is
+**assignment-aware**: each frontier group is dispatched to the sampler
+*kind* the cost-based optimizer assigned to its current node, so the
+memory the optimizer paid for is actually exploited on the hot path:
 
-The memory profile is the *naive* sampler's (distributions are built on
-demand and discarded), so this is an orthogonal point in the paper's
-design space: batched-naive — O(1) persistent memory with amortised
-per-sample cost approaching the alias sampler whenever walkers cluster.
-Statistically it is exactly equivalent to the scalar engine: every group
-draw is an i.i.d. sample from the same e2e distribution.
+* **naive** nodes rebuild their e2e weights on demand — but for *every
+  distinct edge state of the step at once* through
+  :meth:`~repro.models.SecondOrderModel.biased_weights_many`, followed by
+  one segmented inverse-CDF draw for the whole frontier slice.  A hot
+  edge-state :class:`~repro.walks.cache.EdgeStateCache` memoises the
+  weight vectors (LRU, byte-accounted) so popular states skip the rebuild;
+* **rejection** nodes run KnightKing-style vectorised rejection: proposal
+  columns, keep/alias resolution, and acceptance draws are whole-array
+  operations, looping only over the (geometrically shrinking) rejected
+  remainder;
+* **alias** nodes gather their pre-built e2e tables and resolve every
+  walker with two uniform draws, no distribution rebuilds at all;
+* custom samplers fall back to the per-group
+  :meth:`~repro.framework.NodeSampler.sample_batch` API.
+
+Determinism: for a fixed seed the output is a pure function of the start
+order — the dispatch order (naive → rejection → alias → fallback, groups
+in sorted key order) is fixed, and the cache is exact memoisation that
+never consumes walk RNG, so worker count and cache size never change the
+corpus (hash-pinned in the test suite).
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
-from ..exceptions import WalkError
+from ..exceptions import SamplerError, WalkError
+from ..framework.interfaces import NodeSampler
+from ..framework.node_samplers import AliasNodeSampler, RejectionNodeSampler
 from ..graph import CSRGraph
 from ..models import SecondOrderModel
 from ..rng import RngLike, ensure_rng
+from .cache import EdgeStateCache
 from .corpus import WalkCorpus
 
+# Internal dispatch buckets, processed in this fixed order each step.
+_NAIVE, _REJECTION, _ALIAS, _FALLBACK = 0, 1, 2, 3
+_KIND_NAMES = {_NAIVE: "naive", _REJECTION: "rejection", _ALIAS: "alias", _FALLBACK: "fallback"}
 
+
+class BatchWalkEngine:
+    """Vectorised second-order walk engine over an optimizer assignment.
+
+    Parameters
+    ----------
+    graph, model:
+        The substrate graph and second-order model.
+    samplers:
+        Per-node :class:`~repro.framework.NodeSampler` array (e.g.
+        ``framework.walk_engine.samplers``).  ``None`` runs every node on
+        the on-demand naive path — the original "batched-naive" engine,
+        an O(1)-memory point in the paper's design space.
+    cache:
+        Hot edge-state cache: an :class:`EdgeStateCache`, a
+        :class:`~repro.framework.MemoryBudget` / byte count to build one
+        from, or ``None`` to disable.  Serves the naive path only (states
+        whose distributions the assignment did *not* pay to materialise).
+    max_rejection_rounds:
+        Safety valve for the vectorised rejection loop.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        model: SecondOrderModel,
+        samplers: Sequence[NodeSampler | None] | None = None,
+        *,
+        cache: "EdgeStateCache | object | float | None" = None,
+        max_rejection_rounds: int = 10_000,
+    ) -> None:
+        self.graph = graph
+        self.model = model
+        self.samplers = list(samplers) if samplers is not None else None
+        if cache is None or isinstance(cache, EdgeStateCache):
+            self.cache = cache
+        else:
+            self.cache = EdgeStateCache(cache)
+        self.max_rejection_rounds = int(max_rejection_rounds)
+        self._n = graph.num_nodes
+
+        kind_of = np.full(self._n, _NAIVE, dtype=np.int8)
+        if self.samplers is not None:
+            if len(self.samplers) != self._n:
+                raise WalkError(
+                    f"{len(self.samplers)} samplers for {self._n} nodes"
+                )
+            for v, sampler in enumerate(self.samplers):
+                if sampler is None:
+                    if graph.degree(v) > 0:
+                        raise WalkError(
+                            f"node {v} has neighbours but no sampler"
+                        )
+                    continue
+                if isinstance(sampler, RejectionNodeSampler):
+                    kind_of[v] = _REJECTION
+                elif isinstance(sampler, AliasNodeSampler):
+                    kind_of[v] = _ALIAS
+                elif getattr(sampler, "kind", None) is not None and int(
+                    sampler.kind
+                ) == 0:
+                    kind_of[v] = _NAIVE  # naive: engine rebuilds on demand
+                else:
+                    kind_of[v] = _FALLBACK
+        self._kind_of = kind_of
+        self._consolidate_tables()
+        self._global_bound = model.max_ratio_bound(graph)
+        self._dispatch_groups = {name: 0 for name in _KIND_NAMES.values()}
+        self._dispatch_walkers = {name: 0 for name in _KIND_NAMES.values()}
+        self._steps = 0
+
+    def _consolidate_tables(self) -> None:
+        """Flatten the assignment's pre-built alias tables into global
+        flat arrays, addressable per walker with pure arithmetic.
+
+        Gathering thousands of small per-state table objects every step
+        (attribute lookups + ``np.concatenate`` of tiny arrays) dominates
+        the runtime once the frontier is large.  Consolidating once at
+        construction turns every later step into plain fancy indexing:
+
+        * ``_n2e_base[v]`` addresses node ``v``'s n2e table (the rejection
+          sampler's proposal / the alias sampler's first-order table),
+          ``degree(v)`` entries wide — also the proposal table of every
+          e2e rejection round;
+        * ``_e2e_base[v] + i * degree(v)`` addresses the e2e table of an
+          alias node ``v`` for walks arriving from its ``i``-th neighbour.
+
+        The copy costs one extra instance of the assignment's alias-table
+        payload for the engine's lifetime: ``O(|E|)`` floats+ints for the
+        n2e layer plus the alias nodes' ``O(d_v²)`` e2e blocks — the same
+        order as the sampler state the optimizer already budgeted.
+        """
+        self._n2e_base: np.ndarray | None = None
+        self._e2e_base: np.ndarray | None = None
+        if self.samplers is None:
+            return
+        n2e_nodes = np.flatnonzero(
+            (self._kind_of == _REJECTION) | (self._kind_of == _ALIAS)
+        )
+        if n2e_nodes.size:
+            base = np.full(self._n, -1, dtype=np.int64)
+            probs, aliases = [], []
+            offset = 0
+            for v in n2e_nodes:
+                sampler = self.samplers[int(v)]
+                table = (
+                    sampler.proposal
+                    if self._kind_of[v] == _REJECTION
+                    else sampler.first_order
+                )
+                probs.append(table.probability_table)
+                aliases.append(table.alias_table)
+                base[v] = offset
+                offset += table.num_outcomes
+            self._n2e_base = base
+            self._n2e_prob = np.concatenate(probs)
+            self._n2e_alias_tab = np.concatenate(aliases).astype(
+                np.int64, copy=False
+            )
+        alias_nodes = np.flatnonzero(self._kind_of == _ALIAS)
+        if alias_nodes.size:
+            base = np.full(self._n, -1, dtype=np.int64)
+            probs, aliases = [], []
+            offset = 0
+            for v in alias_nodes:
+                base[v] = offset
+                for table in self.samplers[int(v)].tables:
+                    probs.append(table.probability_table)
+                    aliases.append(table.alias_table)
+                    offset += table.num_outcomes
+            self._e2e_base = base
+            self._e2e_prob = np.concatenate(probs)
+            self._e2e_alias_tab = np.concatenate(aliases).astype(
+                np.int64, copy=False
+            )
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def walks(
+        self,
+        *,
+        starts: np.ndarray | list[int] | None = None,
+        num_walks: int = 1,
+        length: int = 10,
+        rng: RngLike = None,
+    ) -> WalkCorpus:
+        """``num_walks`` walks per start node (default: every non-isolated
+        node), in start-major order.  Returns a :class:`WalkCorpus` with
+        engine/cache counters on ``corpus.metadata``."""
+        if num_walks < 1:
+            raise WalkError("num_walks must be >= 1")
+        if length < 0:
+            raise WalkError("length must be non-negative")
+        gen = ensure_rng(rng)
+        if starts is None:
+            starts = np.flatnonzero(self.graph.degrees > 0)
+        starts = np.asarray(starts, dtype=np.int64)
+        if len(starts) and (
+            starts.min() < 0 or starts.max() >= self._n
+        ):
+            raise WalkError("start node out of range")
+        walkers = np.repeat(starts, num_walks)
+        trails = self._run(walkers, length, gen)
+        corpus = _corpus_from_trails(trails)
+        corpus.metadata.update(self.stats())
+        return corpus
+
+    def walk_chunk(
+        self,
+        nodes: Sequence[int],
+        *,
+        num_walks: int,
+        length: int,
+        rng: RngLike = None,
+    ) -> list[np.ndarray]:
+        """Chunk entry point for :func:`repro.walks.run_chunked_walks`:
+        walks in start-major order, one list entry per walk."""
+        gen = ensure_rng(rng)
+        walkers = np.repeat(np.asarray(nodes, dtype=np.int64), num_walks)
+        trails = self._run(walkers, length, gen)
+        return [_trim_trail(row) for row in trails]
+
+    def stats(self) -> dict:
+        """Cache and dispatch counters (observability hooks).
+
+        ``dispatch`` counts served groups/walkers per sampler kind across
+        all e2e steps (the naive path counts distinct edge states, the
+        consolidated rejection/alias paths distinct current nodes);
+        ``cache`` is the :meth:`EdgeStateCache.stats` snapshot when a
+        cache is attached.
+        """
+        stats = {
+            "engine": "batch",
+            "steps": int(self._steps),
+            "dispatch": {
+                name: {
+                    "groups": int(self._dispatch_groups[name]),
+                    "walkers": int(self._dispatch_walkers[name]),
+                }
+                for name in _KIND_NAMES.values()
+            },
+        }
+        if self.cache is not None:
+            stats["cache"] = self.cache.stats()
+        return stats
+
+    def describe(self) -> str:
+        """One-line dispatch/cache summary (``graph.stats`` style)."""
+        parts = [
+            f"{name}={self._dispatch_walkers[name]}w/{self._dispatch_groups[name]}g"
+            for name in _KIND_NAMES.values()
+            if self._dispatch_groups[name]
+        ]
+        line = f"batch engine: steps={self._steps}, " + (
+            ", ".join(parts) if parts else "idle"
+        )
+        if self.cache is not None:
+            line += "; " + self.cache.describe()
+        return line
+
+    # ------------------------------------------------------------------
+    # core stepping
+    # ------------------------------------------------------------------
+    def _run(
+        self, walkers: np.ndarray, length: int, gen: np.random.Generator
+    ) -> np.ndarray:
+        n_walkers = len(walkers)
+        trails = np.full((n_walkers, length + 1), -1, dtype=np.int64)
+        trails[:, 0] = walkers
+        if n_walkers == 0 or length == 0:
+            return trails
+
+        degrees = self.graph.degrees
+        active = degrees[walkers] > 0
+        current = walkers.copy()
+        previous = np.full(n_walkers, -1, dtype=np.int64)
+
+        for t in range(1, length + 1):
+            idx = np.flatnonzero(active)
+            if len(idx) == 0:
+                break
+            self._steps += 1
+            if t == 1:
+                self._step_n2e(idx, current, trails, gen)
+            else:
+                self._step_e2e(idx, previous, current, trails, t, gen)
+            previous[idx] = current[idx]
+            current[idx] = trails[idx, t]
+            active[idx] = degrees[current[idx]] > 0
+        return trails
+
+    def _step_n2e(
+        self,
+        idx: np.ndarray,
+        current: np.ndarray,
+        trails: np.ndarray,
+        gen: np.random.Generator,
+    ) -> None:
+        """First hop: n2e distributions, grouped by current node."""
+        kinds = self._kind_of[current[idx]]
+        for bucket in (_NAIVE, _REJECTION, _ALIAS, _FALLBACK):
+            sub = idx[kinds == bucket]
+            if len(sub) == 0:
+                continue
+            if bucket == _NAIVE:
+                self._n2e_naive(sub, current, trails, gen)
+            elif bucket == _FALLBACK:
+                self._n2e_fallback(sub, current, trails, gen)
+            else:
+                # Rejection and alias nodes both hold an n2e alias table.
+                self._n2e_alias(sub, current, trails, gen, bucket)
+
+    def _step_e2e(
+        self,
+        idx: np.ndarray,
+        previous: np.ndarray,
+        current: np.ndarray,
+        trails: np.ndarray,
+        t: int,
+        gen: np.random.Generator,
+    ) -> None:
+        """Later hops: e2e distributions, grouped by (previous, current)."""
+        kinds = self._kind_of[current[idx]]
+        for bucket in (_NAIVE, _REJECTION, _ALIAS, _FALLBACK):
+            sub = idx[kinds == bucket]
+            if len(sub) == 0:
+                continue
+            if bucket == _NAIVE:
+                self._e2e_naive(sub, previous, current, trails, t, gen)
+            elif bucket == _REJECTION:
+                self._e2e_rejection(sub, previous, current, trails, t, gen)
+            elif bucket == _ALIAS:
+                self._e2e_alias(sub, previous, current, trails, t, gen)
+            else:
+                self._e2e_fallback(sub, previous, current, trails, t, gen)
+
+    # ------------------------------------------------------------------
+    # naive path: segmented inverse-CDF over on-demand distributions
+    # ------------------------------------------------------------------
+    def _n2e_naive(self, sub, current, trails, gen) -> None:
+        vs, group, _counts = np.unique(
+            current[sub], return_inverse=True, return_counts=True
+        )
+        indptr = self.graph.indptr
+        starts = indptr[vs]
+        sizes = (indptr[vs + 1] - starts).astype(np.int64)
+        # n2e weights live in the graph itself: one segmented gather.
+        total = int(sizes.sum())
+        offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        flat_pos = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(offsets, sizes)
+            + np.repeat(starts, sizes)
+        )
+        flat = self.graph.weights[flat_pos]
+        picks = self._segmented_inverse_cdf(flat, sizes, group, gen, vs)
+        trails[sub, 1] = self.graph.indices[starts[group] + picks]
+        self._count("naive", len(vs), len(sub))
+
+    def _e2e_naive(self, sub, previous, current, trails, t, gen) -> None:
+        keys = previous[sub] * self._n + current[sub]
+        uk, group, _counts = np.unique(
+            keys, return_inverse=True, return_counts=True
+        )
+        us = uk // self._n
+        vs = uk % self._n
+        indptr = self.graph.indptr
+        sizes = (indptr[vs + 1] - indptr[vs]).astype(np.int64)
+        flat = self._materialise_weights(us, vs, sizes)
+        picks = self._segmented_inverse_cdf(flat, sizes, group, gen, vs)
+        trails[sub, t] = self.graph.indices[indptr[vs][group] + picks]
+        self._count("naive", len(uk), len(sub))
+
+    def _materialise_weights(
+        self, us: np.ndarray, vs: np.ndarray, sizes: np.ndarray
+    ) -> np.ndarray:
+        """Per-state e2e weight vectors, flat-concatenated in state order.
+
+        Cache-aware: hits reuse the stored vector (exact memoisation),
+        misses are recomputed *together* in one
+        :meth:`~repro.models.SecondOrderModel.biased_weights_many` call
+        and inserted.  The returned flat array is bit-identical for any
+        cache state.
+        """
+        cache = self.cache
+        if cache is None or not cache.enabled:
+            flat, _sizes = self.model.biased_weights_many(self.graph, us, vs)
+            return flat
+        segments: list[np.ndarray | None] = [None] * len(us)
+        missing: list[int] = []
+        for i in range(len(us)):
+            got = cache.get((int(us[i]), int(vs[i])))
+            if got is None:
+                missing.append(i)
+            else:
+                segments[i] = got
+        if missing:
+            m_idx = np.asarray(missing, dtype=np.int64)
+            m_flat, m_sizes = self.model.biased_weights_many(
+                self.graph, us[m_idx], vs[m_idx]
+            )
+            bounds = np.concatenate(([0], np.cumsum(m_sizes)))
+            for j, i in enumerate(missing):
+                segment = m_flat[bounds[j] : bounds[j + 1]]
+                segments[i] = segment
+                cache.put((int(us[i]), int(vs[i])), segment)
+        return (
+            np.concatenate(segments)
+            if segments
+            else np.empty(0, dtype=np.float64)
+        )
+
+    def _segmented_inverse_cdf(
+        self,
+        flat: np.ndarray,
+        sizes: np.ndarray,
+        group: np.ndarray,
+        gen: np.random.Generator,
+        vs: np.ndarray,
+    ) -> np.ndarray:
+        """One inverse-CDF draw per walker over per-group weight segments.
+
+        ``flat`` concatenates the segments, ``sizes`` their lengths, and
+        ``group[w]`` maps walker ``w`` to its segment.  Returns the picked
+        position *within* each walker's segment.
+        """
+        ends = np.cumsum(sizes)
+        starts = ends - sizes
+        cumulative = np.cumsum(flat)
+        bases = np.where(starts > 0, cumulative[starts - 1], 0.0)
+        totals = cumulative[ends - 1] - bases
+        if np.any(totals <= 0):
+            bad = int(vs[int(np.flatnonzero(totals <= 0)[0])])
+            raise WalkError(
+                f"distribution at node {bad} has zero total mass"
+            )
+        r = gen.random(len(group))
+        targets = bases[group] + r * totals[group]
+        picks = np.searchsorted(cumulative, targets, side="right")
+        picks = np.clip(picks, starts[group], ends[group] - 1)
+        return picks - starts[group]
+
+    # ------------------------------------------------------------------
+    # rejection path: frontier-wide vectorised acceptance-rejection
+    # ------------------------------------------------------------------
+    def _e2e_rejection(self, sub, previous, current, trails, t, gen) -> None:
+        u_arr = previous[sub]
+        v_arr = current[sub]
+        base_all = self._n2e_base[v_arr]
+        d_all = self.graph.degrees[v_arr]
+        factors = self._acceptance_factors(sub, u_arr, v_arr)
+
+        result = np.empty(len(sub), dtype=np.int64)
+        pending = np.arange(len(sub))
+        indptr = self.graph.indptr
+        for _ in range(self.max_rejection_rounds):
+            if pending.size == 0:
+                break
+            picks = self._flat_alias_pick(
+                self._n2e_prob,
+                self._n2e_alias_tab,
+                base_all[pending],
+                d_all[pending],
+                gen,
+            )
+            z = self.graph.indices[indptr[v_arr[pending]] + picks]
+            ratios = self.model.target_ratio_bulk(
+                self.graph, u_arr[pending], v_arr[pending], z
+            )
+            acceptance = np.minimum(1.0, ratios * factors[pending])
+            accepted = gen.random(len(pending)) <= acceptance
+            result[pending[accepted]] = z[accepted]
+            pending = pending[~accepted]
+        if pending.size:
+            raise SamplerError(
+                f"batch rejection exceeded {self.max_rejection_rounds} rounds"
+            )
+        trails[sub, t] = result
+        self._count("rejection", self._distinct_nodes(v_arr), len(sub))
+
+    def _acceptance_factors(self, sub, u_arr, v_arr) -> np.ndarray:
+        """``1 / max_t r_uvt`` per walker: the model's closed-form bound
+        when it has one, else the per-edge factors held by each node's
+        rejection sampler (one lookup per distinct edge state)."""
+        if self._global_bound is not None:
+            return np.full(len(sub), 1.0 / self._global_bound)
+        keys = u_arr * self._n + v_arr
+        uk, group = np.unique(keys, return_inverse=True)
+        per_state = np.array(
+            [
+                self.samplers[int(k % self._n)].acceptance_factor(
+                    int(k // self._n)
+                )
+                for k in uk
+            ],
+            dtype=np.float64,
+        )
+        return per_state[group]
+
+    # ------------------------------------------------------------------
+    # alias path: gathered pre-built tables, two uniforms per walker
+    # ------------------------------------------------------------------
+    def _e2e_alias(self, sub, previous, current, trails, t, gen) -> None:
+        u_arr = previous[sub]
+        v_arr = current[sub]
+        total = len(sub)
+        groups = self._distinct_nodes(v_arr)
+        # Position of the previous node within N(v) addresses the
+        # consolidated table; out-of-neighbourhood arrivals (possible on
+        # directed traces) take the on-demand per-state path below.
+        offsets, found = self.graph.edge_positions(v_arr, u_arr)
+        extra = None
+        if not found.all():
+            extra = sub[~found]
+            sub = sub[found]
+            v_arr = v_arr[found]
+            offsets = offsets[found]
+        if len(sub):
+            d = self.graph.degrees[v_arr]
+            base = self._e2e_base[v_arr] + offsets * d
+            picks = self._flat_alias_pick(
+                self._e2e_prob, self._e2e_alias_tab, base, d, gen
+            )
+            trails[sub, t] = self.graph.indices[
+                self.graph.indptr[v_arr] + picks
+            ]
+        if extra is not None:
+            self._e2e_alias_extra(extra, previous, current, trails, t, gen)
+        self._count("alias", groups, total)
+
+    def _e2e_alias_extra(self, sub, previous, current, trails, t, gen) -> None:
+        """Arrivals from outside ``N(v)``: gather the samplers' on-demand
+        ``table_for`` tables per distinct edge state (rare, directed-only)."""
+        keys = previous[sub] * self._n + current[sub]
+        uk, group = np.unique(keys, return_inverse=True)
+        us = uk // self._n
+        vs = uk % self._n
+        prob_flat, alias_flat, starts_flat, sizes = self._gather_tables(
+            [
+                self.samplers[int(v)].table_for(int(u))
+                for u, v in zip(us, vs)
+            ]
+        )
+        picks = self._alias_pick(
+            prob_flat, alias_flat, starts_flat, sizes, group, gen
+        )
+        trails[sub, t] = self.graph.indices[self.graph.indptr[vs][group] + picks]
+
+    def _n2e_alias(self, sub, current, trails, gen, bucket) -> None:
+        v_arr = current[sub]
+        picks = self._flat_alias_pick(
+            self._n2e_prob,
+            self._n2e_alias_tab,
+            self._n2e_base[v_arr],
+            self.graph.degrees[v_arr],
+            gen,
+        )
+        trails[sub, 1] = self.graph.indices[self.graph.indptr[v_arr] + picks]
+        self._count(_KIND_NAMES[bucket], self._distinct_nodes(v_arr), len(sub))
+
+    @staticmethod
+    def _gather_tables(tables) -> tuple:
+        """Concatenate alias tables into flat prob/alias arrays."""
+        sizes = np.array([t.num_outcomes for t in tables], dtype=np.int64)
+        prob_flat = (
+            np.concatenate([t.probability_table for t in tables])
+            if tables
+            else np.empty(0)
+        )
+        alias_flat = (
+            np.concatenate([t.alias_table for t in tables])
+            if tables
+            else np.empty(0, dtype=np.int64)
+        )
+        starts_flat = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        return prob_flat, alias_flat, starts_flat, sizes
+
+    @staticmethod
+    def _alias_pick(
+        prob_flat, alias_flat, starts_flat, sizes, group, gen
+    ) -> np.ndarray:
+        """Vectorised Walker draw per walker over gathered tables."""
+        k = len(group)
+        columns = np.minimum(
+            (gen.random(k) * sizes[group]).astype(np.int64), sizes[group] - 1
+        )
+        flat_pos = starts_flat[group] + columns
+        keep = gen.random(k) <= prob_flat[flat_pos]
+        return np.where(keep, columns, alias_flat[flat_pos])
+
+    @staticmethod
+    def _flat_alias_pick(prob_flat, alias_flat, base, sizes, gen) -> np.ndarray:
+        """Vectorised Walker draw over the consolidated tables: walker ``w``
+        draws from the ``sizes[w]``-wide table starting at ``base[w]``.
+        Same two-uniform draw pattern (column, then keep) as
+        :meth:`_alias_pick`, so both addressing modes consume the RNG
+        identically."""
+        k = len(base)
+        columns = np.minimum(
+            (gen.random(k) * sizes).astype(np.int64), sizes - 1
+        )
+        flat_pos = base + columns
+        keep = gen.random(k) <= prob_flat[flat_pos]
+        return np.where(keep, columns, alias_flat[flat_pos])
+
+    def _distinct_nodes(self, nodes: np.ndarray) -> int:
+        """Distinct-node count by scatter mask — ``O(k + |V|)``, no sort
+        (counter bookkeeping must stay off the hot path's critical cost)."""
+        mask = np.zeros(self._n, dtype=bool)
+        mask[nodes] = True
+        return int(np.count_nonzero(mask))
+
+    # ------------------------------------------------------------------
+    # fallback path: per-group NodeSampler batch API
+    # ------------------------------------------------------------------
+    def _n2e_fallback(self, sub, current, trails, gen) -> None:
+        order = sub[np.argsort(current[sub], kind="stable")]
+        vs, bounds = np.unique(current[order], return_index=True)
+        bounds = np.append(bounds, len(order))
+        for i, v in enumerate(vs):
+            members = order[bounds[i] : bounds[i + 1]]
+            trails[members, 1] = self.samplers[int(v)].sample_first_batch(
+                len(members), gen
+            )
+        self._count("fallback", len(vs), len(sub))
+
+    def _e2e_fallback(self, sub, previous, current, trails, t, gen) -> None:
+        keys = previous[sub] * self._n + current[sub]
+        order = sub[np.argsort(keys, kind="stable")]
+        sorted_keys = previous[order] * self._n + current[order]
+        uk, bounds = np.unique(sorted_keys, return_index=True)
+        bounds = np.append(bounds, len(order))
+        for i, key in enumerate(uk):
+            members = order[bounds[i] : bounds[i + 1]]
+            u = int(key // self._n)
+            v = int(key % self._n)
+            trails[members, t] = self.samplers[v].sample_batch(
+                u, len(members), gen
+            )
+        self._count("fallback", len(uk), len(sub))
+
+    def _count(self, name: str, groups: int, walkers: int) -> None:
+        self._dispatch_groups[name] += groups
+        self._dispatch_walkers[name] += walkers
+
+
+# ----------------------------------------------------------------------
+# functional wrappers
+# ----------------------------------------------------------------------
 def batch_walks(
     graph: CSRGraph,
     model: SecondOrderModel,
@@ -39,87 +672,22 @@ def batch_walks(
     num_walks: int = 1,
     length: int = 10,
     rng: RngLike = None,
+    samplers: Sequence[NodeSampler | None] | None = None,
+    cache: "EdgeStateCache | float | None" = None,
 ) -> WalkCorpus:
     """Generate walks for all start nodes with edge-state batching.
 
-    Parameters
-    ----------
-    starts:
-        Start nodes; defaults to every non-isolated node.  Each start is
-        replicated ``num_walks`` times.
-    length:
-        Steps per walk; walks stop early at dead ends.
-
+    Without ``samplers`` this is the batched-*naive* engine (O(1)
+    persistent memory, distributions rebuilt on demand — vectorised per
+    step); passing a framework's sampler array makes it assignment-aware.
     Returns a :class:`WalkCorpus` in start order (deterministic given
     ``rng``; the stream differs from the scalar engine's but the walk
     distribution is identical).
     """
-    if num_walks < 1:
-        raise WalkError("num_walks must be >= 1")
-    if length < 0:
-        raise WalkError("length must be non-negative")
-    gen = ensure_rng(rng)
-    if starts is None:
-        starts = np.flatnonzero(graph.degrees > 0)
-    starts = np.asarray(starts, dtype=np.int64)
-    if len(starts) and (starts.min() < 0 or starts.max() >= graph.num_nodes):
-        raise WalkError("start node out of range")
-
-    walkers = np.repeat(starts, num_walks)
-    n_walkers = len(walkers)
-    trails = np.full((n_walkers, length + 1), -1, dtype=np.int64)
-    trails[:, 0] = walkers
-    if n_walkers == 0 or length == 0:
-        return _corpus_from_trails(trails)
-
-    active = graph.degrees[walkers] > 0
-    current = walkers.copy()
-    previous = np.full(n_walkers, -1, dtype=np.int64)
-
-    # --- step 1: n2e, grouped by current node --------------------------
-    idx_active = np.flatnonzero(active)
-    if len(idx_active):
-        order = idx_active[np.argsort(current[idx_active], kind="stable")]
-        grouped_nodes, group_starts = np.unique(
-            current[order], return_index=True
-        )
-        boundaries = np.append(group_starts, len(order))
-        for g, v in enumerate(grouped_nodes):
-            members = order[boundaries[g] : boundaries[g + 1]]
-            neighbors = graph.neighbors(int(v))
-            weights = graph.neighbor_weights(int(v))
-            picks = _sample_many(weights, len(members), gen)
-            trails[members, 1] = neighbors[picks]
-        previous[idx_active] = current[idx_active]
-        current[idx_active] = trails[idx_active, 1]
-        active[idx_active] = graph.degrees[current[idx_active]] > 0
-
-    # --- steps >= 2: e2e, grouped by (previous, current) edge state ----
-    for t in range(2, length + 1):
-        idx_active = np.flatnonzero(active)
-        if len(idx_active) == 0:
-            break
-        # Composite key: previous * |V| + current identifies the edge state.
-        keys = previous[idx_active] * graph.num_nodes + current[idx_active]
-        order = idx_active[np.argsort(keys, kind="stable")]
-        sorted_keys = (
-            previous[order] * graph.num_nodes + current[order]
-        )
-        unique_keys, group_starts = np.unique(sorted_keys, return_index=True)
-        boundaries = np.append(group_starts, len(order))
-        for g, key in enumerate(unique_keys):
-            members = order[boundaries[g] : boundaries[g + 1]]
-            u = int(key // graph.num_nodes)
-            v = int(key % graph.num_nodes)
-            neighbors = graph.neighbors(v)
-            weights = model.biased_weights(graph, u, v)
-            picks = _sample_many(weights, len(members), gen)
-            trails[members, t] = neighbors[picks]
-        previous[idx_active] = current[idx_active]
-        current[idx_active] = trails[idx_active, t]
-        active[idx_active] = graph.degrees[current[idx_active]] > 0
-
-    return _corpus_from_trails(trails)
+    engine = BatchWalkEngine(graph, model, samplers, cache=cache)
+    return engine.walks(
+        starts=starts, num_walks=num_walks, length=length, rng=rng
+    )
 
 
 def batch_second_order_pagerank(
@@ -181,23 +749,16 @@ def batch_second_order_pagerank(
     return scores
 
 
-def _sample_many(
-    weights: np.ndarray, count: int, gen: np.random.Generator
-) -> np.ndarray:
-    """``count`` inverse-CDF draws from unnormalised weights, vectorised."""
-    cumulative = np.cumsum(weights, dtype=np.float64)
-    total = cumulative[-1]
-    if total <= 0:
-        raise WalkError("distribution has zero total mass")
-    r = gen.random(count) * total
-    return np.searchsorted(cumulative, r, side="right").clip(
-        max=len(weights) - 1
-    )
+def _trim_trail(row: np.ndarray) -> np.ndarray:
+    """Cut the ``-1`` padding of a dead-ended trail (copying the slice so
+    the full trails matrix is not pinned in memory by corpus references)."""
+    negative = row < 0
+    stop = int(np.argmax(negative)) if negative.any() else len(row)
+    return row[: stop if stop > 0 else len(row)].copy()
 
 
 def _corpus_from_trails(trails: np.ndarray) -> WalkCorpus:
     corpus = WalkCorpus()
     for row in trails:
-        stop = np.argmax(row < 0) if (row < 0).any() else len(row)
-        corpus.add(row[: stop if stop > 0 else len(row)])
+        corpus.add(_trim_trail(row))
     return corpus

@@ -1,0 +1,149 @@
+"""Hot edge-state distribution cache for the batch walk engine.
+
+The paper's design space runs from the naive sampler (no persistent
+state, full rebuild per sample) to the alias sampler (everything
+materialised up front).  :class:`EdgeStateCache` is the dynamic point in
+between: e2e weight vectors of *hot* edge states ``(previous, current)``
+are kept after first materialisation and evicted least-recently-used when
+a byte budget fills — dynamic partial materialisation priced in the same
+currency as the optimizer's :class:`~repro.framework.MemoryBudget`.
+
+Determinism contract
+--------------------
+The cache is a pure memoisation: a hit returns the exact array a rebuild
+would produce (the engine recomputes weight vectors with a deterministic
+per-state routine), and cache operations never consume walk RNG.  Walk
+output is therefore bit-identical for any cache size, including zero —
+the property the hash-pinned engine tests lock down.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from ..exceptions import BudgetError
+from ..framework.memory import MemoryBudget, format_bytes
+
+
+class EdgeStateCache:
+    """LRU cache of materialised e2e weight vectors, byte-accounted.
+
+    Parameters
+    ----------
+    budget:
+        A :class:`~repro.framework.MemoryBudget`, a byte count, or ``None``
+        / ``0`` for a disabled cache (every lookup misses, nothing is
+        stored).  The *actual* ``ndarray`` payload bytes are charged; the
+        invariant ``used_bytes <= budget.total_bytes`` holds at every
+        point in time, enforced by evicting least-recently-used entries
+        before insertion.
+
+    Entries larger than the whole budget are simply not cached.
+    """
+
+    def __init__(self, budget: "MemoryBudget | float | None") -> None:
+        if budget is None:
+            budget = MemoryBudget(0.0)
+        elif not isinstance(budget, MemoryBudget):
+            budget = MemoryBudget(float(budget))
+        self.budget = budget
+        self._entries: "OrderedDict[tuple[int, int], np.ndarray]" = OrderedDict()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._peak = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether the cache can hold anything at all."""
+        return self.budget.total_bytes > 0
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently charged (sum of stored array payloads)."""
+        return self._used
+
+    @property
+    def peak_bytes(self) -> int:
+        """High-water mark of :attr:`used_bytes`."""
+        return self._peak
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._entries
+
+    # ------------------------------------------------------------------
+    def get(self, key: tuple[int, int]) -> np.ndarray | None:
+        """The cached weight vector of edge state ``key``, or ``None``.
+
+        A hit refreshes the entry's recency; both outcomes update the
+        hit/miss counters.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple[int, int], weights: np.ndarray) -> bool:
+        """Store ``weights`` under ``key``, evicting LRU entries to fit.
+
+        Returns ``True`` when the entry was stored, ``False`` when it
+        cannot fit even an empty cache (or the cache is disabled).  Never
+        lets :attr:`used_bytes` exceed the budget.
+        """
+        cost = int(weights.nbytes)
+        if cost > self.budget.total_bytes:
+            return False
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._used -= int(old.nbytes)
+        while self._used + cost > self.budget.total_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._used -= int(evicted.nbytes)
+            self.evictions += 1
+        self._entries[key] = weights
+        self._used += cost
+        if self._used > self.budget.total_bytes:  # pragma: no cover
+            raise BudgetError("edge-state cache exceeded its byte budget")
+        self._peak = max(self._peak, self._used)
+        return True
+
+    def clear(self) -> None:
+        """Drop every entry (counters are retained)."""
+        self._entries.clear()
+        self._used = 0
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counter snapshot for corpus metadata / observability hooks."""
+        total = self.hits + self.misses
+        return {
+            "budget_bytes": float(self.budget.total_bytes),
+            "used_bytes": int(self._used),
+            "peak_bytes": int(self._peak),
+            "entries": len(self._entries),
+            "hits": int(self.hits),
+            "misses": int(self.misses),
+            "evictions": int(self.evictions),
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
+
+    def describe(self) -> str:
+        """One-line summary in the ``repro.graph.stats`` reporting style."""
+        s = self.stats()
+        return (
+            f"edge-state cache: {s['entries']} entries, "
+            f"{format_bytes(s['used_bytes'])}/{format_bytes(s['budget_bytes'])} "
+            f"(peak {format_bytes(s['peak_bytes'])}), "
+            f"hits={s['hits']} misses={s['misses']} "
+            f"evictions={s['evictions']} hit_rate={s['hit_rate']:.2f}"
+        )

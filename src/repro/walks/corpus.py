@@ -25,10 +25,15 @@ class WalkCorpus:
     for worker chunks that exhausted their retries under a dead-letter
     policy — surfaced here instead of silently dropping their walks, so a
     partially failed run is visibly partial (:attr:`is_complete`).
+
+    ``metadata`` carries generation-time observability counters (engine
+    kind, cache hit rates, sampler dispatch tallies) without affecting
+    equality of the walks themselves; it is not persisted by :meth:`save`.
     """
 
     walks: list[np.ndarray] = field(default_factory=list)
     failed_chunks: list = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
 
     @property
     def is_complete(self) -> bool:

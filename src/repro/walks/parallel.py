@@ -83,10 +83,20 @@ def _walk_chunk(task: WalkChunkTask) -> list[np.ndarray]:
         if task.fault_plan is not None:
             task.fault_plan.before_chunk(task.index, task.attempt)
         rng = np.random.default_rng(task.seed)
-        walks: list[np.ndarray] = []
-        for v in task.nodes:
-            for _ in range(task.num_walks):
-                walks.append(engine.walk(v, task.length, rng))
+        if hasattr(engine, "walk_chunk"):
+            # Batch engines advance the whole chunk frontier vectorised;
+            # walk_chunk returns start-major order, same as the scalar loop.
+            walks = engine.walk_chunk(
+                task.nodes,
+                num_walks=task.num_walks,
+                length=task.length,
+                rng=rng,
+            )
+        else:
+            walks = []
+            for v in task.nodes:
+                for _ in range(task.num_walks):
+                    walks.append(engine.walk(v, task.length, rng))
         if task.fault_plan is not None:
             walks = task.fault_plan.after_chunk(task.index, task.attempt, walks)
         return walks
@@ -121,6 +131,11 @@ def _chunk_validator(num_nodes: int):
                 )
 
     return validate
+
+
+def _engine_tag(engine) -> str:
+    """Stable identifier of the engine's RNG-stream contract."""
+    return "batch" if hasattr(engine, "walk_chunk") else "scalar"
 
 
 def run_chunked_walks(
@@ -182,6 +197,9 @@ def run_chunked_walks(
             "length": int(length),
             "num_chunks": len(chunks),
             "num_nodes": int(engine.graph.num_nodes),
+            # Scalar and batch engines consume the per-chunk RNG streams
+            # differently; refuse to resume a checkpoint across engines.
+            "engine": _engine_tag(engine),
         }
         for index, (seed, nodes, walks) in store.load(signature).items():
             if index >= len(tasks):
@@ -237,6 +255,14 @@ def run_chunked_walks(
             continue  # dead-lettered; recorded on corpus.failed_chunks
         for walk in chunk_walks:
             corpus.add(walk)
+    corpus.metadata["engine"] = _engine_tag(engine)
+    corpus.metadata["num_chunks"] = len(chunks)
+    corpus.metadata["workers"] = int(workers)
+    if hasattr(engine, "stats"):
+        # Batch-engine dispatch/cache counters.  Only in-process chunks
+        # accumulate here: counters bumped inside forked pool workers stay
+        # in the child, so treat these as sequential-path observability.
+        corpus.metadata.update(engine.stats())
     return corpus
 
 
@@ -260,7 +286,11 @@ def parallel_walks(
     Parameters
     ----------
     engine:
-        A fully built :class:`WalkEngine` (e.g. ``framework.walk_engine``).
+        A fully built :class:`WalkEngine` (e.g. ``framework.walk_engine``)
+        or a :class:`~repro.walks.BatchWalkEngine` (chunks are then
+        generated vectorised via its ``walk_chunk`` — same chunk/seed
+        contract, so retries and resume stay bit-identical, but the RNG
+        stream differs from the scalar engine's).
     workers:
         Process count; defaults to ``os.cpu_count()`` capped at 16 (the
         paper's default parallelism).  ``workers <= 1`` runs inline.

@@ -394,6 +394,7 @@ class TestCheckpointResume:
             "length": 4,
             "num_chunks": 8,
             "num_nodes": framework.graph.num_nodes,
+            "engine": "scalar",
         }
         completed = store.load(signature)
         assert sorted(completed) == list(range(8))  # torn record ignored
