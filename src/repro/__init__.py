@@ -37,6 +37,8 @@ from .exceptions import (
     ModelError,
     OptimizerError,
     ReproError,
+    RngConfigError,
+    SamplerConfigError,
     SamplerError,
     SimulatedOOMError,
     SimulatedTimeoutError,
@@ -166,6 +168,8 @@ __all__ = [
     "DEFAULT_DEGREE_THRESHOLD",
     # exceptions
     "ReproError",
+    "RngConfigError",
+    "SamplerConfigError",
     "GraphFormatError",
     "DistributionError",
     "SamplerError",

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — run the reprolint invariant linter."""
+
+import sys
+
+from .lint import lint_main
+
+if __name__ == "__main__":
+    sys.exit(lint_main())

@@ -33,6 +33,7 @@ class DegreeBucket:
 
     @property
     def label(self) -> str:
+        """Human-readable degree range of this bucket."""
         return f"[{self.low},{self.high})"
 
     def dominant_sampler(self) -> str:

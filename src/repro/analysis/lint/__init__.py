@@ -1,0 +1,53 @@
+"""``reprolint`` — repository-specific AST invariant linter.
+
+Static enforcement of the conventions the walk engine's correctness
+rests on: RNG and wall-clock discipline (deterministic replay),
+byte-accounted allocation (memory discipline), picklable worker
+payloads, vectorised hot paths, a single-rooted exception hierarchy,
+no mutable defaults, and documented public API.
+
+Programmatic use::
+
+    from repro.analysis.lint import run_lint
+    result, _ = run_lint(["src/repro"])
+    assert result.ok, result.new_findings
+
+Command line: ``repro lint`` or ``python -m repro.analysis``.
+"""
+
+from . import rules as _rules  # noqa: F401  (import registers the rule catalogue)
+from .baseline import Baseline, BaselineEntry, fingerprint_findings
+from .cli import build_lint_parser, lint_main
+from .engine import (
+    RULE_REGISTRY,
+    Finding,
+    LintConfigError,
+    Rule,
+    SourceFile,
+    check_file,
+    iter_rules,
+    parse_source_file,
+    register_rule,
+)
+from .runner import LintResult, default_baseline_path, discover_files, run_lint
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "SourceFile",
+    "RULE_REGISTRY",
+    "register_rule",
+    "iter_rules",
+    "check_file",
+    "parse_source_file",
+    "LintConfigError",
+    "Baseline",
+    "BaselineEntry",
+    "fingerprint_findings",
+    "LintResult",
+    "run_lint",
+    "discover_files",
+    "default_baseline_path",
+    "lint_main",
+    "build_lint_parser",
+]

@@ -1,0 +1,148 @@
+"""Committed baseline of grandfathered ``reprolint`` findings.
+
+A new rule applied to an old codebase surfaces findings that are
+*intentional* (a bounded remainder loop on a hot path) alongside ones
+that are real bugs.  The baseline file records the intentional ones —
+each with a one-line justification — so ``repro lint --check`` fails
+only on findings introduced *after* the rule landed.
+
+Entries are keyed by a content fingerprint (rule id + path + offending
+line text + duplicate index), never by line number, so edits elsewhere
+in a file do not invalidate its grandfathered findings.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .engine import Finding, LintConfigError, SourceFile
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "reprolint-baseline.json"
+
+
+@dataclass
+class BaselineEntry:
+    """One grandfathered finding plus its human rationale."""
+
+    fingerprint: str
+    rule: str
+    path: str
+    symbol: str = ""
+    justification: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form written to the baseline file."""
+        return {
+            "fingerprint": self.fingerprint,
+            "rule": self.rule,
+            "path": self.path,
+            "symbol": self.symbol,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered findings, with load/save round-trip."""
+
+    entries: dict[str, BaselineEntry] = field(default_factory=dict)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def load(cls, path: "Path | str | None") -> "Baseline":
+        """Read a baseline file; a missing path yields an empty baseline."""
+        if path is None:
+            return cls()
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise LintConfigError(f"cannot read baseline {path}: {exc}") from exc
+        if payload.get("version") != BASELINE_VERSION:
+            raise LintConfigError(
+                f"baseline {path} has version {payload.get('version')!r}, "
+                f"expected {BASELINE_VERSION}"
+            )
+        entries = {}
+        for raw in payload.get("findings", []):
+            entry = BaselineEntry(
+                fingerprint=raw["fingerprint"],
+                rule=raw.get("rule", ""),
+                path=raw.get("path", ""),
+                symbol=raw.get("symbol", ""),
+                justification=raw.get("justification", ""),
+            )
+            entries[entry.fingerprint] = entry
+        return cls(entries=entries)
+
+    def save(self, path: "Path | str") -> None:
+        """Write the baseline, entries sorted for stable diffs."""
+        path = Path(path)
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": [
+                entry.to_dict()
+                for entry in sorted(
+                    self.entries.values(),
+                    key=lambda e: (e.path, e.rule, e.fingerprint),
+                )
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_findings(
+        cls,
+        fingerprinted: "list[tuple[Finding, str]]",
+        previous: "Baseline | None" = None,
+    ) -> "Baseline":
+        """Baseline covering ``fingerprinted`` findings.
+
+        Justifications of entries carried over from ``previous`` are
+        preserved; genuinely new entries get a placeholder the reviewer
+        must replace before committing.
+        """
+        entries: dict[str, BaselineEntry] = {}
+        for finding, fingerprint in fingerprinted:
+            kept = previous.entries.get(fingerprint) if previous else None
+            entries[fingerprint] = BaselineEntry(
+                fingerprint=fingerprint,
+                rule=finding.rule,
+                path=finding.path,
+                symbol=finding.symbol,
+                justification=kept.justification
+                if kept
+                else "TODO: justify or fix",
+            )
+        return cls(entries=entries)
+
+
+def fingerprint_findings(
+    findings: "list[Finding]", sources: "dict[str, SourceFile]"
+) -> "list[tuple[Finding, str]]":
+    """Pair each finding with its baseline fingerprint.
+
+    Duplicate (rule, path, line-text) triples are disambiguated with an
+    occurrence index so two identical violations in one file baseline
+    independently.
+    """
+    seen: dict[str, int] = {}
+    out: list[tuple[Finding, str]] = []
+    for finding in findings:
+        src = sources.get(finding.path)
+        line_text = src.line_text(finding.line) if src else ""
+        key = f"{finding.rule}|{finding.path}|{' '.join(line_text.split())}"
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        out.append((finding, finding.fingerprint(line_text, index)))
+    return out

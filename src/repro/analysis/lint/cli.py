@@ -1,0 +1,150 @@
+"""Command-line front end for ``reprolint``.
+
+Reached three ways, all sharing :func:`lint_main`:
+
+* ``repro lint [paths...]`` — subcommand of the main CLI;
+* ``python -m repro.analysis`` — direct module entry point;
+* the CI ``lint`` job — ``repro lint --check`` (``--check`` is the
+  default behaviour made explicit, so the job reads as intent).
+
+Exit codes: 0 clean (modulo baseline), 1 new findings or stale baseline
+entries under ``--check``, 2 configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .baseline import Baseline
+from .engine import RULE_REGISTRY, LintConfigError
+from .runner import default_baseline_path, run_lint
+
+
+def build_lint_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
+    """Argument parser for the ``lint`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "reprolint: AST-based invariant linter for the repro codebase "
+            "(determinism, memory accounting, hot-path purity)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: the src/repro tree)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "exit non-zero on any new finding or stale baseline entry "
+            "(the default exit policy, stated explicitly for CI)"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "baseline file of grandfathered findings "
+            "(default: reprolint-baseline.json at the repo root)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding as new",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline to cover all current findings "
+            "(existing justifications are preserved)"
+        ),
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--show-baselined",
+        action="store_true",
+        help="also print findings matched by the baseline",
+    )
+    return parser
+
+
+def _default_paths() -> list[str]:
+    """The ``src/repro`` tree this module is installed from."""
+    from pathlib import Path
+
+    package_root = Path(__file__).resolve().parents[2]
+    return [str(package_root)]
+
+
+def lint_main(argv: "list[str] | None" = None) -> int:
+    """Run the linter; returns the process exit code."""
+    args = build_lint_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in sorted(RULE_REGISTRY):
+            rule = RULE_REGISTRY[rule_id]
+            print(f"{rule.id}  {rule.name:24s} [{rule.severity}] {rule.description}")
+        return 0
+
+    paths = args.paths or _default_paths()
+    rules = (
+        [r.strip() for r in args.rules.split(",") if r.strip()]
+        if args.rules
+        else None
+    )
+    baseline_path = args.baseline or default_baseline_path()
+
+    try:
+        baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
+        result, fingerprinted = run_lint(paths, rules=rules, baseline=baseline)
+    except LintConfigError as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        updated = Baseline.from_findings(fingerprinted, previous=baseline)
+        updated.save(baseline_path)
+        print(f"baseline written: {baseline_path} ({len(updated)} entr(y/ies))")
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        for finding in result.new_findings:
+            print(finding.render())
+        if args.show_baselined:
+            for finding in result.baselined:
+                print(f"[baselined] {finding.render()}")
+        for fingerprint in result.stale_baseline:
+            entry = baseline.entries[fingerprint]
+            print(
+                f"stale baseline entry {fingerprint} "
+                f"({entry.rule} in {entry.path}): finding no longer "
+                "occurs — remove it or run --update-baseline"
+            )
+        print(result.summary())
+
+    failed = bool(result.new_findings) or bool(result.stale_baseline)
+    return 1 if failed else 0

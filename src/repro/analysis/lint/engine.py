@@ -1,0 +1,366 @@
+"""Core machinery of ``reprolint``: findings, rules, suppressions.
+
+``reprolint`` is a repository-specific static analyser.  Generic linters
+catch generic mistakes; the invariants this package enforces are the ones
+the walk engine's correctness actually rests on — deterministic replay
+(no ambient RNG or wall clock in seed/signature paths), byte-accounted
+memory, picklable multiprocessing payloads, and vectorised hot paths.
+Each invariant is an AST :class:`Rule`; the engine parses each source
+file once, hands the shared :class:`SourceFile` to every enabled rule,
+and filters the resulting :class:`Finding` stream through inline
+suppressions and the committed baseline.
+
+Suppression directives (written as comments in the linted source)::
+
+    x = thing()  # reprolint: disable=RULE001
+    # reprolint: disable=RULE001,RULE002   <- applies to the next line
+    # reprolint: disable-file=RULE001      <- whole file, any position
+    # reprolint: module=walks/parallel.py  <- override the logical module
+                                              path (testing hook: lets a
+                                              fixture exercise a
+                                              module-scoped rule)
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ...exceptions import ReproError
+
+SEVERITIES = ("warning", "error")
+
+_DIRECTIVE = re.compile(r"#\s*reprolint:\s*(disable|disable-file|module)\s*=\s*([\w./,\- ]+)")
+
+
+class LintConfigError(ReproError):
+    """``reprolint`` was invoked with an invalid configuration (unknown
+    rule id, unreadable path, malformed baseline file)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    symbol: str = ""
+
+    def fingerprint(self, line_text: str = "", index: int = 0) -> str:
+        """Location-independent identity used by the baseline file.
+
+        Hashes the rule id, the path, the *text* of the offending line
+        (whitespace-normalised) and a duplicate counter — never the line
+        number, so unrelated edits above a grandfathered finding do not
+        invalidate the baseline.
+        """
+        normalised = " ".join(line_text.split())
+        payload = f"{self.rule}|{self.path}|{normalised}|{index}"
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        """Human-readable one-liner (``path:line:col: RULE message``)."""
+        where = f" [{self.symbol}]" if self.symbol else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity}: {self.message}{where}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (the ``--format json`` payload)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+        }
+
+
+@dataclass
+class SourceFile:
+    """A parsed source file shared by every rule.
+
+    ``module_path`` is the file's logical path *inside* the ``repro``
+    package (e.g. ``walks/parallel.py``) — the key module-scoped rules
+    match against.  It is derived from the filesystem path and can be
+    overridden with a ``# reprolint: module=...`` directive so fixture
+    files can impersonate any module.
+    """
+
+    path: Path
+    display_path: str
+    text: str
+    tree: ast.Module
+    module_path: str
+    line_suppressions: dict[int, set[str]] = field(default_factory=dict)
+    file_suppressions: set[str] = field(default_factory=set)
+
+    @property
+    def lines(self) -> list[str]:
+        """Source text split into lines (1-indexed via ``line_text``)."""
+        return self.text.splitlines()
+
+    def line_text(self, lineno: int) -> str:
+        """Text of line ``lineno`` ('' when out of range)."""
+        lines = self.lines
+        if 1 <= lineno <= len(lines):
+            return lines[lineno - 1]
+        return ""
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether an inline/file directive silences ``finding``."""
+        if finding.rule in self.file_suppressions or "all" in self.file_suppressions:
+            return True
+        rules = self.line_suppressions.get(finding.line, set())
+        return finding.rule in rules or "all" in rules
+
+    def enclosing_symbol(self, lineno: int) -> str:
+        """Dotted name of the innermost function/class containing a line."""
+        best = ""
+        best_span = None
+        for start, end, qualname in self._symbol_spans():
+            if start <= lineno <= end:
+                span = end - start
+                if best_span is None or span <= best_span:
+                    best, best_span = qualname, span
+        return best
+
+    def _symbol_spans(self) -> list[tuple[int, int, str]]:
+        spans = getattr(self, "_spans_cache", None)
+        if spans is None:
+            spans = []
+            stack: list[str] = []
+
+            def visit(node: ast.AST) -> None:
+                for child in ast.iter_child_nodes(node):
+                    if isinstance(
+                        child,
+                        (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                    ):
+                        stack.append(child.name)
+                        spans.append(
+                            (
+                                child.lineno,
+                                child.end_lineno or child.lineno,
+                                ".".join(stack),
+                            )
+                        )
+                        visit(child)
+                        stack.pop()
+                    else:
+                        visit(child)
+
+            visit(self.tree)
+            self._spans_cache = spans
+        return spans
+
+
+def parse_source_file(path: Path, *, root: Path | None = None) -> SourceFile:
+    """Read, parse, and pre-scan one file for reprolint directives."""
+    text = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        raise LintConfigError(f"cannot parse {path}: {exc}") from exc
+
+    display = _display_path(path, root)
+    module_path = _module_path(path)
+
+    line_suppressions: dict[int, set[str]] = {}
+    file_suppressions: set[str] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _DIRECTIVE.search(line)
+        if match is None:
+            continue
+        kind, value = match.group(1), match.group(2).strip()
+        if kind == "module":
+            module_path = value
+        elif kind == "disable-file":
+            file_suppressions.update(_split_rules(value))
+        else:  # disable
+            target = lineno
+            if line.strip().startswith("#"):
+                # A standalone directive comment guards the next line.
+                target = lineno + 1
+            line_suppressions.setdefault(target, set()).update(_split_rules(value))
+
+    return SourceFile(
+        path=path,
+        display_path=display,
+        text=text,
+        tree=tree,
+        module_path=module_path,
+        line_suppressions=line_suppressions,
+        file_suppressions=file_suppressions,
+    )
+
+
+def _split_rules(value: str) -> set[str]:
+    return {part.strip() for part in value.split(",") if part.strip()}
+
+
+def _display_path(path: Path, root: Path | None) -> str:
+    if root is not None:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def _module_path(path: Path) -> str:
+    """Logical path inside the ``repro`` package, '' when outside it."""
+    parts = path.resolve().parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i + 1 :])
+    return path.name
+
+
+# ----------------------------------------------------------------------
+# rules
+# ----------------------------------------------------------------------
+class Rule:
+    """Base class: one named invariant checked against a parsed file.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding :class:`Finding` objects.  Use :meth:`finding` to stamp
+    location and enclosing symbol consistently.
+    """
+
+    id: str = ""
+    name: str = ""
+    severity: str = "error"
+    description: str = ""
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        """Yield every violation of this rule found in ``src``."""
+        raise NotImplementedError
+
+    def finding(self, src: SourceFile, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` at ``node`` with symbol context."""
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=src.display_path,
+            line=lineno,
+            col=col + 1,
+            message=message,
+            symbol=src.enclosing_symbol(lineno),
+        )
+
+
+RULE_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id:
+        raise LintConfigError(f"rule {cls.__name__} has no id")
+    if cls.id in RULE_REGISTRY:
+        raise LintConfigError(f"duplicate rule id {cls.id}")
+    if cls.severity not in SEVERITIES:
+        raise LintConfigError(f"rule {cls.id} has invalid severity {cls.severity!r}")
+    RULE_REGISTRY[cls.id] = cls()
+    return cls
+
+
+def iter_rules(only: Iterable[str] | None = None) -> list[Rule]:
+    """Registered rules, optionally restricted to ``only`` ids."""
+    if only is None:
+        return [RULE_REGISTRY[rid] for rid in sorted(RULE_REGISTRY)]
+    rules = []
+    for rid in only:
+        if rid not in RULE_REGISTRY:
+            known = ", ".join(sorted(RULE_REGISTRY))
+            raise LintConfigError(f"unknown rule {rid!r} (known: {known})")
+        rules.append(RULE_REGISTRY[rid])
+    return rules
+
+
+def check_file(
+    src: SourceFile, rules: Iterable[Rule] | None = None
+) -> list[Finding]:
+    """Run ``rules`` over one parsed file, honouring suppressions."""
+    out: list[Finding] = []
+    for rule in rules if rules is not None else iter_rules():
+        for finding in rule.check(src):
+            if not src.is_suppressed(finding):
+                out.append(finding)
+    out.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return out
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers used by several rules
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for nested attribute chains, '' when not a name chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def walk_functions(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every (async) function definition in the tree, any nesting."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def names_in(node: ast.AST) -> set[str]:
+    """Every bare/attribute identifier appearing in a subtree."""
+    found: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            found.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            found.add(sub.attr)
+    return found
+
+
+def has_decorator(node: ast.FunctionDef | ast.AsyncFunctionDef, name: str) -> bool:
+    """Whether a decorator named ``name`` (or ``*.name``) is applied."""
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        chain = dotted_name(target)
+        if chain == name or chain.endswith("." + name):
+            return True
+    return False
+
+
+__all__ = [
+    "Finding",
+    "SourceFile",
+    "Rule",
+    "RULE_REGISTRY",
+    "register_rule",
+    "iter_rules",
+    "check_file",
+    "parse_source_file",
+    "LintConfigError",
+    "dotted_name",
+    "names_in",
+    "walk_functions",
+    "has_decorator",
+]

@@ -1,0 +1,647 @@
+"""The ``reprolint`` rule catalogue.
+
+Each rule rejects one bug class that has either bitten this repository or
+is known (ThunderRW, C-SAW, KnightKing) to sink random-walk engines:
+non-reproducible corpora, unaccounted memory, unpicklable worker
+payloads, and de-vectorised hot paths.  ``docs/static_analysis.md`` is
+the user-facing catalogue; keep the two in sync.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from .engine import (
+    Finding,
+    Rule,
+    SourceFile,
+    dotted_name,
+    has_decorator,
+    names_in,
+    register_rule,
+    walk_functions,
+)
+
+# ----------------------------------------------------------------------
+# RNG001 — RNG discipline
+# ----------------------------------------------------------------------
+#: numpy.random attributes that *construct* seeded generators (allowed)
+#: rather than drawing from the hidden global stream (forbidden).
+_NP_RANDOM_ALLOWED = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+@register_rule
+class RngDisciplineRule(Rule):
+    """Randomness must thread an explicit ``numpy.random.Generator``.
+
+    The corpus-hash tests pin walk output across worker counts and cache
+    sizes; one draw from the stdlib ``random`` module or numpy's hidden
+    global state silently breaks that replay contract.
+    """
+
+    id = "RNG001"
+    name = "rng-discipline"
+    description = (
+        "no stdlib `random` and no numpy global-state draws; randomness "
+        "must flow through an explicit numpy.random.Generator"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        random_aliases: set[str] = set()
+        numpy_aliases: set[str] = set()
+        np_random_aliases: set[str] = set()
+
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "random":
+                        random_aliases.add(bound)
+                        yield self.finding(
+                            src,
+                            node,
+                            "stdlib `random` imported; use "
+                            "repro.rng.ensure_rng / spawn_rng instead",
+                        )
+                    elif alias.name == "numpy.random":
+                        np_random_aliases.add(alias.asname or "numpy")
+                        if alias.asname:
+                            np_random_aliases.add(alias.asname)
+                    elif alias.name in ("numpy", "numpy.typing"):
+                        numpy_aliases.add(bound)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        src,
+                        node,
+                        "stdlib `random` imported; use "
+                        "repro.rng.ensure_rng / spawn_rng instead",
+                    )
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name not in _NP_RANDOM_ALLOWED:
+                            yield self.finding(
+                                src,
+                                node,
+                                f"`from numpy.random import {alias.name}` "
+                                "draws from hidden global RNG state; thread "
+                                "a numpy.random.Generator instead",
+                            )
+                elif node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            np_random_aliases.add(alias.asname or "random")
+
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_name(node.func)
+            if not chain:
+                continue
+            head, _, rest = chain.partition(".")
+            if head in random_aliases and rest:
+                yield self.finding(
+                    src,
+                    node,
+                    f"call to stdlib `{chain}`; walk determinism requires "
+                    "an explicit numpy.random.Generator",
+                )
+            elif head in numpy_aliases and rest.startswith("random."):
+                attr = rest.split(".", 2)[1]
+                if attr not in _NP_RANDOM_ALLOWED:
+                    yield self.finding(
+                        src,
+                        node,
+                        f"`{chain}` uses numpy's hidden global RNG; "
+                        "construct a Generator via default_rng and pass "
+                        "it explicitly",
+                    )
+            elif head in np_random_aliases and rest and "." not in rest:
+                if rest not in _NP_RANDOM_ALLOWED:
+                    yield self.finding(
+                        src,
+                        node,
+                        f"`{chain}` uses numpy's hidden global RNG; "
+                        "construct a Generator via default_rng and pass "
+                        "it explicitly",
+                    )
+
+
+# ----------------------------------------------------------------------
+# TIME001 — wall-clock discipline
+# ----------------------------------------------------------------------
+#: modules whose *entire* contents feed checkpoint signatures, corpus
+#: hashes, or seed derivation — wall-clock reads are forbidden anywhere
+#: in them.  ``time.monotonic``/``perf_counter`` stay legal: they
+#: measure durations, they never leak into persisted identity.
+_DETERMINISTIC_MODULES = {
+    "rng.py",
+    "walks/corpus.py",
+    "walks/parallel.py",
+    "resilience/checkpoint.py",
+}
+
+#: elsewhere, only functions whose names suggest identity derivation are
+#: held to the same standard.
+_IDENTITY_FUNCTION = re.compile(
+    r"(signature|fingerprint|digest|_hash|hash_|seed)", re.IGNORECASE
+)
+
+_WALL_CLOCK_CALLS = {
+    "time": {"time", "time_ns", "localtime", "ctime", "gmtime"},
+    "datetime": {"now", "utcnow", "today", "fromtimestamp"},
+    "date": {"now", "utcnow", "today", "fromtimestamp"},
+}
+
+
+@register_rule
+class WallClockRule(Rule):
+    """No wall-clock reads in checkpoint-signature / hash / seed paths.
+
+    A timestamp folded into a checkpoint signature or derived seed makes
+    every resume a cache miss and every rerun a different corpus.
+    """
+
+    id = "TIME001"
+    name = "wall-clock-discipline"
+    description = (
+        "no time.time()/datetime.now() in checkpoint-signature, "
+        "corpus-hash, or seed-derivation code paths"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        whole_module = src.module_path in _DETERMINISTIC_MODULES
+        identity_spans = [
+            (fn.lineno, fn.end_lineno or fn.lineno)
+            for fn in walk_functions(src.tree)
+            if _IDENTITY_FUNCTION.search(fn.name)
+        ]
+
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_name(node.func)
+            if "." not in chain:
+                continue
+            base, attr = chain.rsplit(".", 1)
+            base_tail = base.rsplit(".", 1)[-1]
+            if attr not in _WALL_CLOCK_CALLS.get(base_tail, ()):  # not a wall-clock read
+                continue
+            in_identity = any(
+                start <= node.lineno <= end for start, end in identity_spans
+            )
+            if whole_module or in_identity:
+                where = (
+                    f"deterministic module {src.module_path!r}"
+                    if whole_module
+                    else "identity-deriving function"
+                )
+                yield self.finding(
+                    src,
+                    node,
+                    f"wall-clock read `{chain}()` in {where}; signatures, "
+                    "hashes, and seeds must be pure functions of the run "
+                    "configuration",
+                )
+
+
+# ----------------------------------------------------------------------
+# MP001 — picklability of multiprocessing payloads
+# ----------------------------------------------------------------------
+_MP_MODULES_EXACT = {"walks/parallel.py"}
+_MP_MODULE_PREFIXES = ("distributed/",)
+
+#: callee attribute names that ship their arguments to worker processes.
+_MP_DISPATCH_ATTRS = {
+    "apply_async",
+    "apply",
+    "map",
+    "map_async",
+    "imap",
+    "imap_unordered",
+    "starmap",
+    "starmap_async",
+    "run_pool",
+    "submit",
+}
+_MP_DISPATCH_NAMES = {"Process", "Pool"}
+
+
+@register_rule
+class PicklabilityRule(Rule):
+    """No lambdas or locally-defined functions cross the pool boundary.
+
+    ``multiprocessing`` pickles dispatched callables; lambdas and
+    closures fail only *at runtime*, and only on the pool path the
+    sequential fallback happily skips — the worst kind of latent bug.
+    """
+
+    id = "MP001"
+    name = "picklability"
+    description = (
+        "no lambdas/closures/locally-defined functions handed to "
+        "multiprocessing entry points in walks/parallel.py and distributed/"
+    )
+
+    def _applies(self, src: SourceFile) -> bool:
+        return src.module_path in _MP_MODULES_EXACT or src.module_path.startswith(
+            _MP_MODULE_PREFIXES
+        )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        if not self._applies(src):
+            return
+
+        local_defs: set[str] = set()
+        for fn in walk_functions(src.tree):
+            for node in ast.walk(fn):
+                if (
+                    isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node is not fn
+                ):
+                    local_defs.add(node.name)
+
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_name(node.func)
+            tail = chain.rsplit(".", 1)[-1] if chain else ""
+            dispatches = tail in _MP_DISPATCH_ATTRS and "." in chain
+            constructs = tail in _MP_DISPATCH_NAMES
+            if not (dispatches or constructs):
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Lambda):
+                    yield self.finding(
+                        src,
+                        arg,
+                        f"lambda passed to `{chain}`; lambdas cannot be "
+                        "pickled across the process boundary — use a "
+                        "module-level function",
+                    )
+                elif isinstance(arg, ast.Name) and arg.id in local_defs:
+                    yield self.finding(
+                        src,
+                        arg,
+                        f"locally-defined function `{arg.id}` passed to "
+                        f"`{chain}`; closures cannot be pickled across the "
+                        "process boundary — hoist it to module level",
+                    )
+
+
+# ----------------------------------------------------------------------
+# HOT001 — hot-path purity
+# ----------------------------------------------------------------------
+@register_rule
+class HotPathPurityRule(Rule):
+    """Functions marked ``@hot_path`` must stay vectorised.
+
+    The batch engine's entire speedup is whole-array numpy dispatch; one
+    innocent per-element loop re-introduces the interpreter round-trip
+    the engine exists to remove.  Loops that are genuinely bounded (e.g.
+    a geometrically-shrinking rejection remainder) carry an inline
+    suppression with a justification.
+    """
+
+    id = "HOT001"
+    name = "hot-path-purity"
+    description = (
+        "no per-element Python loops (for/while/comprehensions) inside "
+        "functions marked @hot_path"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for fn in walk_functions(src.tree):
+            if not has_decorator(fn, "hot_path"):
+                continue
+            for node in ast.walk(fn):
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    yield self.finding(
+                        src,
+                        node,
+                        f"`for` loop inside @hot_path `{fn.name}`; "
+                        "vectorise with whole-array numpy operations",
+                    )
+                elif isinstance(node, ast.While):
+                    yield self.finding(
+                        src,
+                        node,
+                        f"`while` loop inside @hot_path `{fn.name}`; "
+                        "vectorise with whole-array numpy operations",
+                    )
+                elif isinstance(
+                    node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+                ):
+                    yield self.finding(
+                        src,
+                        node,
+                        f"comprehension inside @hot_path `{fn.name}`; "
+                        "comprehensions iterate per element — vectorise "
+                        "with whole-array numpy operations",
+                    )
+
+
+# ----------------------------------------------------------------------
+# MEM001 — budget discipline
+# ----------------------------------------------------------------------
+_MEM_MODULES_EXACT = {"framework/node_samplers.py", "walks/cache.py"}
+_MEM_MODULE_PREFIXES = ("sampling/",)
+
+_ALLOC_FUNCS = {
+    "empty",
+    "zeros",
+    "ones",
+    "full",
+    "empty_like",
+    "zeros_like",
+    "ones_like",
+    "full_like",
+}
+
+#: size expressions mentioning these names scale with graph degree —
+#: exactly the allocations the paper's Table 1 cost model accounts for.
+_DEGREE_NAMES = {
+    "degree",
+    "degrees",
+    "num_outcomes",
+    "num_edges",
+    "num_neighbors",
+    "indptr",
+    "out_degree",
+}
+
+#: a build/cache function touching any of these is considered accounted.
+_ACCOUNTING_NAMES = {
+    "memory_bytes",
+    "charge",
+    "can_charge",
+    "release",
+    "MemoryBudget",
+    "MemoryMeter",
+    "nbytes",
+}
+
+
+@register_rule
+class BudgetDisciplineRule(Rule):
+    """Degree-sized allocations in sampler build/cache code must be
+    accounted against the memory model.
+
+    The optimizer's whole value proposition is that modeled bytes equal
+    materialised bytes; an allocation sized by graph degree that never
+    flows through ``memory_bytes``/``MemoryMeter`` silently breaks the
+    budget the user asked for.
+    """
+
+    id = "MEM001"
+    name = "budget-discipline"
+    description = (
+        "degree-sized numpy allocations in sampler build/cache code must "
+        "be accounted (memory_bytes / MemoryBudget / MemoryMeter)"
+    )
+
+    def _applies(self, src: SourceFile) -> bool:
+        return src.module_path in _MEM_MODULES_EXACT or src.module_path.startswith(
+            _MEM_MODULE_PREFIXES
+        )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        if not self._applies(src):
+            return
+
+        accounted_classes: list[tuple[int, int]] = []
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ClassDef):
+                methods = {
+                    sub.name
+                    for sub in node.body
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+                }
+                if "memory_bytes" in methods:
+                    accounted_classes.append(
+                        (node.lineno, node.end_lineno or node.lineno)
+                    )
+
+        accounted_functions = [
+            (fn.lineno, fn.end_lineno or fn.lineno)
+            for fn in walk_functions(src.tree)
+            if names_in(fn) & _ACCOUNTING_NAMES
+        ]
+
+        def is_accounted(lineno: int) -> bool:
+            spans = accounted_classes + accounted_functions
+            return any(start <= lineno <= end for start, end in spans)
+
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            chain = dotted_name(node.func)
+            tail = chain.rsplit(".", 1)[-1] if chain else ""
+            if tail not in _ALLOC_FUNCS:
+                continue
+            size_names = names_in(node.args[0])
+            if not (size_names & _DEGREE_NAMES):
+                continue
+            if is_accounted(node.lineno):
+                continue
+            yield self.finding(
+                src,
+                node,
+                f"degree-sized allocation `{chain}(...)` with no memory "
+                "accounting in scope; route it through memory_bytes() or "
+                "a MemoryBudget/MemoryMeter charge",
+            )
+
+
+# ----------------------------------------------------------------------
+# EXC001 — exception discipline
+# ----------------------------------------------------------------------
+_FORBIDDEN_RAISES = {
+    "BaseException",
+    "Exception",
+    "ValueError",
+    "TypeError",
+    "KeyError",
+    "IndexError",
+    "LookupError",
+    "AttributeError",
+    "RuntimeError",
+    "ArithmeticError",
+    "ZeroDivisionError",
+    "OSError",
+    "IOError",
+    "EnvironmentError",
+}
+
+
+@register_rule
+class ExceptionDisciplineRule(Rule):
+    """No bare ``except:``; raised errors derive from ``ReproError``.
+
+    ``repro.exceptions`` promises callers a single-rooted hierarchy; a
+    stray ``raise ValueError`` breaks every ``except ReproError`` the
+    docstrings told users to write, and a bare ``except:`` swallows
+    ``KeyboardInterrupt`` inside long walk loops.
+    """
+
+    id = "EXC001"
+    name = "exception-discipline"
+    description = (
+        "no bare except:; raised library errors must derive from the "
+        "repro exception hierarchy"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    src,
+                    node,
+                    "bare `except:` swallows KeyboardInterrupt/SystemExit; "
+                    "catch a concrete exception type",
+                )
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                target = node.exc
+                if isinstance(target, ast.Call):
+                    target = target.func
+                chain = dotted_name(target)
+                tail = chain.rsplit(".", 1)[-1] if chain else ""
+                if tail in _FORBIDDEN_RAISES:
+                    yield self.finding(
+                        src,
+                        node,
+                        f"`raise {tail}` escapes the repro exception "
+                        "hierarchy; raise a ReproError subclass from "
+                        "repro.exceptions (bridge classes exist for "
+                        "TypeError/ValueError compatibility)",
+                    )
+
+
+# ----------------------------------------------------------------------
+# DEF001 — no mutable defaults
+# ----------------------------------------------------------------------
+_MUTABLE_FACTORIES = {
+    "list",
+    "dict",
+    "set",
+    "OrderedDict",
+    "defaultdict",
+    "deque",
+    "Counter",
+}
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    """No mutable default argument values.
+
+    A shared default list on a walk API is a cross-call aliasing bug the
+    test suite only catches when two tests happen to share the instance.
+    """
+
+    id = "DEF001"
+    name = "no-mutable-default"
+    description = "no list/dict/set (literals or constructors) as argument defaults"
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for fn in walk_functions(src.tree):
+            defaults = list(fn.args.defaults) + [
+                d for d in fn.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                bad = isinstance(default, (ast.List, ast.Dict, ast.Set))
+                if isinstance(default, ast.Call):
+                    chain = dotted_name(default.func)
+                    tail = chain.rsplit(".", 1)[-1] if chain else ""
+                    bad = bad or tail in _MUTABLE_FACTORIES
+                if bad:
+                    yield self.finding(
+                        src,
+                        default,
+                        f"mutable default in `{fn.name}`; default to None "
+                        "and materialise inside the body",
+                    )
+
+
+# ----------------------------------------------------------------------
+# DOC001 — public-API docstrings
+# ----------------------------------------------------------------------
+@register_rule
+class PublicDocstringRule(Rule):
+    """Public module-level functions, classes, and methods carry
+    docstrings — the repository's API reference is generated from them.
+
+    Methods of classes with explicit base classes are exempt: they
+    implement an interface whose contract is documented once on the base
+    (``pydoc``/``help()`` surface the inherited docstring), and
+    re-stating "see the base class" on every ``sample`` override is
+    noise, not documentation.  The *class* docstring is still required.
+    """
+
+    id = "DOC001"
+    name = "public-api-docstring"
+    severity = "warning"
+    description = (
+        "public functions/classes/methods must have a docstring "
+        "(overrides of documented base interfaces inherit theirs)"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        yield from self._scan(src, src.tree.body, prefix="", skip_methods=False)
+
+    def _scan(
+        self, src: SourceFile, body: list, prefix: str, skip_methods: bool
+    ) -> Iterator[Finding]:
+        for node in body:
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if node.name.startswith("_"):
+                continue
+            kind = "class" if isinstance(node, ast.ClassDef) else "function"
+            if prefix and kind == "function":
+                kind = "method"
+                if skip_methods:
+                    continue
+            if ast.get_docstring(node) is None:
+                yield self.finding(
+                    src,
+                    node,
+                    f"public {kind} `{prefix}{node.name}` has no docstring",
+                )
+            if isinstance(node, ast.ClassDef):
+                inherits = any(
+                    not (isinstance(base, ast.Name) and base.id == "object")
+                    for base in node.bases
+                )
+                yield from self._scan(
+                    src,
+                    node.body,
+                    prefix=f"{prefix}{node.name}.",
+                    skip_methods=inherits,
+                )
+
+
+__all__ = [
+    "RngDisciplineRule",
+    "WallClockRule",
+    "PicklabilityRule",
+    "HotPathPurityRule",
+    "BudgetDisciplineRule",
+    "ExceptionDisciplineRule",
+    "MutableDefaultRule",
+    "PublicDocstringRule",
+]

@@ -1,0 +1,143 @@
+"""File discovery, rule execution, and result assembly for ``reprolint``.
+
+:func:`run_lint` is the programmatic entry point the CLI, the CI job,
+and the self-check test all share: given paths and a baseline it returns
+a :class:`LintResult` splitting findings into *new* (fail the build) and
+*baselined* (grandfathered, listed only on request).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .baseline import Baseline, fingerprint_findings
+from .engine import (
+    Finding,
+    LintConfigError,
+    Rule,
+    SourceFile,
+    check_file,
+    iter_rules,
+    parse_source_file,
+)
+
+#: directories never linted even when nested under a requested path.
+_SKIP_DIRS = {"__pycache__", ".git", ".mypy_cache", ".ruff_cache", "build", "dist"}
+
+
+def discover_files(paths: Sequence["Path | str"]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated ``.py`` list."""
+    seen: dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(sub.parts):
+                    seen.setdefault(sub.resolve(), None)
+        elif path.is_file():
+            seen.setdefault(path.resolve(), None)
+        else:
+            raise LintConfigError(f"no such file or directory: {path}")
+    return sorted(seen)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run over a set of files."""
+
+    files: list[str] = field(default_factory=list)
+    new_findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Clean modulo the baseline — the ``--check`` gate."""
+        return not self.new_findings
+
+    def summary(self) -> str:
+        """One-line human summary for the end of the report."""
+        return (
+            f"{len(self.files)} file(s) checked: "
+            f"{len(self.new_findings)} new finding(s), "
+            f"{len(self.baselined)} baselined, "
+            f"{len(self.stale_baseline)} stale baseline entr(y/ies)"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON payload for ``--format json``."""
+        return {
+            "files_checked": len(self.files),
+            "ok": self.ok,
+            "new_findings": [f.to_dict() for f in self.new_findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "stale_baseline": list(self.stale_baseline),
+        }
+
+
+def run_lint(
+    paths: Sequence["Path | str"],
+    *,
+    rules: Iterable[str] | None = None,
+    baseline: "Baseline | Path | str | None" = None,
+    root: "Path | None" = None,
+) -> tuple[LintResult, "list[tuple[Finding, str]]"]:
+    """Lint ``paths`` and split findings against ``baseline``.
+
+    Returns the :class:`LintResult` plus the full fingerprinted finding
+    list (the raw material for ``--update-baseline``).
+    """
+    selected: list[Rule] = iter_rules(list(rules) if rules is not None else None)
+    if not isinstance(baseline, Baseline):
+        baseline = Baseline.load(baseline)
+    if root is None:
+        # Repo-relative display paths keep baseline fingerprints stable
+        # across checkouts; files outside the root fall back to absolute.
+        root = default_baseline_path().parent
+
+    sources: dict[str, SourceFile] = {}
+    findings: list[Finding] = []
+    files: list[str] = []
+    for path in discover_files(paths):
+        src = parse_source_file(path, root=root)
+        sources[src.display_path] = src
+        files.append(src.display_path)
+        findings.extend(check_file(src, selected))
+
+    fingerprinted = fingerprint_findings(findings, sources)
+    result = LintResult(files=files)
+    matched: set[str] = set()
+    for finding, fingerprint in fingerprinted:
+        if fingerprint in baseline:
+            matched.add(fingerprint)
+            result.baselined.append(finding)
+        else:
+            result.new_findings.append(finding)
+    result.stale_baseline = sorted(
+        fp
+        for fp, entry in baseline.entries.items()
+        if fp not in matched
+        # Only entries for files we actually looked at can be judged
+        # stale; a partial lint (single file) must not report the rest
+        # of the baseline as obsolete.
+        and entry.path in sources
+    )
+    return result, fingerprinted
+
+
+def default_baseline_path(root: "Path | str | None" = None) -> Path:
+    """``reprolint-baseline.json`` at the repository root.
+
+    The root is located by walking up from this file to the directory
+    holding ``pyproject.toml`` — robust to both editable installs and
+    ``PYTHONPATH=src`` execution.  Falls back to the current directory.
+    """
+    if root is not None:
+        return Path(root) / "reprolint-baseline.json"
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").exists():
+            return parent / "reprolint-baseline.json"
+    return Path("reprolint-baseline.json")

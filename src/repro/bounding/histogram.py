@@ -30,10 +30,12 @@ class BoundingHistogram:
 
     @property
     def buckets(self) -> int:
+        """Number of histogram buckets."""
         return len(self.counts)
 
     @property
     def total(self) -> int:
+        """Total number of samples across all buckets."""
         return int(self.counts.sum())
 
     def mode_bucket(self) -> int:

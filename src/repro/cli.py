@@ -15,6 +15,10 @@ Two call styles:
           --param a=0.25 --param b=4
       python -m repro.cli walk graph.txt --budget 5e8 --num-walks 10 \\
           --length 80 --output walks.txt
+
+* developer tooling::
+
+      python -m repro.cli lint --check      # reprolint invariant linter
 """
 
 from __future__ import annotations
@@ -309,6 +313,10 @@ def main(argv: list[str] | None = None) -> int:
     experiment_names = set(available_experiments()) | {"all"}
     if argv and argv[0] in experiment_names:
         return _run_experiments(argv)
+    if argv and argv[0] == "lint":
+        from .analysis.lint import lint_main
+
+        return lint_main(argv[1:])
     if argv and argv[0] in ("info", "optimize", "walk"):
         return _run_tool(argv)
     # Fall through to the experiment parser for its help/error message.

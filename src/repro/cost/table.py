@@ -52,10 +52,12 @@ class CostTable:
 
     @property
     def num_nodes(self) -> int:
+        """Number of graph nodes the table covers."""
         return self.time.shape[0]
 
     @property
     def num_samplers(self) -> int:
+        """Number of candidate sampler kinds per node."""
         return self.time.shape[1]
 
     def min_memory(self) -> float:

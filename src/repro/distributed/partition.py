@@ -140,6 +140,7 @@ class PartitionedFramework:
     # ------------------------------------------------------------------
     @property
     def num_workers(self) -> int:
+        """Number of partitions (one logical worker each)."""
         return len(self.worker_assignments)
 
     @property

@@ -31,6 +31,7 @@ class LogisticClassifier:
 
     @property
     def num_classes(self) -> int:
+        """Number of target classes the classifier was fit on."""
         return self.weights.shape[1]
 
     def predict_proba(self, features: np.ndarray) -> np.ndarray:

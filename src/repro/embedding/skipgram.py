@@ -37,10 +37,12 @@ class SkipGramModel:
 
     @property
     def num_nodes(self) -> int:
+        """Vocabulary size (rows of the embedding matrix)."""
         return self.in_vectors.shape[0]
 
     @property
     def dimensions(self) -> int:
+        """Embedding dimensionality (columns of the matrix)."""
         return self.in_vectors.shape[1]
 
     def vector(self, node: int) -> np.ndarray:

@@ -29,6 +29,24 @@ class SamplerError(ReproError):
     """A sampler was constructed or used incorrectly."""
 
 
+class SamplerConfigError(SamplerError, ValueError):
+    """A sampler received an invalid configuration value.
+
+    Bridges into ``ValueError`` so callers validating arguments with the
+    stdlib idiom (``except ValueError``) keep working while the error
+    stays inside the single-rooted :class:`ReproError` hierarchy.
+    """
+
+
+class RngConfigError(ReproError, TypeError):
+    """An RNG-like argument was not ``None``, an int seed, or a
+    :class:`numpy.random.Generator`.
+
+    Bridges into ``TypeError`` (it is a wrong-type error by nature) while
+    remaining catchable as :class:`ReproError`.
+    """
+
+
 class BoundingConstantError(ReproError):
     """Bounding-constant computation received invalid inputs."""
 

@@ -15,8 +15,6 @@ actual walk task and report wall-clock ``T_s``.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..bounding import compute_bounding_constants
 from ..cost import CostParams, SamplerKind
 from ..datasets import load_dataset

@@ -17,7 +17,7 @@ mid-degree nodes where half-price tables buy most of alias's speed.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

@@ -32,7 +32,7 @@ from ..cost import CostParams, CostTable, SamplerKind, build_cost_table
 from ..exceptions import DegradedRunWarning, OptimizerError, SimulatedOOMError
 from ..graph import CSRGraph
 from ..models import SecondOrderModel
-from ..optimizer import AdaptiveOptimizer, Assignment, degree_greedy, lp_greedy
+from ..optimizer import AdaptiveOptimizer, Assignment, degree_greedy
 from ..optimizer.adaptive import BudgetUpdate
 from ..resilience.degradation import (
     DegradationLog,

@@ -27,7 +27,7 @@ from ..cost import (
     rejection_memory,
     rejection_time,
 )
-from ..exceptions import SamplerError, WalkError
+from ..exceptions import SamplerError
 from ..graph import CSRGraph
 from ..models import SecondOrderModel
 from ..sampling import AliasTable

@@ -1,0 +1,31 @@
+"""The ``@hot_path`` marker for performance-critical vectorised code.
+
+Functions carrying this decorator promise to stay whole-array numpy:
+``reprolint``'s HOT001 rule rejects per-element Python loops inside
+them, so a refactor that quietly de-vectorises a batch-engine step fails
+the lint gate instead of shipping a 10x slowdown.
+
+The decorator itself is intentionally inert at runtime — it only tags
+the function (``__hot_path__``) so both the static analyser and runtime
+introspection can find the promised-fast set.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable[..., object])
+
+
+def hot_path(fn: F) -> F:
+    """Mark ``fn`` as a vectorised hot path (enforced by reprolint HOT001)."""
+    fn.__hot_path__ = True  # type: ignore[attr-defined]
+    return fn
+
+
+def is_hot_path(fn: object) -> bool:
+    """Whether ``fn`` was marked with :func:`hot_path`."""
+    return bool(getattr(fn, "__hot_path__", False))
+
+
+__all__ = ["hot_path", "is_hot_path"]

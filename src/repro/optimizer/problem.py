@@ -39,10 +39,12 @@ class AssignmentProblem:
 
     @property
     def num_nodes(self) -> int:
+        """Number of nodes in the assignment problem."""
         return self.table.num_nodes
 
     @property
     def num_samplers(self) -> int:
+        """Number of candidate sampler kinds per node."""
         return self.table.num_samplers
 
     def saturating_budget(self) -> float:

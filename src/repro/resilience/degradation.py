@@ -68,6 +68,7 @@ class DegradationLog:
         return self.initial_bytes - self.total_reclaimed
 
     def describe(self) -> str:
+        """One-line byte-accurate summary of the whole degradation run."""
         return (
             f"degraded {len(self.events)} sampler(s): "
             f"{self.initial_bytes:.0f}B -> {self.final_bytes:.0f}B "

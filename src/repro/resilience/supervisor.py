@@ -98,6 +98,7 @@ class DeadLetter:
     error: str
 
     def describe(self) -> str:
+        """One-line summary (chunk, attempts, final cause)."""
         span = (
             f"{self.start_nodes[0]}..{self.start_nodes[-1]}"
             if self.start_nodes

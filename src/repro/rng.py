@@ -12,6 +12,7 @@ from typing import Union
 import numpy as np
 
 from .constants import DEFAULT_SEED
+from .exceptions import RngConfigError
 
 RngLike = Union[None, int, np.random.Generator]
 
@@ -29,7 +30,9 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
         return rng
     if isinstance(rng, (int, np.integer)):
         return np.random.default_rng(int(rng))
-    raise TypeError(f"expected None, int, or numpy Generator, got {type(rng)!r}")
+    raise RngConfigError(
+        f"expected None, int, or numpy Generator, got {type(rng)!r}"
+    )
 
 
 def spawn_rng(rng: RngLike, index: int) -> np.random.Generator:

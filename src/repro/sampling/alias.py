@@ -43,17 +43,17 @@ class AliasTable(DiscreteSampler):
         done_prob: list[float] = []
         done_alias: list[int] = []
         while small and large:
-            s = small.pop()
-            l = large.pop()
-            done_idx.append(s)
-            done_prob.append(scaled[s])
-            done_alias.append(l)
-            residual = (scaled[l] + scaled[s]) - 1.0
-            scaled[l] = residual
+            lo = small.pop()
+            hi = large.pop()
+            done_idx.append(lo)
+            done_prob.append(scaled[lo])
+            done_alias.append(hi)
+            residual = (scaled[hi] + scaled[lo]) - 1.0
+            scaled[hi] = residual
             if residual < 1.0:
-                small.append(l)
+                small.append(hi)
             else:
-                large.append(l)
+                large.append(hi)
         if done_idx:
             prob[done_idx] = done_prob
             alias[done_idx] = done_alias

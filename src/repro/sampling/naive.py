@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..exceptions import SamplerConfigError
 from ..rng import RngLike, ensure_rng
 from .base import DiscreteSampler
 from .utils import validate_distribution
@@ -28,7 +29,9 @@ class CumulativeSampler(DiscreteSampler):
     def __init__(self, weights: np.ndarray, *, search: str = "binary") -> None:
         weights = validate_distribution(weights)
         if search not in ("binary", "linear"):
-            raise ValueError(f"search must be 'binary' or 'linear', got {search!r}")
+            raise SamplerConfigError(
+                f"search must be 'binary' or 'linear', got {search!r}"
+            )
         self._cumulative = np.cumsum(weights)
         self._total = float(self._cumulative[-1])
         self._search = search

@@ -45,6 +45,7 @@ from ..exceptions import SamplerError, WalkError
 from ..framework.interfaces import NodeSampler
 from ..framework.node_samplers import AliasNodeSampler, RejectionNodeSampler
 from ..graph import CSRGraph
+from ..hotpath import hot_path
 from ..models import SecondOrderModel
 from ..rng import RngLike, ensure_rng
 from .cache import EdgeStateCache
@@ -354,6 +355,7 @@ class BatchWalkEngine:
     # ------------------------------------------------------------------
     # naive path: segmented inverse-CDF over on-demand distributions
     # ------------------------------------------------------------------
+    @hot_path
     def _n2e_naive(self, sub, current, trails, gen) -> None:
         vs, group, _counts = np.unique(
             current[sub], return_inverse=True, return_counts=True
@@ -374,6 +376,7 @@ class BatchWalkEngine:
         trails[sub, 1] = self.graph.indices[starts[group] + picks]
         self._count("naive", len(vs), len(sub))
 
+    @hot_path
     def _e2e_naive(self, sub, previous, current, trails, t, gen) -> None:
         keys = previous[sub] * self._n + current[sub]
         uk, group, _counts = np.unique(
@@ -427,6 +430,7 @@ class BatchWalkEngine:
             else np.empty(0, dtype=np.float64)
         )
 
+    @hot_path
     def _segmented_inverse_cdf(
         self,
         flat: np.ndarray,
@@ -460,6 +464,7 @@ class BatchWalkEngine:
     # ------------------------------------------------------------------
     # rejection path: frontier-wide vectorised acceptance-rejection
     # ------------------------------------------------------------------
+    @hot_path
     def _e2e_rejection(self, sub, previous, current, trails, t, gen) -> None:
         u_arr = previous[sub]
         v_arr = current[sub]
@@ -517,6 +522,7 @@ class BatchWalkEngine:
     # ------------------------------------------------------------------
     # alias path: gathered pre-built tables, two uniforms per walker
     # ------------------------------------------------------------------
+    @hot_path
     def _e2e_alias(self, sub, previous, current, trails, t, gen) -> None:
         u_arr = previous[sub]
         v_arr = current[sub]
@@ -563,6 +569,7 @@ class BatchWalkEngine:
         )
         trails[sub, t] = self.graph.indices[self.graph.indptr[vs][group] + picks]
 
+    @hot_path
     def _n2e_alias(self, sub, current, trails, gen, bucket) -> None:
         v_arr = current[sub]
         picks = self._flat_alias_pick(
@@ -593,6 +600,7 @@ class BatchWalkEngine:
         return prob_flat, alias_flat, starts_flat, sizes
 
     @staticmethod
+    @hot_path
     def _alias_pick(
         prob_flat, alias_flat, starts_flat, sizes, group, gen
     ) -> np.ndarray:
@@ -606,6 +614,7 @@ class BatchWalkEngine:
         return np.where(keep, columns, alias_flat[flat_pos])
 
     @staticmethod
+    @hot_path
     def _flat_alias_pick(prob_flat, alias_flat, base, sizes, gen) -> np.ndarray:
         """Vectorised Walker draw over the consolidated tables: walker ``w``
         draws from the ``sizes[w]``-wide table starting at ``base[w]``.

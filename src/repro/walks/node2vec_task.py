@@ -24,6 +24,7 @@ class WalkTaskResult:
 
     @property
     def num_walks(self) -> int:
+        """Number of generated walks in the corpus."""
         return len(self.corpus)
 
 

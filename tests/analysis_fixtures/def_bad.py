@@ -1,0 +1,19 @@
+"""DEF001 fixture: mutable defaults, literal and constructor forms."""
+
+
+def collect(walk, acc=[]):  # finding: list literal
+    acc.append(walk)
+    return acc
+
+
+def configure(name, options={}):  # finding: dict literal
+    return dict(options, name=name)
+
+
+def register(node, *, seen=set()):  # finding: set constructor (kw-only)
+    seen.add(node)
+    return seen
+
+
+def with_factory(items=list()):  # finding: list() constructor
+    return items

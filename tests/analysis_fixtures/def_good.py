@@ -1,0 +1,18 @@
+"""DEF001 fixture: None defaults materialised inside the body."""
+
+
+def collect(walk, acc=None):
+    acc = [] if acc is None else acc
+    acc.append(walk)
+    return acc
+
+
+def configure(name, options=None, retries=3, label=""):
+    options = {} if options is None else options
+    return dict(options, name=name)
+
+
+def register(node, *, seen=None):
+    seen = set() if seen is None else seen
+    seen.add(node)
+    return seen

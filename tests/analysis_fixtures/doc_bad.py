@@ -1,0 +1,17 @@
+"""DOC001 fixture: missing docstrings on public API surface."""
+
+
+def undocumented_function(x):  # finding
+    return x + 1
+
+
+class UndocumentedClass:  # finding (class itself)
+    def undocumented_method(self):  # finding (base-less class)
+        return None
+
+
+class Documented:
+    """Documented class whose own method still needs a docstring."""
+
+    def bare_method(self):  # finding
+        return None

@@ -1,0 +1,26 @@
+"""DOC001 fixture: documented surface plus the two exemptions —
+private names and interface overrides (inherited docstrings)."""
+
+
+def documented(x):
+    """Documented public function."""
+    return x + 1
+
+
+def _private(x):  # private: exempt
+    return x - 1
+
+
+class Base:
+    """Documented interface."""
+
+    def sample(self):
+        """Documented once, on the interface."""
+        raise NotImplementedError
+
+
+class Impl(Base):
+    """Override methods inherit the Base docstring (pydoc shows it)."""
+
+    def sample(self):  # override of documented interface: exempt
+        return 42

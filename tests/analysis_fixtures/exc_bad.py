@@ -1,0 +1,19 @@
+"""EXC001 fixture: bare except and builtin raises."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except:  # noqa  (finding: bare except)
+        return None
+
+
+def validate(budget):
+    if budget <= 0:
+        raise ValueError("budget must be positive")  # finding
+
+
+def lookup(table, key):
+    if key not in table:
+        raise KeyError(key)  # finding
+    return table[key]

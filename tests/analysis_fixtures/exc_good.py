@@ -1,0 +1,22 @@
+"""EXC001 fixture: hierarchy-respecting raises, concrete catches."""
+
+from repro.exceptions import OptimizerError, ReproError, SamplerConfigError
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except OSError:
+        return None
+
+
+def validate(budget):
+    if budget <= 0:
+        raise SamplerConfigError("budget must be positive")
+
+
+def solve(problem):
+    try:
+        return problem.solve()
+    except ReproError:
+        raise OptimizerError("optimisation failed") from None

@@ -1,0 +1,24 @@
+"""HOT001 fixture: per-element Python iteration inside @hot_path."""
+
+import numpy as np
+
+from repro.hotpath import hot_path
+
+
+@hot_path
+def step_all(positions, neighbors):
+    out = np.empty_like(positions)
+    for i, pos in enumerate(positions):  # finding: for loop
+        out[i] = neighbors[pos][0]
+    return out
+
+
+@hot_path
+def drain(queue):
+    while queue:  # finding: while loop
+        queue.pop()
+
+
+@hot_path
+def gather(values):
+    return np.array([v + 1 for v in values])  # finding: comprehension

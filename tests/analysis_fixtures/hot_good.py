@@ -1,0 +1,22 @@
+"""HOT001 fixture: whole-array operations only; loops outside @hot_path
+are not this rule's business."""
+
+import numpy as np
+
+from repro.hotpath import hot_path
+
+
+@hot_path
+def step_all(positions, targets, offsets):
+    return targets[offsets[positions]]
+
+
+def warm_up(tables):
+    # Not @hot_path: per-element iteration is fine here.
+    for table in tables:
+        table.build()
+
+
+@hot_path
+def mix(a, b, mask):
+    return np.where(mask, a, b)

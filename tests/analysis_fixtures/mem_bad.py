@@ -1,0 +1,17 @@
+# reprolint: module=sampling/fixture_tables.py
+"""MEM001 fixture: degree-sized allocations with no accounting in scope."""
+
+import numpy as np
+
+
+def build_table(degree):
+    probs = np.empty(degree)  # finding: degree-sized, unaccounted
+    alias = np.zeros(degree, dtype=np.int64)  # finding
+    return probs, alias
+
+
+class UnaccountedTable:
+    """Has no memory_bytes method, so its allocations are findings."""
+
+    def __init__(self, degrees):
+        self.buffers = np.ones(degrees.sum())  # 'degrees' in size expr

@@ -1,0 +1,26 @@
+# reprolint: module=sampling/fixture_tables.py
+"""MEM001 fixture: the same allocations, properly accounted."""
+
+import numpy as np
+
+
+class AccountedTable:
+    """memory_bytes() makes every allocation in the class accounted."""
+
+    def __init__(self, degree):
+        self.probs = np.empty(degree)
+        self.alias = np.zeros(degree, dtype=np.int64)
+
+    def memory_bytes(self):
+        return self.probs.nbytes + self.alias.nbytes
+
+
+def build_charged(degree, meter):
+    buf = np.empty(degree)
+    meter.charge(buf.nbytes)
+    return buf
+
+
+def fixed_size_scratch(n_buckets):
+    # Size does not scale with degree: not this rule's concern.
+    return np.zeros(n_buckets)

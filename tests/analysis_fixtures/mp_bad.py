@@ -1,0 +1,26 @@
+# reprolint: module=walks/parallel.py
+"""MP001 fixture: unpicklable callables crossing the pool boundary."""
+
+import multiprocessing
+
+
+def run_chunks(chunks):
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(lambda c: c * 2, chunks)  # finding: lambda
+
+
+def run_supervised(chunks):
+    def worker(chunk):  # locally defined -> closure, unpicklable
+        return chunk * 2
+
+    with multiprocessing.Pool(2) as pool:
+        return [pool.apply_async(worker, (c,)) for c in chunks]  # finding
+
+
+def spawn_one(chunk):
+    def handler(c):
+        return c
+
+    proc = multiprocessing.Process(target=handler, args=(chunk,))  # finding
+    proc.start()
+    return proc

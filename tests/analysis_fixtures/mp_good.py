@@ -1,0 +1,19 @@
+# reprolint: module=walks/parallel.py
+"""MP001 fixture: module-level worker functions, all picklable."""
+
+import multiprocessing
+
+
+def _worker(chunk):
+    return chunk * 2
+
+
+def run_chunks(chunks):
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(_worker, chunks)
+
+
+def spawn_one(chunk):
+    proc = multiprocessing.Process(target=_worker, args=(chunk,))
+    proc.start()
+    return proc

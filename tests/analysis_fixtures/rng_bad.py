@@ -1,0 +1,18 @@
+"""RNG001 fixture: every ambient-randomness pattern the rule rejects."""
+
+import random  # noqa  (finding 1: stdlib random import)
+
+import numpy as np
+
+
+def shuffled_nodes(nodes):
+    random.shuffle(nodes)  # finding: stdlib random call
+    return nodes
+
+
+def noisy_weights(n):
+    return np.random.rand(n)  # finding: numpy hidden global stream
+
+
+def pick_start():
+    return random.randint(0, 10)  # finding: stdlib random call

@@ -1,0 +1,22 @@
+"""RNG001 fixture: explicit-Generator randomness, all allowed."""
+
+import numpy as np
+from numpy.random import PCG64, Generator, SeedSequence, default_rng
+
+
+def shuffled_nodes(nodes, rng):
+    rng.shuffle(nodes)
+    return nodes
+
+
+def noisy_weights(n, seed):
+    rng = default_rng(seed)
+    return rng.random(n)
+
+
+def spawn(seed, n):
+    return [Generator(PCG64(s)) for s in SeedSequence(seed).spawn(n)]
+
+
+def deterministic_array(n):
+    return np.zeros(n)

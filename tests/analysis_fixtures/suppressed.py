@@ -1,0 +1,22 @@
+"""Suppression fixture: each DEF001 violation is silenced a different way.
+
+Linted with DEF001 only, this file must produce exactly one finding —
+the deliberately unsuppressed ``leak`` function at the bottom.
+"""
+
+
+def same_line(acc=[]):  # reprolint: disable=DEF001
+    return acc
+
+
+# reprolint: disable=DEF001
+def next_line(acc=[]):
+    return acc
+
+
+def multi_rule(acc=[]):  # reprolint: disable=DEF001,EXC001
+    return acc
+
+
+def leak(acc=[]):  # the one finding this file should produce
+    return acc

@@ -1,0 +1,15 @@
+# reprolint: disable-file=DEF001
+"""Suppression fixture: a file-wide directive silences every DEF001
+finding regardless of position, but leaves other rules running."""
+
+
+def first(acc=[]):
+    return acc
+
+
+def second(options={}):
+    return options
+
+
+def still_raises():  # EXC001 must still fire despite the DEF001 directive
+    raise ValueError("not suppressed")

@@ -1,0 +1,17 @@
+# reprolint: module=walks/corpus.py
+"""TIME001 fixture: wall-clock reads in a deterministic module.
+
+The ``module=`` directive makes this file impersonate ``walks/corpus.py``,
+one of the modules where *any* wall-clock read is a finding.
+"""
+
+import time
+from datetime import datetime
+
+
+def corpus_header():
+    return {"created": time.time()}  # finding: wall clock in det. module
+
+
+def corpus_stamp():
+    return datetime.now().isoformat()  # finding: wall clock in det. module

@@ -1,0 +1,16 @@
+"""TIME001 fixture: wall clock inside an identity-deriving function.
+
+No ``module=`` directive — this exercises the name-based path: functions
+whose names look like signature/hash/seed derivation are held to the
+wall-clock ban even outside the deterministic modules.
+"""
+
+import time
+
+
+def checkpoint_signature(config):
+    return (tuple(sorted(config.items())), time.time())  # finding
+
+
+def derive_seed(base):
+    return base ^ time.time_ns()  # finding

@@ -1,0 +1,18 @@
+# reprolint: module=walks/corpus.py
+"""TIME001 fixture: duration measurement is legal even in deterministic
+modules (monotonic clocks never leak into persisted identity), and wall
+clocks are legal in functions that do not derive identity."""
+
+import time
+
+
+def timed_build(build):
+    started = time.perf_counter()
+    result = build()
+    return result, time.perf_counter() - started
+
+
+def wait_a_bit():
+    deadline = time.monotonic() + 0.1
+    while time.monotonic() < deadline:
+        pass

@@ -1,0 +1,328 @@
+"""Tests for the ``reprolint`` static analyser itself.
+
+Per-rule positive/negative fixtures live in ``tests/analysis_fixtures/``
+(deliberately *not* named ``test_*.py`` so pytest never collects them,
+and excluded from ruff — they exist to be parsed, not imported).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    Baseline,
+    Finding,
+    LintConfigError,
+    iter_rules,
+    lint_main,
+    run_lint,
+)
+from repro.analysis.lint.baseline import BaselineEntry
+from repro.analysis.lint.engine import RULE_REGISTRY, Rule, register_rule
+from repro.analysis.lint.runner import default_baseline_path, discover_files
+
+FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
+REPO_ROOT = default_baseline_path().parent
+
+
+def lint_fixture(name, rules):
+    """Lint one fixture file with selected rules and no baseline."""
+    result, _ = run_lint(
+        [FIXTURES / name], rules=rules, baseline=Baseline(), root=FIXTURES
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# per-rule detection: bad fixture fires, good fixture stays silent
+# ----------------------------------------------------------------------
+RULE_CASES = [
+    ("RNG001", "rng_bad.py", "rng_good.py", 4),
+    ("TIME001", "time_bad.py", "time_good.py", 2),
+    ("TIME001", "time_bad_identity.py", "time_good.py", 2),
+    ("MP001", "mp_bad.py", "mp_good.py", 3),
+    ("HOT001", "hot_bad.py", "hot_good.py", 3),
+    ("MEM001", "mem_bad.py", "mem_good.py", 3),
+    ("EXC001", "exc_bad.py", "exc_good.py", 3),
+    ("DEF001", "def_bad.py", "def_good.py", 4),
+    ("DOC001", "doc_bad.py", "doc_good.py", 4),
+]
+
+
+@pytest.mark.parametrize("rule_id,bad,good,count", RULE_CASES)
+def test_rule_fires_on_bad_fixture(rule_id, bad, good, count):
+    result = lint_fixture(bad, [rule_id])
+    assert len(result.new_findings) == count
+    assert all(f.rule == rule_id for f in result.new_findings)
+
+
+@pytest.mark.parametrize("rule_id,bad,good,count", RULE_CASES)
+def test_rule_silent_on_good_fixture(rule_id, bad, good, count):
+    result = lint_fixture(good, [rule_id])
+    assert result.new_findings == []
+
+
+@pytest.mark.parametrize("rule_id,bad,good,count", RULE_CASES)
+def test_cli_exits_nonzero_on_bad_fixture(rule_id, bad, good, count):
+    argv = [str(FIXTURES / bad), "--no-baseline", "--check", "--rules", rule_id]
+    assert lint_main(argv) == 1
+    argv = [str(FIXTURES / good), "--no-baseline", "--check", "--rules", rule_id]
+    assert lint_main(argv) == 0
+
+
+def test_findings_carry_location_and_symbol():
+    result = lint_fixture("def_bad.py", ["DEF001"])
+    finding = result.new_findings[0]
+    assert finding.path.endswith("def_bad.py")
+    assert finding.line > 1
+    assert finding.symbol == "collect"
+    rendered = finding.render()
+    assert "DEF001" in rendered and "def_bad.py" in rendered
+
+
+# ----------------------------------------------------------------------
+# suppression directives
+# ----------------------------------------------------------------------
+def test_inline_and_next_line_suppressions():
+    result = lint_fixture("suppressed.py", ["DEF001"])
+    assert len(result.new_findings) == 1
+    assert result.new_findings[0].symbol == "leak"
+
+
+def test_file_wide_suppression_is_rule_scoped():
+    result = lint_fixture("suppressed_file.py", ["DEF001", "EXC001"])
+    rules_fired = [f.rule for f in result.new_findings]
+    assert rules_fired == ["EXC001"]  # DEF001 silenced file-wide
+
+
+def test_module_directive_scopes_module_rules(tmp_path):
+    body = "import multiprocessing\n\n\ndef go(xs):\n"
+    body += "    with multiprocessing.Pool(2) as pool:\n"
+    body += "        return pool.map(lambda x: x, xs)\n"
+    plain = tmp_path / "plain.py"
+    plain.write_text(body)
+    # Without the directive the file is outside MP001's module scope.
+    result, _ = run_lint([plain], rules=["MP001"], baseline=Baseline(), root=tmp_path)
+    assert result.new_findings == []
+    scoped = tmp_path / "scoped.py"
+    scoped.write_text("# reprolint: module=walks/parallel.py\n" + body)
+    result, _ = run_lint([scoped], rules=["MP001"], baseline=Baseline(), root=tmp_path)
+    assert len(result.new_findings) == 1
+
+
+# ----------------------------------------------------------------------
+# baseline round-trip and staleness
+# ----------------------------------------------------------------------
+def test_baseline_round_trip(tmp_path):
+    target = tmp_path / "module.py"
+    target.write_text('"""Doc."""\n\n\ndef f(acc=[]):\n    return acc\n')
+
+    result, fingerprinted = run_lint(
+        [target], rules=["DEF001"], baseline=Baseline(), root=tmp_path
+    )
+    assert len(result.new_findings) == 1
+
+    baseline = Baseline.from_findings(fingerprinted)
+    baseline_path = tmp_path / "baseline.json"
+    baseline.save(baseline_path)
+    loaded = Baseline.load(baseline_path)
+    assert len(loaded) == 1
+    (entry,) = loaded.entries.values()
+    assert entry.rule == "DEF001"
+    assert entry.justification == "TODO: justify or fix"
+
+    # Same file, baseline applied: clean.
+    result, _ = run_lint([target], rules=["DEF001"], baseline=loaded, root=tmp_path)
+    assert result.ok
+    assert len(result.baselined) == 1 and not result.stale_baseline
+
+    # Fingerprints key on line *text*, not line number: edits above the
+    # grandfathered finding must not invalidate the baseline.
+    target.write_text(
+        '"""Doc."""\n\n# an unrelated comment\n# pushing lines down\n\n'
+        "def f(acc=[]):\n    return acc\n"
+    )
+    result, _ = run_lint([target], rules=["DEF001"], baseline=loaded, root=tmp_path)
+    assert result.ok and len(result.baselined) == 1
+
+    # Fixing the violation turns the entry stale.
+    target.write_text('"""Doc."""\n\n\ndef f(acc=None):\n    return acc\n')
+    result, _ = run_lint([target], rules=["DEF001"], baseline=loaded, root=tmp_path)
+    assert result.ok  # no *new* findings...
+    assert len(result.stale_baseline) == 1  # ...but --check still fails
+
+
+def test_baseline_preserves_justifications(tmp_path):
+    target = tmp_path / "module.py"
+    target.write_text('"""Doc."""\n\n\ndef f(acc=[]):\n    return acc\n')
+    _, fingerprinted = run_lint(
+        [target], rules=["DEF001"], baseline=Baseline(), root=tmp_path
+    )
+    first = Baseline.from_findings(fingerprinted)
+    (fp,) = first.entries
+    first.entries[fp].justification = "intentional shared accumulator"
+    regenerated = Baseline.from_findings(fingerprinted, previous=first)
+    assert regenerated.entries[fp].justification == "intentional shared accumulator"
+
+
+def test_baseline_rejects_unknown_version(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text(json.dumps({"version": 99, "findings": []}))
+    with pytest.raises(LintConfigError):
+        Baseline.load(bad)
+
+
+def test_duplicate_line_text_fingerprints_differ():
+    finding = Finding(
+        rule="DEF001", severity="error", path="a.py", line=1, col=1, message="m"
+    )
+    assert finding.fingerprint("def f(acc=[]):", 0) != finding.fingerprint(
+        "def f(acc=[]):", 1
+    )
+    # ...and the line number itself never enters the hash.
+    moved = Finding(
+        rule="DEF001", severity="error", path="a.py", line=99, col=1, message="m"
+    )
+    assert finding.fingerprint("def f(acc=[]):", 0) == moved.fingerprint(
+        "def f(acc=[]):", 0
+    )
+
+
+def test_partial_lint_does_not_mark_other_files_stale(tmp_path):
+    linted = tmp_path / "linted.py"
+    linted.write_text('"""Doc."""\n')
+    baseline = Baseline(
+        entries={
+            "deadbeefdeadbeef": BaselineEntry(
+                fingerprint="deadbeefdeadbeef",
+                rule="DEF001",
+                path="somewhere/else.py",
+            )
+        }
+    )
+    result, _ = run_lint([linted], rules=["DEF001"], baseline=baseline, root=tmp_path)
+    assert result.ok and not result.stale_baseline
+
+
+# ----------------------------------------------------------------------
+# engine plumbing
+# ----------------------------------------------------------------------
+def test_unknown_rule_id_raises():
+    with pytest.raises(LintConfigError):
+        iter_rules(["NOPE999"])
+
+
+def test_duplicate_rule_registration_rejected():
+    class Clone(Rule):
+        id = "RNG001"
+        name = "clone"
+        description = "duplicate"
+
+    with pytest.raises(LintConfigError):
+        register_rule(Clone)
+    assert type(RULE_REGISTRY["RNG001"]).__name__ == "RngDisciplineRule"
+
+
+def test_discover_files_skips_caches(tmp_path):
+    (tmp_path / "__pycache__").mkdir()
+    (tmp_path / "__pycache__" / "junk.py").write_text("x = 1\n")
+    (tmp_path / "real.py").write_text("x = 1\n")
+    files = discover_files([tmp_path])
+    assert [f.name for f in files] == ["real.py"]
+
+
+def test_discover_files_missing_path_raises():
+    with pytest.raises(LintConfigError):
+        discover_files([FIXTURES / "does_not_exist.py"])
+
+
+def test_expected_rule_catalogue():
+    expected = {
+        "RNG001",
+        "TIME001",
+        "MP001",
+        "HOT001",
+        "MEM001",
+        "EXC001",
+        "DEF001",
+        "DOC001",
+    }
+    assert expected <= set(RULE_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in RULE_REGISTRY:
+        assert rule_id in out
+
+
+def test_cli_json_format(capsys):
+    argv = [
+        str(FIXTURES / "def_bad.py"),
+        "--no-baseline",
+        "--rules",
+        "DEF001",
+        "--format",
+        "json",
+    ]
+    assert lint_main(argv) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["files_checked"] == 1
+    assert len(payload["new_findings"]) == 4
+    assert all(f["rule"] == "DEF001" for f in payload["new_findings"])
+
+
+def test_cli_unknown_rule_is_config_error():
+    assert lint_main(["--rules", "NOPE999", str(FIXTURES / "def_good.py")]) == 2
+
+
+def test_cli_missing_path_is_config_error(tmp_path):
+    assert lint_main([str(tmp_path / "missing.py")]) == 2
+
+
+def test_cli_update_baseline_round_trip(tmp_path, capsys):
+    target = tmp_path / "module.py"
+    target.write_text('"""Doc."""\n\n\ndef f(acc=[]):\n    return acc\n')
+    baseline_path = tmp_path / "baseline.json"
+    argv = [
+        str(target),
+        "--rules",
+        "DEF001",
+        "--baseline",
+        str(baseline_path),
+    ]
+    assert lint_main(argv + ["--update-baseline"]) == 0
+    assert baseline_path.exists()
+    capsys.readouterr()
+    # With the freshly written baseline the same lint is clean.
+    assert lint_main(argv + ["--check"]) == 0
+
+
+# ----------------------------------------------------------------------
+# self-check: the linter's own verdict on this repository
+# ----------------------------------------------------------------------
+def test_self_check_src_repro_clean_modulo_baseline():
+    result, _ = run_lint(
+        [REPO_ROOT / "src" / "repro"], baseline=default_baseline_path()
+    )
+    assert result.new_findings == [], "\n".join(
+        f.render() for f in result.new_findings
+    )
+    assert result.stale_baseline == []
+    # The one grandfathered finding (bounded rejection loop) is present
+    # and justified.
+    assert len(result.baselined) == 1
+    assert result.baselined[0].rule == "HOT001"
+
+
+def test_committed_baseline_entries_are_justified():
+    baseline = Baseline.load(default_baseline_path())
+    for entry in baseline.entries.values():
+        assert entry.justification
+        assert "TODO" not in entry.justification
