@@ -30,6 +30,7 @@ from .exceptions import (
     CostModelError,
     DatasetError,
     DegradedRunWarning,
+    DeterminismError,
     DistributionError,
     GraphFormatError,
     InfeasibleBudgetError,
@@ -187,6 +188,7 @@ __all__ = [
     "ChunkFailure",
     "InjectedFaultError",
     "CheckpointError",
+    "DeterminismError",
     "DegradedRunWarning",
     "DatasetError",
 ]

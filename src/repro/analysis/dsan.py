@@ -1,0 +1,355 @@
+"""Runtime determinism sanitizer ("DSan") for chunked walk generation.
+
+The static FLOW passes argue that RNG streams cannot leak across worker
+boundaries; this module provides the *dynamic* evidence.  When enabled
+(``REPRO_DSAN=1`` in the environment, or ``dsan=True`` on the walk
+APIs), every worker chunk draws from a :class:`RecordingGenerator` — a
+``numpy.random.Generator`` subclass that produces the **bit-identical
+stream** of a plain ``default_rng(seed)`` while recording, per chunk:
+
+* the total number of sampling calls (the *draw count*);
+* a SHA-1 *draw-order digest* folding each call's method name, result
+  shape, and result bytes — any reordering, extra draw, or value change
+  anywhere in the stream changes the digest;
+* a per-kernel draw attribution (which ``@hot_path`` kernel issued each
+  draw), via :func:`repro.hotpath.current_kernel`.
+
+The per-chunk fingerprints travel back to the parent with the walks and
+land in ``WalkCorpus.metadata["dsan"]``.  Because chunk seeds are drawn
+up-front, the fingerprint of chunk *i* must be identical no matter how
+many workers run, which worker executes it, or whether it was retried —
+:func:`verify_reports` checks exactly that and raises
+:class:`~repro.exceptions.DeterminismError` on divergence (TSan-style:
+loud, specific, and fatal).
+
+Import discipline: this module must not import ``repro.walks`` (the
+walk layer imports *it*); only numpy, the stdlib, :mod:`repro.hotpath`
+and :mod:`repro.exceptions` are allowed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from ..exceptions import DeterminismError
+from ..hotpath import current_kernel, set_kernel_observation
+
+#: Environment switch; any value other than empty/"0"/"false"/"no" enables.
+DSAN_ENV = "REPRO_DSAN"
+
+#: Attribution bucket for draws issued outside any ``@hot_path`` kernel.
+_OUTSIDE_KERNEL = "<chunk>"
+
+
+def dsan_enabled(flag: "bool | None" = None) -> bool:
+    """Resolve the effective sanitizer switch.
+
+    An explicit ``flag`` wins; ``None`` defers to the ``REPRO_DSAN``
+    environment variable so a whole test suite can be sanitized with
+    ``REPRO_DSAN=1 pytest`` and zero code changes.
+    """
+    if flag is not None:
+        return bool(flag)
+    return os.environ.get(DSAN_ENV, "").strip().lower() not in (
+        "",
+        "0",
+        "false",
+        "no",
+    )
+
+
+class RecordingGenerator(np.random.Generator):
+    """Drop-in ``default_rng(seed)`` that fingerprints its own stream.
+
+    Subclassing (rather than wrapping) matters twice over: ``isinstance``
+    checks in :func:`repro.rng.ensure_rng` pass the generator through
+    untouched, and the underlying ``PCG64`` stream is *the same object*
+    a plain ``default_rng(seed)`` would drive — recording changes what
+    is observed, never what is drawn.
+    """
+
+    #: Generator methods that consume the stream and get recorded.
+    _RECORDED = (
+        "random",
+        "integers",
+        "choice",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "exponential",
+        "standard_exponential",
+        "geometric",
+        "poisson",
+        "binomial",
+        "multinomial",
+        "gamma",
+        "standard_gamma",
+        "beta",
+        "permutation",
+        "permuted",
+        "bytes",
+    )
+
+    def __init__(self, seed: int) -> None:
+        super().__init__(np.random.PCG64(int(seed)))
+        self._dsan_seed = int(seed)
+        self._dsan_draws = 0
+        self._dsan_digest = hashlib.sha1()
+        self._dsan_kernels: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _dsan_record(self, method: str, result: Any) -> None:
+        self._dsan_draws += 1
+        kernel = current_kernel() or _OUTSIDE_KERNEL
+        self._dsan_kernels[kernel] = self._dsan_kernels.get(kernel, 0) + 1
+        digest = self._dsan_digest
+        digest.update(method.encode("ascii"))
+        if isinstance(result, bytes):
+            digest.update(result)
+            return
+        arr = np.asarray(result)
+        digest.update(repr(arr.shape).encode("ascii"))
+        digest.update(arr.dtype.str.encode("ascii"))
+        digest.update(np.ascontiguousarray(arr).tobytes())
+
+    def fingerprint(self, index: int) -> "ChunkFingerprint":
+        """Snapshot this generator's stream consumption for chunk ``index``."""
+        return ChunkFingerprint(
+            index=int(index),
+            seed=self._dsan_seed,
+            draws=self._dsan_draws,
+            digest=self._dsan_digest.hexdigest(),
+            kernels=tuple(sorted(self._dsan_kernels.items())),
+        )
+
+
+def _recording(method: str):
+    base = getattr(np.random.Generator, method)
+
+    def recorded(self: RecordingGenerator, *args: Any, **kwargs: Any) -> Any:
+        result = base(self, *args, **kwargs)
+        self._dsan_record(method, result)
+        return result
+
+    recorded.__name__ = method
+    recorded.__doc__ = base.__doc__
+    return recorded
+
+
+for _method in RecordingGenerator._RECORDED:
+    setattr(RecordingGenerator, _method, _recording(_method))
+del _method
+
+
+def _recorded_shuffle(
+    self: RecordingGenerator, x: Any, axis: int = 0
+) -> None:
+    # shuffle mutates in place and returns None; record the permuted
+    # content, which pins both the draw and its effect.
+    np.random.Generator.shuffle(self, x, axis=axis)
+    self._dsan_record("shuffle", x)
+
+
+RecordingGenerator.shuffle = _recorded_shuffle  # type: ignore[assignment]
+
+
+# ----------------------------------------------------------------------
+# fingerprints and reports
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChunkFingerprint:
+    """What one chunk did to its RNG stream, in replayable detail."""
+
+    index: int
+    seed: int
+    draws: int
+    digest: str
+    kernels: tuple = ()
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (kernel attribution as a plain dict)."""
+        return {
+            "index": self.index,
+            "seed": self.seed,
+            "draws": self.draws,
+            "digest": self.digest,
+            "kernels": {name: count for name, count in self.kernels},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ChunkFingerprint":
+        """Rebuild a fingerprint from :meth:`to_dict` output."""
+        return cls(
+            index=int(payload["index"]),
+            seed=int(payload["seed"]),
+            draws=int(payload["draws"]),
+            digest=str(payload["digest"]),
+            kernels=tuple(sorted(dict(payload.get("kernels", {})).items())),
+        )
+
+    def describe_difference(self, other: "ChunkFingerprint") -> str:
+        """Human-readable account of how ``other`` diverges from ``self``."""
+        parts: list[str] = []
+        if self.seed != other.seed:
+            parts.append(f"seed {self.seed} vs {other.seed}")
+        if self.draws != other.draws:
+            parts.append(f"draw count {self.draws} vs {other.draws}")
+        ours, theirs = dict(self.kernels), dict(other.kernels)
+        for kernel in sorted(set(ours) | set(theirs)):
+            a, b = ours.get(kernel, 0), theirs.get(kernel, 0)
+            if a != b:
+                parts.append(f"{kernel}: {a} vs {b} draws")
+        if not parts and self.digest != other.digest:
+            parts.append(
+                "identical draw counts but different draw-order digest "
+                f"({self.digest[:12]} vs {other.digest[:12]})"
+            )
+        return f"chunk {self.index}: " + ", ".join(parts)
+
+
+@dataclass
+class DsanReport:
+    """Per-chunk fingerprints of one instrumented run."""
+
+    fingerprints: dict[int, ChunkFingerprint] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    def record(self, fingerprint: ChunkFingerprint) -> None:
+        """Add (or replace) the fingerprint for one chunk index."""
+        self.fingerprints[fingerprint.index] = fingerprint
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+    @property
+    def total_draws(self) -> int:
+        """Total RNG draws across every fingerprinted chunk."""
+        return sum(fp.draws for fp in self.fingerprints.values())
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload with chunks in index order."""
+        return {
+            "version": 1,
+            "meta": dict(self.meta),
+            "total_draws": self.total_draws,
+            "chunks": [
+                self.fingerprints[i].to_dict()
+                for i in sorted(self.fingerprints)
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DsanReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        report = cls(meta=dict(payload.get("meta", {})))
+        for chunk in payload.get("chunks", []):
+            report.record(ChunkFingerprint.from_dict(chunk))
+        return report
+
+    def save(self, path: "str | os.PathLike") -> None:
+        """Write the report as pretty-printed JSON (the CI artifact)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: "str | os.PathLike") -> "DsanReport":
+        """Read a report previously written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def diff_reports(
+    expected: DsanReport, actual: DsanReport
+) -> list[str]:
+    """Chunk-level divergences between two reports (empty = identical).
+
+    Only chunks present in *both* reports are compared — a resumed run
+    replays checkpointed chunks without re-drawing their streams, so
+    missing entries are legitimate, but a shared chunk index with a
+    different fingerprint never is.
+    """
+    divergences: list[str] = []
+    shared = sorted(set(expected.fingerprints) & set(actual.fingerprints))
+    for index in shared:
+        a, b = expected.fingerprints[index], actual.fingerprints[index]
+        if a != b:
+            divergences.append(a.describe_difference(b))
+    return divergences
+
+
+def verify_reports(
+    expected: DsanReport,
+    actual: DsanReport,
+    *,
+    detail: str = "",
+) -> None:
+    """Raise :class:`DeterminismError` if shared chunks diverge."""
+    divergences = diff_reports(expected, actual)
+    if divergences:
+        raise DeterminismError(divergences, detail=detail)
+
+
+# ----------------------------------------------------------------------
+# worker-side instrumentation surface
+# ----------------------------------------------------------------------
+@dataclass
+class DsanChunkResult:
+    """Worker return value when the sanitizer is active: walks + evidence."""
+
+    walks: list
+    fingerprint: ChunkFingerprint
+
+
+def make_chunk_rng(seed: int, *, dsan: bool) -> np.random.Generator:
+    """The per-chunk generator: recording when sanitized, plain otherwise.
+
+    Both paths drive an identically seeded ``PCG64``, so enabling the
+    sanitizer never changes a single sampled value — only whether the
+    stream is fingerprinted.  Kernel observation is switched on with the
+    first recording generator of the process (fork-inherited workers
+    each flip their own copy).
+    """
+    if not dsan:
+        return np.random.default_rng(int(seed))
+    set_kernel_observation(True)
+    return RecordingGenerator(int(seed))
+
+
+def unwrap_chunk_result(result: Any) -> tuple:
+    """Split a worker result into ``(walks, fingerprint-or-None)``."""
+    if isinstance(result, DsanChunkResult):
+        return result.walks, result.fingerprint
+    return result, None
+
+
+def collect_report(
+    results: Iterable, meta: "Mapping[str, Any] | None" = None
+) -> DsanReport:
+    """Assemble a :class:`DsanReport` from unwrapped chunk fingerprints."""
+    report = DsanReport(meta=dict(meta or {}))
+    for item in results:
+        if isinstance(item, ChunkFingerprint):
+            report.record(item)
+    return report
+
+
+__all__ = [
+    "DSAN_ENV",
+    "dsan_enabled",
+    "RecordingGenerator",
+    "ChunkFingerprint",
+    "DsanReport",
+    "DsanChunkResult",
+    "diff_reports",
+    "verify_reports",
+    "make_chunk_rng",
+    "unwrap_chunk_result",
+    "collect_report",
+]

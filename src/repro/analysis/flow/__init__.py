@@ -1,0 +1,44 @@
+"""``reproflow`` — interprocedural dataflow passes on top of ``reprolint``.
+
+Where the per-file rules in :mod:`repro.analysis.lint.rules` reject
+*local* mistakes (a stray ``random.random()``, a loop in a hot path),
+the flow passes reason about the **whole program**: a module-level call
+graph of ``src/repro`` plus name-based dataflow lets them follow a
+generator, an allocation, or a mutation across function and file
+boundaries — exactly the leaks that sank other parallel walk engines
+(RNG streams crossing worker boundaries, shared state mutated from
+sibling chunks, degree-sized tables materialised outside the budget).
+
+Three passes, emitted through the ordinary ``Finding``/baseline/CLI
+machinery (``repro lint --flow``):
+
+* **FLOW-RNG** — RNG provenance: generators reaching sampling calls must
+  trace back to :mod:`repro.rng` seed derivation; live generator state
+  must not cross a process-pool boundary; ``@hot_path`` kernels draw
+  only from their passed-in generator.
+* **FLOW-MEM** — escape analysis: degree-/edge-sized allocations that
+  outlive their frame must be charged to the memory accounting.
+* **FLOW-MUT** — cross-process mutation: no writes to module-global
+  state from functions reachable from a worker entry point.
+"""
+
+from .callgraph import CallGraph, FunctionInfo, Program, build_program
+from .rules import (
+    FLOW_RULE_REGISTRY,
+    FlowRule,
+    check_program,
+    iter_flow_rules,
+    register_flow_rule,
+)
+
+__all__ = [
+    "CallGraph",
+    "FunctionInfo",
+    "Program",
+    "build_program",
+    "FlowRule",
+    "FLOW_RULE_REGISTRY",
+    "register_flow_rule",
+    "iter_flow_rules",
+    "check_program",
+]

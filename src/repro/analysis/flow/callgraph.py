@@ -1,0 +1,395 @@
+"""Whole-program model for the flow passes: functions, classes, calls.
+
+The flow rules need three things the per-file lint engine cannot give
+them: *who calls whom* across modules, *which names a module binds at
+import time*, and *which functions end up executing inside worker
+processes*.  :func:`build_program` assembles all three from the already
+parsed :class:`~repro.analysis.lint.engine.SourceFile` set.
+
+Resolution is deliberately name-based and best-effort — the same
+compromise every Python call-graph tool makes.  Unresolvable calls
+(into numpy, the stdlib, or through dynamic attributes) simply produce
+no edge; the passes are written so a missing edge can only *mask* a
+finding, never invent one.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..lint.engine import SourceFile, dotted_name
+
+#: pool/executor attribute calls that ship their callable (and its
+#: arguments) to another process.
+DISPATCH_ATTRS = {
+    "apply_async",
+    "apply",
+    "map",
+    "map_async",
+    "imap",
+    "imap_unordered",
+    "starmap",
+    "starmap_async",
+    "submit",
+}
+
+#: bare constructor names that spawn worker processes directly.
+DISPATCH_CONSTRUCTORS = {"Process", "Pool", "ProcessPoolExecutor"}
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the program."""
+
+    qid: str
+    name: str
+    qualname: str
+    module: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    src: SourceFile
+    cls: str | None = None
+    hot_path: bool = False
+
+    @property
+    def params(self) -> list[str]:
+        """Positional + keyword parameter names, in declaration order."""
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return names
+
+    def body_nodes(self) -> Iterator[ast.AST]:
+        """Every AST node of this function's own body, *excluding* the
+        bodies of nested function/class definitions (those are separate
+        :class:`FunctionInfo` entries reached through call edges)."""
+        stack: list[ast.AST] = list(self.node.body)
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    continue
+                stack.append(child)
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus its directly defined method names."""
+
+    qid: str
+    name: str
+    module: str
+    node: ast.ClassDef
+    src: SourceFile
+    methods: dict[str, str] = field(default_factory=dict)  # name -> fn qid
+
+
+@dataclass
+class CallSite:
+    """One resolved-or-not call expression inside a function body."""
+
+    caller: str  # FunctionInfo qid ('' for module top level)
+    node: ast.Call
+    chain: str  # dotted callee text, '' when not a name chain
+    callees: tuple[str, ...]  # resolved FunctionInfo qids (may be empty)
+    src: SourceFile
+
+
+class CallGraph:
+    """Forward/reverse call edges over :class:`FunctionInfo` qids."""
+
+    def __init__(self) -> None:
+        self.calls: dict[str, set[str]] = {}
+        self.callers: dict[str, set[str]] = {}
+
+    def add_edge(self, caller: str, callee: str) -> None:
+        """Record ``caller -> callee``."""
+        self.calls.setdefault(caller, set()).add(callee)
+        self.callers.setdefault(callee, set()).add(caller)
+
+    def reachable_from(self, seeds: "set[str] | list[str]") -> set[str]:
+        """Transitive closure of ``seeds`` under the forward edges."""
+        seen: set[str] = set()
+        stack = list(seeds)
+        while stack:
+            qid = stack.pop()
+            if qid in seen:
+                continue
+            seen.add(qid)
+            stack.extend(self.calls.get(qid, ()))
+        return seen
+
+
+class Program:
+    """The parsed whole-program view the flow rules analyse."""
+
+    def __init__(self, sources: dict[str, SourceFile]) -> None:
+        self.sources = sources
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: bare name -> qids (functions); used as a last-resort resolver.
+        self.functions_by_name: dict[str, list[str]] = {}
+        self.classes_by_name: dict[str, list[str]] = {}
+        #: module_path -> {local name -> node} for module-scope bindings.
+        self.module_globals: dict[str, dict[str, ast.AST]] = {}
+        #: module_path -> {local alias -> imported dotted source}.
+        self.imports: dict[str, dict[str, str]] = {}
+        self.graph = CallGraph()
+        self.call_sites: list[CallSite] = []
+
+    # ------------------------------------------------------------------
+    # lookup helpers
+    # ------------------------------------------------------------------
+    def function(self, qid: str) -> FunctionInfo | None:
+        """The :class:`FunctionInfo` for ``qid`` (``None`` if unknown)."""
+        return self.functions.get(qid)
+
+    def module_function(self, module: str, qualname: str) -> str | None:
+        """Qid of ``qualname`` defined in ``module``, if any."""
+        qid = f"{module}::{qualname}"
+        return qid if qid in self.functions else None
+
+    def resolve_class(self, name: str) -> ClassInfo | None:
+        """Class by bare name, when unambiguous program-wide."""
+        hits = self.classes_by_name.get(name, [])
+        return self.classes[hits[0]] if len(hits) == 1 else None
+
+    def sites_in(self, qid: str) -> Iterator[CallSite]:
+        """Call sites whose enclosing function is ``qid``."""
+        for site in self.call_sites:
+            if site.caller == qid:
+                yield site
+
+    # ------------------------------------------------------------------
+    # worker-side reachability
+    # ------------------------------------------------------------------
+    def dispatching_classes(self) -> set[str]:
+        """Bare names of classes with a pool/process dispatch call inside
+        any of their methods (e.g. a supervisor wrapping ``apply_async``)."""
+        out: set[str] = set()
+        for cls in self.classes.values():
+            prefix = f"{cls.qid}."
+            for site in self.call_sites:
+                # Methods *and* functions nested inside them (a pool call
+                # often lives in a local closure of the dispatch method).
+                if not site.caller.startswith(prefix):
+                    continue
+                tail = site.chain.rsplit(".", 1)[-1] if site.chain else ""
+                if (
+                    "." in site.chain and tail in DISPATCH_ATTRS
+                ) or tail in DISPATCH_CONSTRUCTORS:
+                    out.add(cls.name)
+                    break
+        return out
+
+    def worker_entry_points(self) -> set[str]:
+        """Qids of functions handed (by name) to a process-dispatch point.
+
+        Covers three shapes: a function argument to ``pool.map``-style
+        attribute calls, a ``target=`` / positional callable handed to a
+        ``Process``/``Pool`` constructor, and a callable argument to the
+        constructor of a *dispatching class* (one whose methods contain
+        the actual pool calls) — the supervisor pattern.
+        """
+        dispatchers = self.dispatching_classes()
+        seeds: set[str] = set()
+        for site in self.call_sites:
+            if not site.chain:
+                continue
+            tail = site.chain.rsplit(".", 1)[-1]
+            is_dispatch = ("." in site.chain and tail in DISPATCH_ATTRS) or (
+                tail in DISPATCH_CONSTRUCTORS
+            )
+            is_dispatcher_ctor = tail in dispatchers
+            if not (is_dispatch or is_dispatcher_ctor):
+                continue
+            args = list(site.node.args) + [kw.value for kw in site.node.keywords]
+            for arg in args:
+                name = dotted_name(arg)
+                if not name:
+                    continue
+                resolved = self._resolve_callable(name, site)
+                seeds.update(resolved)
+        return seeds
+
+    def worker_reachable(self) -> set[str]:
+        """Worker entry points plus everything they transitively call."""
+        return self.graph.reachable_from(self.worker_entry_points())
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def _resolve_callable(self, chain: str, site: CallSite) -> tuple[str, ...]:
+        """Resolve a dotted name used *as a value* to function qids."""
+        module = site.src.module_path
+        caller = self.functions.get(site.caller)
+        head, _, rest = chain.partition(".")
+        # self.method inside a class body
+        if head == "self" and caller is not None and caller.cls and rest:
+            method = rest.split(".", 1)[0]
+            cls = self.classes.get(f"{module}::{caller.cls}")
+            if cls and method in cls.methods:
+                return (cls.methods[method],)
+            return ()
+        if "." not in chain:
+            qid = self.module_function(module, chain)
+            if qid:
+                return (qid,)
+            target = self.imports.get(module, {}).get(chain)
+            if target:
+                hits = self.functions_by_name.get(target.rsplit(".", 1)[-1], [])
+                if len(hits) == 1:
+                    return tuple(hits)
+            hits = self.functions_by_name.get(chain, [])
+            if len(hits) == 1:
+                return tuple(hits)
+            return ()
+        # mod.func via an imported module alias
+        tail = chain.rsplit(".", 1)[-1]
+        hits = self.functions_by_name.get(tail, [])
+        if len(hits) == 1:
+            return tuple(hits)
+        return ()
+
+    def resolve_call(self, site: CallSite) -> tuple[str, ...]:
+        """Resolve a call expression's callee to function qids.
+
+        ``self.m(...)`` binds to the enclosing class's method; a bare
+        name binds to the same module, then through imports, then to a
+        program-wide unique function of that name; ``obj.m(...)`` falls
+        back to a program-wide unique method name.  Constructor calls
+        resolve to ``Cls.__init__`` when defined.
+        """
+        chain = site.chain
+        if not chain:
+            return ()
+        tail = chain.rsplit(".", 1)[-1]
+        cls = self.resolve_class(tail)
+        if cls is not None:
+            init = cls.methods.get("__init__")
+            return (init,) if init else ()
+        return self._resolve_callable(chain, site)
+
+
+def _iter_defs(
+    src: SourceFile,
+) -> Iterator[tuple[ast.AST, str, str | None]]:
+    """Yield ``(node, qualname, enclosing_class)`` for every def/class."""
+    stack: list[tuple[ast.AST, str, str | None]] = [(src.tree, "", None)]
+    while stack:
+        parent, prefix, cls = stack.pop()
+        for child in ast.iter_child_nodes(parent):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                yield child, qualname, cls
+                stack.append((child, f"{qualname}.", cls))
+            elif isinstance(child, ast.ClassDef):
+                qualname = f"{prefix}{child.name}"
+                yield child, qualname, cls
+                stack.append((child, f"{qualname}.", child.name))
+
+
+def _has_hot_path_decorator(node: ast.AST) -> bool:
+    for dec in getattr(node, "decorator_list", []):
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        chain = dotted_name(target)
+        if chain == "hot_path" or chain.endswith(".hot_path"):
+            return True
+    return False
+
+
+def build_program(sources: dict[str, SourceFile]) -> Program:
+    """Index definitions, imports, and module globals; build call edges."""
+    program = Program(sources)
+
+    # pass 1: definitions, imports, module-scope bindings
+    for src in sources.values():
+        module = src.module_path
+        program.module_globals.setdefault(module, {})
+        program.imports.setdefault(module, {})
+        for stmt in src.tree.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        program.module_globals[module][target.id] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                program.module_globals[module][stmt.target.id] = (
+                    stmt.value if stmt.value is not None else stmt
+                )
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    program.imports[module][bound] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    program.imports[module][bound] = f"{node.module}.{alias.name}"
+
+        for node, qualname, cls in _iter_defs(src):
+            qid = f"{module}::{qualname}"
+            if isinstance(node, ast.ClassDef):
+                info = ClassInfo(
+                    qid=qid, name=node.name, module=module, node=node, src=src
+                )
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        info.methods[sub.name] = f"{qid}.{sub.name}"
+                program.classes[qid] = info
+                program.classes_by_name.setdefault(node.name, []).append(qid)
+            else:
+                fn = FunctionInfo(
+                    qid=qid,
+                    name=node.name,
+                    qualname=qualname,
+                    module=module,
+                    node=node,
+                    src=src,
+                    cls=cls,
+                    hot_path=_has_hot_path_decorator(node),
+                )
+                program.functions[qid] = fn
+                program.functions_by_name.setdefault(node.name, []).append(qid)
+
+    # pass 2: call sites + edges
+    for src in sources.values():
+        spans = [
+            (fn.node.lineno, fn.node.end_lineno or fn.node.lineno, fn.qid)
+            for fn in program.functions.values()
+            if fn.module == src.module_path
+        ]
+
+        def enclosing(lineno: int) -> str:
+            best, best_span = "", None
+            for start, end, qid in spans:
+                if start <= lineno <= end:
+                    span = end - start
+                    if best_span is None or span <= best_span:
+                        best, best_span = qid, span
+            return best
+
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            site = CallSite(
+                caller=enclosing(node.lineno),
+                node=node,
+                chain=dotted_name(node.func),
+                callees=(),
+                src=src,
+            )
+            site.callees = program.resolve_call(site)
+            program.call_sites.append(site)
+            for callee in site.callees:
+                program.graph.add_edge(site.caller, callee)
+    return program

@@ -1,0 +1,900 @@
+"""The ``reproflow`` pass catalogue: FLOW-RNG, FLOW-MEM, FLOW-MUT.
+
+Each pass receives the whole :class:`~repro.analysis.flow.callgraph.Program`
+and emits ordinary :class:`~repro.analysis.lint.engine.Finding` objects,
+so suppression comments, the committed baseline, and the CLI report all
+work unchanged.  The passes are *conservative in the reporting
+direction*: name-based resolution can miss an edge (masking a finding)
+but every reported flow is backed by an explicit chain of assignments
+and calls in the analysed source.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..lint.engine import (
+    Finding,
+    LintConfigError,
+    SourceFile,
+    dotted_name,
+    names_in,
+)
+from ..lint.rules import _ACCOUNTING_NAMES, _ALLOC_FUNCS, _DEGREE_NAMES
+from .callgraph import (
+    DISPATCH_ATTRS,
+    DISPATCH_CONSTRUCTORS,
+    CallSite,
+    FunctionInfo,
+    Program,
+)
+
+#: constructors whose return value is (or normalises to) a live
+#: ``numpy.random.Generator``.  ``ensure_rng``/``spawn_rng`` are the
+#: *trusted* repro.rng derivations; ``default_rng``/``Generator`` are
+#: trusted only when given an explicit seed argument.
+_GENERATOR_CONSTRUCTORS = {"default_rng", "Generator", "ensure_rng", "spawn_rng"}
+
+#: Generator methods that consume the stream (sampling calls).
+_DRAW_METHODS = {
+    "random",
+    "integers",
+    "choice",
+    "uniform",
+    "normal",
+    "standard_normal",
+    "exponential",
+    "standard_exponential",
+    "geometric",
+    "poisson",
+    "binomial",
+    "multinomial",
+    "gamma",
+    "standard_gamma",
+    "beta",
+    "shuffle",
+    "permutation",
+    "permuted",
+    "bytes",
+}
+
+#: parameter names conventionally carrying the threaded generator.
+_RNG_PARAM_NAMES = {"rng", "gen", "generator", "base", "random_state"}
+
+#: container-mutating method names (FLOW-MUT shared-state writes).
+_MUTATING_METHODS = {
+    "append",
+    "extend",
+    "add",
+    "update",
+    "setdefault",
+    "insert",
+    "remove",
+    "discard",
+    "pop",
+    "popitem",
+    "clear",
+    "put",
+}
+
+
+class FlowRule:
+    """Base class: one whole-program invariant checked per lint run."""
+
+    id: str = ""
+    name: str = ""
+    severity: str = "error"
+    description: str = ""
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        """Yield every violation found in ``program``."""
+        raise NotImplementedError
+
+    def finding(self, src: SourceFile, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` at ``node`` with symbol context."""
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=src.display_path,
+            line=lineno,
+            col=col + 1,
+            message=message,
+            symbol=src.enclosing_symbol(lineno),
+        )
+
+
+FLOW_RULE_REGISTRY: dict[str, FlowRule] = {}
+
+
+def register_flow_rule(cls: type[FlowRule]) -> type[FlowRule]:
+    """Class decorator adding a flow pass to the registry."""
+    if not cls.id:
+        raise LintConfigError(f"flow rule {cls.__name__} has no id")
+    if cls.id in FLOW_RULE_REGISTRY:
+        raise LintConfigError(f"duplicate flow rule id {cls.id}")
+    FLOW_RULE_REGISTRY[cls.id] = cls()
+    return cls
+
+
+def iter_flow_rules(only: Iterable[str] | None = None) -> list[FlowRule]:
+    """Registered flow passes, optionally restricted to ``only`` ids."""
+    if only is None:
+        return [FLOW_RULE_REGISTRY[rid] for rid in sorted(FLOW_RULE_REGISTRY)]
+    rules = []
+    for rid in only:
+        if rid not in FLOW_RULE_REGISTRY:
+            known = ", ".join(sorted(FLOW_RULE_REGISTRY))
+            raise LintConfigError(f"unknown flow rule {rid!r} (known: {known})")
+        rules.append(FLOW_RULE_REGISTRY[rid])
+    return rules
+
+
+def check_program(
+    program: Program, rules: Iterable[FlowRule] | None = None
+) -> list[Finding]:
+    """Run flow passes over ``program``, honouring inline suppressions."""
+    out: list[Finding] = []
+    for rule in rules if rules is not None else iter_flow_rules():
+        for finding in rule.check(program):
+            src = program.sources.get(finding.path)
+            if src is not None and src.is_suppressed(finding):
+                continue
+            out.append(finding)
+    out.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return out
+
+
+# ----------------------------------------------------------------------
+# shared provenance helpers
+# ----------------------------------------------------------------------
+def _local_assignments(fn: FunctionInfo) -> dict[str, ast.AST]:
+    """Last-wins map of ``name -> assigned value`` in ``fn``'s own body."""
+    out: dict[str, ast.AST] = {}
+    for node in fn.body_nodes():
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out[target.id] = node.value
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            if node.value is not None:
+                out[node.target.id] = node.value
+    return out
+
+
+def _is_generator_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    chain = dotted_name(node.func)
+    tail = chain.rsplit(".", 1)[-1] if chain else ""
+    return tail in _GENERATOR_CONSTRUCTORS
+
+
+def _module_generator_globals(program: Program) -> dict[str, set[str]]:
+    """``module -> names`` of module-level bindings holding a Generator."""
+    out: dict[str, set[str]] = {}
+    for module, bindings in program.module_globals.items():
+        for name, value in bindings.items():
+            if _is_generator_call(value):
+                out.setdefault(module, set()).add(name)
+    return out
+
+
+def _generator_locals(fn: FunctionInfo, ambient: set[str]) -> set[str]:
+    """Names that hold a live generator inside ``fn``.
+
+    Parameters named like a generator, locals assigned from a generator
+    constructor, and locals aliasing an ambient module-level generator.
+    """
+    names = {p for p in fn.params if p in _RNG_PARAM_NAMES}
+    for local, value in _local_assignments(fn).items():
+        if _is_generator_call(value):
+            names.add(local)
+        elif isinstance(value, ast.Name) and value.id in (ambient | names):
+            names.add(local)
+    return names
+
+
+def _dispatch_sites(program: Program) -> Iterator[CallSite]:
+    """Call sites that ship arguments across a process boundary."""
+    dispatchers = program.dispatching_classes()
+    for site in program.call_sites:
+        if not site.chain:
+            continue
+        tail = site.chain.rsplit(".", 1)[-1]
+        if ("." in site.chain and tail in DISPATCH_ATTRS) or (
+            tail in DISPATCH_CONSTRUCTORS or tail in dispatchers
+        ):
+            yield site
+
+
+# ----------------------------------------------------------------------
+# FLOW-RNG — interprocedural RNG provenance
+# ----------------------------------------------------------------------
+@register_flow_rule
+class RngProvenanceFlowRule(FlowRule):
+    """Every generator reaching a sampling call must trace to explicit
+    seed derivation and stay on its side of the process boundary.
+
+    Four flavours of leak, all observed in parallel walk engines:
+
+    * **unseeded entropy** — ``default_rng()`` with no seed draws from
+      the OS; the corpus can never be replayed;
+    * **ambient generator** — a module-level ``Generator`` is shared
+      mutable state: any draw from it couples otherwise independent call
+      sites (and, after a fork, sibling processes' streams);
+    * **pool-boundary crossing** — live generator state shipped to a
+      process dispatch point desynchronises parent and child streams;
+      derive per-chunk *seeds* up front instead;
+    * **hot-path foreign draw** — ``@hot_path`` kernels may draw only
+      from their passed-in generator parameter, never construct or
+      fetch one (a rejected-remainder loop re-seeding per round would
+      silently decorrelate the stream).
+    """
+
+    id = "FLOW-RNG"
+    name = "rng-provenance"
+    description = (
+        "generators must trace to repro.rng seed derivation, never cross "
+        "a process-pool boundary live, and hot-path kernels draw only "
+        "from their generator parameter"
+    )
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        ambient = _module_generator_globals(program)
+        yield from self._unseeded_constructions(program)
+        yield from self._ambient_bindings(program, ambient)
+        yield from self._ambient_draws(program, ambient)
+        yield from self._pool_boundary(program, ambient)
+        yield from self._generator_payload_fields(program)
+        yield from self._hot_path_draws(program)
+        yield from self._interprocedural_reach(program, ambient)
+
+    # -- unseeded default_rng() ---------------------------------------
+    def _unseeded_constructions(self, program: Program) -> Iterator[Finding]:
+        for site in program.call_sites:
+            tail = site.chain.rsplit(".", 1)[-1] if site.chain else ""
+            if tail not in ("default_rng", "SeedSequence"):
+                continue
+            if site.node.args or site.node.keywords:
+                continue
+            yield self.finding(
+                site.src,
+                site.node,
+                f"`{site.chain}()` with no seed draws OS entropy; the run "
+                "can never be replayed — derive the generator from an "
+                "explicit seed via repro.rng.ensure_rng / spawn_rng",
+            )
+
+    # -- module-level generators --------------------------------------
+    def _ambient_bindings(
+        self, program: Program, ambient: dict[str, set[str]]
+    ) -> Iterator[Finding]:
+        for module, names in ambient.items():
+            bindings = program.module_globals.get(module, {})
+            src = self._module_source(program, module)
+            if src is None:
+                continue
+            for name in sorted(names):
+                node = bindings[name]
+                yield self.finding(
+                    src,
+                    node,
+                    f"module-level generator `{name}` is ambient shared "
+                    "RNG state; every draw couples unrelated call sites — "
+                    "thread a generator derived via repro.rng instead",
+                )
+
+    def _ambient_draws(
+        self, program: Program, ambient: dict[str, set[str]]
+    ) -> Iterator[Finding]:
+        for fn in program.functions.values():
+            globals_here = ambient.get(fn.module, set())
+            if not globals_here:
+                continue
+            shadowed = set(fn.params) | set(_local_assignments(fn))
+            for node in fn.body_nodes():
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = dotted_name(node.func)
+                if "." not in chain:
+                    continue
+                head, _, rest = chain.partition(".")
+                method = rest.rsplit(".", 1)[-1]
+                if (
+                    head in globals_here
+                    and head not in shadowed
+                    and method in _DRAW_METHODS
+                ):
+                    yield self.finding(
+                        fn.src,
+                        node,
+                        f"draw `{chain}()` consumes the module-level "
+                        f"generator `{head}`; sampling must use a "
+                        "generator threaded through the call chain",
+                    )
+
+    # -- live state across the pool boundary --------------------------
+    def _pool_boundary(
+        self, program: Program, ambient: dict[str, set[str]]
+    ) -> Iterator[Finding]:
+        for site in _dispatch_sites(program):
+            caller = program.functions.get(site.caller)
+            if caller is None:
+                continue
+            gen_names = _generator_locals(
+                caller, ambient.get(caller.module, set())
+            )
+            args = list(site.node.args) + [
+                kw.value for kw in site.node.keywords
+            ]
+            for arg in args:
+                if _is_generator_call(arg):
+                    yield self.finding(
+                        site.src,
+                        arg,
+                        f"live generator constructed in the argument list "
+                        f"of `{site.chain}` crosses the process boundary; "
+                        "pass a derived seed and rebuild inside the worker",
+                    )
+                    continue
+                for name_node in ast.walk(arg):
+                    if (
+                        isinstance(name_node, ast.Name)
+                        and name_node.id in gen_names
+                    ):
+                        yield self.finding(
+                            site.src,
+                            name_node,
+                            f"generator `{name_node.id}` passed to "
+                            f"`{site.chain}` crosses the process boundary "
+                            "as live state; parent and child streams "
+                            "desynchronise — ship a derived seed instead",
+                        )
+
+    def _generator_payload_fields(self, program: Program) -> Iterator[Finding]:
+        modules_with_dispatch = {
+            site.src.module_path for site in _dispatch_sites(program)
+        }
+        for cls in program.classes.values():
+            if cls.module not in modules_with_dispatch:
+                continue
+            for stmt in cls.node.body:
+                if not isinstance(stmt, ast.AnnAssign):
+                    continue
+                annotation = names_in(stmt.annotation)
+                if "Generator" in annotation:
+                    yield self.finding(
+                        cls.src,
+                        stmt,
+                        f"field of task payload class `{cls.name}` is "
+                        "annotated as a Generator; pickled/forked payloads "
+                        "must carry seeds, not live RNG state",
+                    )
+
+    # -- hot-path kernels ---------------------------------------------
+    def _hot_path_draws(self, program: Program) -> Iterator[Finding]:
+        for fn in program.functions.values():
+            if not fn.hot_path:
+                continue
+            params = set(fn.params)
+            for node in fn.body_nodes():
+                if not isinstance(node, ast.Call):
+                    continue
+                if _is_generator_call(node):
+                    yield self.finding(
+                        fn.src,
+                        node,
+                        f"generator constructed inside @hot_path "
+                        f"`{fn.name}`; a kernel (or its rejected-remainder "
+                        "loop) must draw only from the generator it was "
+                        "passed",
+                    )
+                    continue
+                chain = dotted_name(node.func)
+                if "." not in chain:
+                    continue
+                head, _, rest = chain.partition(".")
+                method = rest.rsplit(".", 1)[-1]
+                if method in _DRAW_METHODS and head not in params:
+                    yield self.finding(
+                        fn.src,
+                        node,
+                        f"@hot_path `{fn.name}` draws via `{chain}()` "
+                        "which is not a parameter of the kernel; the "
+                        "passed-in generator is the only legal stream",
+                    )
+
+    # -- interprocedural: ambient generator flowing into a sampler ----
+    def _interprocedural_reach(
+        self, program: Program, ambient: dict[str, set[str]]
+    ) -> Iterator[Finding]:
+        drawing_params = self._params_drawn_from(program)
+        for site in program.call_sites:
+            caller = program.functions.get(site.caller)
+            if caller is None:
+                continue
+            globals_here = ambient.get(caller.module, set())
+            if not globals_here:
+                continue
+            aliases = _generator_locals(caller, globals_here)
+            tainted = globals_here | aliases
+            for callee_qid in site.callees:
+                drawn = drawing_params.get(callee_qid)
+                if not drawn:
+                    continue
+                callee = program.functions[callee_qid]
+                for position, kw, value in _call_arguments(site.node, callee):
+                    if not isinstance(value, ast.Name):
+                        continue
+                    if value.id not in tainted:
+                        continue
+                    param = kw if kw is not None else _param_at(callee, position)
+                    if param in drawn:
+                        yield self.finding(
+                            site.src,
+                            value,
+                            f"module-level generator `{value.id}` flows "
+                            f"into `{callee.name}` which samples from its "
+                            f"parameter `{param}`; derive and thread a "
+                            "seeded generator via repro.rng instead",
+                        )
+        return
+
+    @staticmethod
+    def _params_drawn_from(program: Program) -> dict[str, set[str]]:
+        """``fn qid -> parameter names`` the function draws from."""
+        out: dict[str, set[str]] = {}
+        for fn in program.functions.values():
+            params = set(fn.params)
+            drawn: set[str] = set()
+            for node in fn.body_nodes():
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = dotted_name(node.func)
+                if "." not in chain:
+                    continue
+                head, _, rest = chain.partition(".")
+                if head in params and rest.rsplit(".", 1)[-1] in _DRAW_METHODS:
+                    drawn.add(head)
+            if drawn:
+                out[fn.qid] = drawn
+        return out
+
+    def _module_source(
+        self, program: Program, module: str
+    ) -> SourceFile | None:
+        for src in program.sources.values():
+            if src.module_path == module:
+                return src
+        return None
+
+
+def _call_arguments(call: ast.Call, callee: FunctionInfo):
+    """Yield ``(position, keyword, value)`` for each argument of ``call``."""
+    for position, arg in enumerate(call.args):
+        yield position, None, arg
+    for kw in call.keywords:
+        if kw.arg is not None:
+            yield -1, kw.arg, kw.value
+
+
+def _param_at(callee: FunctionInfo, position: int) -> str | None:
+    params = callee.params
+    if callee.cls is not None and params and params[0] in ("self", "cls"):
+        position += 1
+    if 0 <= position < len(params):
+        return params[position]
+    return None
+
+
+# ----------------------------------------------------------------------
+# FLOW-MEM — escape analysis for degree-sized allocations
+# ----------------------------------------------------------------------
+@register_flow_rule
+class MemoryEscapeFlowRule(FlowRule):
+    """Degree-/edge-sized allocations that outlive their frame must be
+    charged to the memory accounting.
+
+    The paper's contract is that modeled bytes equal materialised bytes.
+    A transient degree-sized scratch array is fine — it dies with the
+    frame.  The same array stored on ``self``, in a module global, or
+    returned to a caller that stores it, is *persistent sampler state*
+    and must be visible to ``memory_bytes()`` / a ``MemoryBudget``
+    charge; otherwise alias/proposal tables and cache entries silently
+    exceed the budget the user asked for.
+    """
+
+    id = "FLOW-MEM"
+    name = "memory-escape"
+    description = (
+        "degree-sized allocations escaping their frame (self/global "
+        "stores, returns stored by callers) must be memory-accounted"
+    )
+
+    #: how many return-edges a value is followed through.
+    MAX_RETURN_DEPTH = 3
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        accounted = self._accounted_functions(program)
+        for fn in program.functions.values():
+            allocations = self._degree_allocations(fn)
+            if not allocations:
+                continue
+            if fn.qid in accounted:
+                continue
+            for name, node in allocations:
+                yield from self._escapes(
+                    program, fn, name, node, accounted
+                )
+
+    # -- what counts as accounted -------------------------------------
+    @staticmethod
+    def _accounted_functions(program: Program) -> set[str]:
+        """Functions whose scope (body or enclosing class) touches the
+        memory accounting vocabulary."""
+        classes_with_accounting = {
+            cls.qid
+            for cls in program.classes.values()
+            if "memory_bytes" in cls.methods
+            or names_in(cls.node) & _ACCOUNTING_NAMES
+        }
+        out: set[str] = set()
+        for fn in program.functions.values():
+            if names_in(fn.node) & _ACCOUNTING_NAMES:
+                out.add(fn.qid)
+                continue
+            if fn.cls is not None:
+                cls_qid = f"{fn.module}::{fn.cls}"
+                if cls_qid in classes_with_accounting:
+                    out.add(fn.qid)
+        return out
+
+    # -- degree-sized allocation sites --------------------------------
+    @staticmethod
+    def _degree_allocations(
+        fn: FunctionInfo,
+    ) -> list[tuple[str | None, ast.Call]]:
+        """``(bound name, call)`` pairs for degree-sized numpy allocations."""
+        out: list[tuple[str | None, ast.Call]] = []
+        bound: dict[int, str] = {}
+        for node in fn.body_nodes():
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Call
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        bound[id(node.value)] = target.id
+        for node in fn.body_nodes():
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            chain = dotted_name(node.func)
+            tail = chain.rsplit(".", 1)[-1] if chain else ""
+            if tail not in _ALLOC_FUNCS:
+                continue
+            if not (names_in(node.args[0]) & _DEGREE_NAMES):
+                continue
+            out.append((bound.get(id(node)), node))
+        return out
+
+    # -- escape detection ----------------------------------------------
+    def _escapes(
+        self,
+        program: Program,
+        fn: FunctionInfo,
+        name: str | None,
+        alloc: ast.Call,
+        accounted: set[str],
+        depth: int = 0,
+    ) -> Iterator[Finding]:
+        stored = self._stored_in(fn, name, alloc)
+        if stored is not None:
+            target, node = stored
+            yield self.finding(
+                fn.src,
+                node,
+                f"degree-sized allocation escapes `{fn.name}` into "
+                f"`{target}` with no memory accounting in scope; charge "
+                "it via memory_bytes()/MemoryBudget or keep it transient",
+            )
+            return
+        if depth >= self.MAX_RETURN_DEPTH:
+            return
+        if not self._returned(fn, name, alloc):
+            return
+        # Follow the value through each caller that binds the result.
+        for caller_qid in program.graph.callers.get(fn.qid, ()):  # noqa: B007
+            caller = program.functions.get(caller_qid)
+            if caller is None or caller.qid in accounted:
+                continue
+            for site in program.sites_in(caller_qid):
+                if fn.qid not in site.callees:
+                    continue
+                bound = self._binding_of(caller, site.node)
+                yield from self._escapes(
+                    program, caller, bound, site.node, accounted, depth + 1
+                )
+
+    @staticmethod
+    def _stored_in(
+        fn: FunctionInfo, name: str | None, alloc: ast.Call
+    ) -> tuple[str, ast.AST] | None:
+        """Whether the allocation is stored somewhere that outlives the
+        frame: a ``self`` attribute, or a subscript/attribute of a module
+        global.  Returns ``(target description, node)``."""
+        module_globals = set()
+        src_module = fn.src.module_path
+        # Names bound at module scope in this file.
+        for stmt in fn.src.tree.body:
+            if isinstance(stmt, ast.Assign):
+                module_globals.update(
+                    t.id for t in stmt.targets if isinstance(t, ast.Name)
+                )
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                module_globals.add(stmt.target.id)
+        del src_module
+
+        def value_matches(value: ast.AST) -> bool:
+            if value is alloc:
+                return True
+            return (
+                name is not None
+                and isinstance(value, ast.Name)
+                and value.id == name
+            )
+
+        for node in fn.body_nodes():
+            if not isinstance(node, (ast.Assign, ast.AugAssign)):
+                continue
+            value = node.value
+            if not value_matches(value):
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Attribute):
+                    root = target
+                    while isinstance(root, (ast.Attribute, ast.Subscript)):
+                        root = root.value
+                    if isinstance(root, ast.Name) and (
+                        root.id == "self" or root.id in module_globals
+                    ):
+                        return dotted_name(target) or "an attribute", node
+                elif isinstance(target, ast.Subscript):
+                    root = target.value
+                    while isinstance(root, (ast.Attribute, ast.Subscript)):
+                        root = root.value
+                    if isinstance(root, ast.Name) and (
+                        root.id == "self" or root.id in module_globals
+                    ):
+                        return f"{dotted_name(target.value) or root.id}[...]", node
+        return None
+
+    @staticmethod
+    def _returned(fn: FunctionInfo, name: str | None, alloc: ast.Call) -> bool:
+        for node in fn.body_nodes():
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            if node.value is alloc:
+                return True
+            if (
+                name is not None
+                and isinstance(node.value, ast.Name)
+                and node.value.id == name
+            ):
+                return True
+            # returned inside a tuple
+            if isinstance(node.value, ast.Tuple):
+                for element in node.value.elts:
+                    if element is alloc or (
+                        name is not None
+                        and isinstance(element, ast.Name)
+                        and element.id == name
+                    ):
+                        return True
+        return False
+
+    @staticmethod
+    def _binding_of(caller: FunctionInfo, call: ast.Call) -> str | None:
+        """The local name the caller binds ``call``'s result to, if any."""
+        for node in caller.body_nodes():
+            if isinstance(node, ast.Assign) and node.value is call:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        return target.id
+            elif isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Tuple
+            ):
+                continue
+        return None
+
+
+def _module_path_of(dotted: str) -> str:
+    """Map an import source like ``repro.walks.batch`` to the display
+    module path (``walks/batch.py``) used as ``SourceFile.module_path``."""
+    parts = dotted.split(".")
+    if parts and parts[0] == "repro":
+        parts = parts[1:]
+    if not parts:
+        return ""
+    return "/".join(parts) + ".py"
+
+
+# ----------------------------------------------------------------------
+# FLOW-MUT — cross-process mutation of shared state
+# ----------------------------------------------------------------------
+@register_flow_rule
+class WorkerMutationFlowRule(FlowRule):
+    """No writes to module-global (or closure) state from functions that
+    execute inside worker processes.
+
+    Under fork each worker gets a copy-on-write snapshot: a write to a
+    module global inside a worker silently diverges from the parent and
+    from sibling chunks — the ThunderRW/C-SAW bug class where per-worker
+    "shared" counters or caches make output depend on scheduling.  The
+    pass seeds worker entry points from process-dispatch call sites
+    (including supervisor-style indirection) and follows the call graph.
+    """
+
+    id = "FLOW-MUT"
+    name = "worker-mutation"
+    description = (
+        "no module-global/closure writes (assignment, item store, "
+        "mutating method call, os.environ) in worker-reachable functions"
+    )
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        entries = program.worker_entry_points()
+        if not entries:
+            return
+        reachable = program.graph.reachable_from(entries)
+        entry_names = ", ".join(
+            sorted(program.functions[qid].name for qid in entries)
+        )
+        for qid in sorted(reachable):
+            fn = program.functions.get(qid)
+            if fn is None:
+                continue
+            yield from self._writes_in(program, fn, entry_names)
+
+    def _writes_in(
+        self, program: Program, fn: FunctionInfo, entries: str
+    ) -> Iterator[Finding]:
+        module_globals = set(program.module_globals.get(fn.module, {}))
+        imported = set(program.imports.get(fn.module, {}))
+        declared_global: set[str] = set()
+        for node in fn.body_nodes():
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+
+        locals_assigned = set(fn.params)
+        aliases: set[str] = set()  # locals aliasing a module global
+        for node in fn.body_nodes():
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        locals_assigned.add(target.id)
+                        if (
+                            isinstance(node.value, ast.Name)
+                            and node.value.id in module_globals
+                        ):
+                            aliases.add(target.id)
+
+        def is_shared_root(name: str) -> bool:
+            if name in aliases:
+                return True
+            if name in locals_assigned and name not in declared_global:
+                return False
+            return name in module_globals or name in imported
+
+        def is_shared_object_chain(chain: str) -> bool:
+            """True when ``chain`` (minus its method tail) names mutable
+            module-level state: a global of this module, a local alias of
+            one, or ``mod.GLOBAL`` through an imported module alias.  A
+            bare imported module (``np.append``) is a *function* call on
+            the module, not a mutation of shared state."""
+            head, _, rest = chain.partition(".")
+            if head in aliases:
+                return True
+            if head in locals_assigned and head not in declared_global:
+                return False
+            if head in module_globals:
+                return True
+            if head in imported:
+                attr = rest.split(".", 1)[0]
+                target = program.imports[fn.module].get(head, "")
+                other = _module_path_of(target)
+                return attr != rest.rsplit(".", 1)[-1] and attr in set(
+                    program.module_globals.get(other, {})
+                )
+            return False
+
+        for node in fn.body_nodes():
+            # global/nonlocal declaration followed by a store
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id in declared_global
+                    ):
+                        yield self.finding(
+                            fn.src,
+                            node,
+                            f"`{fn.name}` (worker-reachable from {entries}) "
+                            f"assigns module global `{target.id}`; the "
+                            "write is invisible to sibling chunks and the "
+                            "parent — return the value instead",
+                        )
+                    elif isinstance(target, (ast.Attribute, ast.Subscript)):
+                        root = target
+                        while isinstance(root, (ast.Attribute, ast.Subscript)):
+                            root = root.value
+                        if isinstance(root, ast.Name) and is_shared_root(
+                            root.id
+                        ):
+                            yield self.finding(
+                                fn.src,
+                                node,
+                                f"`{fn.name}` (worker-reachable from "
+                                f"{entries}) writes through module-level "
+                                f"`{root.id}`; cross-process mutation of "
+                                "shared state is scheduling-dependent",
+                            )
+            elif isinstance(node, ast.Nonlocal):
+                yield self.finding(
+                    fn.src,
+                    node,
+                    f"`{fn.name}` (worker-reachable from {entries}) "
+                    "declares `nonlocal` state; closure mutation from a "
+                    "worker is invisible outside the process",
+                )
+            elif isinstance(node, ast.Call):
+                chain = dotted_name(node.func)
+                if "." not in chain:
+                    continue
+                head, _, rest = chain.partition(".")
+                method = rest.rsplit(".", 1)[-1]
+                if chain.startswith("os.environ."):
+                    if method in _MUTATING_METHODS:
+                        yield self.finding(
+                            fn.src,
+                            node,
+                            f"`{fn.name}` (worker-reachable from {entries}) "
+                            "mutates os.environ; environment changes die "
+                            "with the worker process",
+                        )
+                    continue
+                if method in _MUTATING_METHODS and is_shared_object_chain(
+                    chain
+                ):
+                    yield self.finding(
+                        fn.src,
+                        node,
+                        f"`{fn.name}` (worker-reachable from {entries}) "
+                        f"calls mutating `{chain}()` on module-level "
+                        f"state; sibling chunks cannot observe the update",
+                    )
+
+
+__all__ = [
+    "FlowRule",
+    "FLOW_RULE_REGISTRY",
+    "register_flow_rule",
+    "iter_flow_rules",
+    "check_program",
+    "RngProvenanceFlowRule",
+    "MemoryEscapeFlowRule",
+    "WorkerMutationFlowRule",
+]

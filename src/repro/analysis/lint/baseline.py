@@ -19,7 +19,10 @@ from pathlib import Path
 
 from .engine import Finding, LintConfigError, SourceFile
 
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
+#: versions :meth:`Baseline.load` still understands; anything older than
+#: the current version is migrated in place by ``--update-baseline``.
+SUPPORTED_BASELINE_VERSIONS = (1, 2)
 DEFAULT_BASELINE_NAME = "reprolint-baseline.json"
 
 
@@ -49,6 +52,9 @@ class Baseline:
     """The set of grandfathered findings, with load/save round-trip."""
 
     entries: dict[str, BaselineEntry] = field(default_factory=dict)
+    #: the file-format version this baseline was *loaded* as; saving
+    #: always writes :data:`BASELINE_VERSION` (migration on write).
+    version: int = BASELINE_VERSION
 
     def __contains__(self, fingerprint: str) -> bool:
         return fingerprint in self.entries
@@ -68,10 +74,11 @@ class Baseline:
             payload = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError) as exc:
             raise LintConfigError(f"cannot read baseline {path}: {exc}") from exc
-        if payload.get("version") != BASELINE_VERSION:
+        version = payload.get("version")
+        if version not in SUPPORTED_BASELINE_VERSIONS:
             raise LintConfigError(
-                f"baseline {path} has version {payload.get('version')!r}, "
-                f"expected {BASELINE_VERSION}"
+                f"baseline {path} has version {version!r}, "
+                f"expected one of {SUPPORTED_BASELINE_VERSIONS}"
             )
         entries = {}
         for raw in payload.get("findings", []):
@@ -83,7 +90,7 @@ class Baseline:
                 justification=raw.get("justification", ""),
             )
             entries[entry.fingerprint] = entry
-        return cls(entries=entries)
+        return cls(entries=entries, version=int(version))
 
     def save(self, path: "Path | str") -> None:
         """Write the baseline, entries sorted for stable diffs."""
@@ -110,11 +117,28 @@ class Baseline:
 
         Justifications of entries carried over from ``previous`` are
         preserved; genuinely new entries get a placeholder the reviewer
-        must replace before committing.
+        must replace before committing.  When a fingerprint misses —
+        because the line text changed, or because ``previous`` was
+        written with the version-1 hashing scheme — the justification is
+        recovered through a ``(rule, path, symbol)`` match instead, so
+        ``--update-baseline`` migrates old baselines without losing the
+        human rationale attached to each entry.
         """
+        by_identity: dict[tuple, list[BaselineEntry]] = {}
+        if previous is not None:
+            for entry in previous.entries.values():
+                key = (entry.rule, entry.path, entry.symbol)
+                by_identity.setdefault(key, []).append(entry)
+
         entries: dict[str, BaselineEntry] = {}
         for finding, fingerprint in fingerprinted:
             kept = previous.entries.get(fingerprint) if previous else None
+            if kept is None:
+                candidates = by_identity.get(
+                    (finding.rule, finding.path, finding.symbol), []
+                )
+                if candidates:
+                    kept = candidates.pop(0)
             entries[fingerprint] = BaselineEntry(
                 fingerprint=fingerprint,
                 rule=finding.rule,
@@ -128,21 +152,32 @@ class Baseline:
 
 
 def fingerprint_findings(
-    findings: "list[Finding]", sources: "dict[str, SourceFile]"
+    findings: "list[Finding]",
+    sources: "dict[str, SourceFile]",
+    *,
+    version: int = BASELINE_VERSION,
 ) -> "list[tuple[Finding, str]]":
     """Pair each finding with its baseline fingerprint.
 
     Duplicate (rule, path, line-text) triples are disambiguated with an
     occurrence index so two identical violations in one file baseline
-    independently.
+    independently.  ``version=1`` reproduces the legacy hashing scheme,
+    used to match entries of not-yet-migrated baseline files.
     """
     seen: dict[str, int] = {}
     out: list[tuple[Finding, str]] = []
     for finding in findings:
         src = sources.get(finding.path)
         line_text = src.line_text(finding.line) if src else ""
-        key = f"{finding.rule}|{finding.path}|{' '.join(line_text.split())}"
+        normalised = (
+            " ".join(line_text.split())
+            if version == 1
+            else "".join(line_text.split())
+        )
+        key = f"{finding.rule}|{finding.path}|{normalised}"
         index = seen.get(key, 0)
         seen[key] = index + 1
-        out.append((finding, finding.fingerprint(line_text, index)))
+        out.append(
+            (finding, finding.fingerprint(line_text, index, version=version))
+        )
     return out

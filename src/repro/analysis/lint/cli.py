@@ -19,7 +19,7 @@ import sys
 
 from .baseline import Baseline
 from .engine import RULE_REGISTRY, LintConfigError
-from .runner import default_baseline_path, run_lint
+from .runner import changed_files, default_baseline_path, run_lint
 
 
 def build_lint_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
@@ -75,7 +75,30 @@ def build_lint_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
     parser.add_argument(
         "--rules",
         default=None,
-        help="comma-separated rule ids to run (default: all)",
+        help=(
+            "comma-separated rule ids to run (default: all per-file "
+            "rules; naming a FLOW-* id implies --flow)"
+        ),
+    )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help=(
+            "also run the interprocedural FLOW-RNG/FLOW-MEM/FLOW-MUT "
+            "passes over the whole program (call graph + dataflow)"
+        ),
+    )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="origin/main",
+        default=None,
+        metavar="REF",
+        help=(
+            "lint only files differing from REF (default origin/main); "
+            "with --flow the call graph still covers the whole tree, "
+            "but only findings in changed files are reported"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -103,8 +126,12 @@ def lint_main(argv: "list[str] | None" = None) -> int:
     args = build_lint_parser().parse_args(argv)
 
     if args.list_rules:
-        for rule_id in sorted(RULE_REGISTRY):
-            rule = RULE_REGISTRY[rule_id]
+        from ..flow.rules import FLOW_RULE_REGISTRY
+
+        catalogue = list(RULE_REGISTRY.values()) + list(
+            FLOW_RULE_REGISTRY.values()
+        )
+        for rule in sorted(catalogue, key=lambda r: r.id):
             print(f"{rule.id}  {rule.name:24s} [{rule.severity}] {rule.description}")
         return 0
 
@@ -117,8 +144,17 @@ def lint_main(argv: "list[str] | None" = None) -> int:
     baseline_path = args.baseline or default_baseline_path()
 
     try:
+        restrict = (
+            changed_files(args.changed) if args.changed is not None else None
+        )
         baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
-        result, fingerprinted = run_lint(paths, rules=rules, baseline=baseline)
+        result, fingerprinted = run_lint(
+            paths,
+            rules=rules,
+            baseline=baseline,
+            flow=args.flow,
+            restrict_to=restrict,
+        )
     except LintConfigError as exc:
         print(f"reprolint: error: {exc}", file=sys.stderr)
         return 2

@@ -54,15 +54,25 @@ class Finding:
     message: str
     symbol: str = ""
 
-    def fingerprint(self, line_text: str = "", index: int = 0) -> str:
+    def fingerprint(self, line_text: str = "", index: int = 0, *, version: int = 2) -> str:
         """Location-independent identity used by the baseline file.
 
         Hashes the rule id, the path, the *text* of the offending line
         (whitespace-normalised) and a duplicate counter — never the line
         number, so unrelated edits above a grandfathered finding do not
         invalidate the baseline.
+
+        Version 2 (current) strips *all* whitespace from the line before
+        hashing, so a formatter pass (re-indentation, ``a=1`` → ``a = 1``,
+        CRLF checkouts) cannot silently invalidate grandfathered entries.
+        Version 1 only collapsed internal runs; it is still computed for
+        matching legacy baselines until ``--update-baseline`` migrates
+        them.
         """
-        normalised = " ".join(line_text.split())
+        if version == 1:
+            normalised = " ".join(line_text.split())
+        else:
+            normalised = "".join(line_text.split())
         payload = f"{self.rule}|{self.path}|{normalised}|{index}"
         return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
 

@@ -77,25 +77,61 @@ class LintResult:
         }
 
 
+def _partition_rule_ids(
+    rules: "Iterable[str] | None", flow: bool
+) -> tuple["list[str] | None", "list[str] | None", bool]:
+    """Split requested rule ids into (per-file, flow) selections.
+
+    ``None`` means "all rules of that kind".  Explicitly requesting a
+    ``FLOW-*`` id enables the flow pass even without ``flow=True``.
+    """
+    from ..flow.rules import FLOW_RULE_REGISTRY
+
+    if rules is None:
+        return None, (None if flow else []), flow
+    file_ids: list[str] = []
+    flow_ids: list[str] = []
+    for rid in rules:
+        if rid in FLOW_RULE_REGISTRY:
+            flow_ids.append(rid)
+        else:
+            file_ids.append(rid)  # unknown ids rejected by iter_rules
+    if flow and not flow_ids:
+        return file_ids, None, True
+    return file_ids, flow_ids, flow or bool(flow_ids)
+
+
 def run_lint(
     paths: Sequence["Path | str"],
     *,
     rules: Iterable[str] | None = None,
     baseline: "Baseline | Path | str | None" = None,
     root: "Path | None" = None,
+    flow: bool = False,
+    restrict_to: "Iterable[str] | None" = None,
 ) -> tuple[LintResult, "list[tuple[Finding, str]]"]:
     """Lint ``paths`` and split findings against ``baseline``.
+
+    ``flow=True`` additionally builds the whole-program call graph over
+    *all* discovered files and runs the interprocedural FLOW passes.
+    ``restrict_to`` (display paths, e.g. from ``--changed``) limits
+    which files are rule-checked and reported — the flow pass still
+    sees the whole program so cross-file reasoning stays sound, but
+    only findings in restricted files are reported.
 
     Returns the :class:`LintResult` plus the full fingerprinted finding
     list (the raw material for ``--update-baseline``).
     """
-    selected: list[Rule] = iter_rules(list(rules) if rules is not None else None)
+    rule_list = list(rules) if rules is not None else None
+    file_ids, flow_ids, run_flow = _partition_rule_ids(rule_list, flow)
+    selected: list[Rule] = iter_rules(file_ids)
     if not isinstance(baseline, Baseline):
         baseline = Baseline.load(baseline)
     if root is None:
         # Repo-relative display paths keep baseline fingerprints stable
         # across checkouts; files outside the root fall back to absolute.
         root = default_baseline_path().parent
+    restricted = set(restrict_to) if restrict_to is not None else None
 
     sources: dict[str, SourceFile] = {}
     findings: list[Finding] = []
@@ -103,28 +139,106 @@ def run_lint(
     for path in discover_files(paths):
         src = parse_source_file(path, root=root)
         sources[src.display_path] = src
+        if restricted is not None and src.display_path not in restricted:
+            continue
         files.append(src.display_path)
         findings.extend(check_file(src, selected))
 
+    if run_flow:
+        from ..flow import build_program, check_program
+        from ..flow.rules import iter_flow_rules
+
+        program = build_program(sources)
+        flow_findings = check_program(program, iter_flow_rules(flow_ids))
+        if restricted is not None:
+            flow_findings = [
+                f for f in flow_findings if f.path in restricted
+            ]
+        findings.extend(flow_findings)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
     fingerprinted = fingerprint_findings(findings, sources)
+    # A not-yet-migrated version-1 baseline still matches through the
+    # legacy hashing scheme; ``--update-baseline`` rewrites it to v2.
+    legacy = (
+        fingerprint_findings(findings, sources, version=1)
+        if baseline.version == 1
+        else fingerprinted
+    )
     result = LintResult(files=files)
     matched: set[str] = set()
-    for finding, fingerprint in fingerprinted:
+    for (finding, fingerprint), (_, old_print) in zip(fingerprinted, legacy):
         if fingerprint in baseline:
             matched.add(fingerprint)
             result.baselined.append(finding)
+        elif old_print in baseline:
+            matched.add(old_print)
+            result.baselined.append(finding)
         else:
             result.new_findings.append(finding)
+    from ..flow.rules import FLOW_RULE_REGISTRY
+
+    checked = set(files)
+
+    def judgeable(entry: "object") -> bool:
+        # Only entries for files/rules we actually ran can be judged
+        # stale; a partial lint (single file, --changed, no --flow) must
+        # not report the rest of the baseline as obsolete.
+        rule = getattr(entry, "rule", "")
+        path = getattr(entry, "path", "")
+        if rule in FLOW_RULE_REGISTRY:
+            return run_flow and restricted is None and path in sources
+        return path in checked
+
     result.stale_baseline = sorted(
         fp
         for fp, entry in baseline.entries.items()
-        if fp not in matched
-        # Only entries for files we actually looked at can be judged
-        # stale; a partial lint (single file) must not report the rest
-        # of the baseline as obsolete.
-        and entry.path in sources
+        if fp not in matched and judgeable(entry)
     )
     return result, fingerprinted
+
+
+def changed_files(
+    ref: str = "origin/main", root: "Path | None" = None
+) -> set[str]:
+    """Repo-relative ``.py`` paths differing from ``ref`` (plus untracked).
+
+    Backs ``repro lint --changed``: the CI lint job and pre-commit use
+    lint only what a branch actually touched instead of rescanning the
+    whole tree.  Raises :class:`LintConfigError` when ``git`` fails
+    (unknown ref, not a repository) so the CLI exits 2 rather than
+    silently linting nothing.
+    """
+    import subprocess
+
+    if root is None:
+        root = default_baseline_path().parent
+    out: set[str] = set()
+    commands = [
+        ["git", "diff", "--name-only", "--diff-filter=d", ref, "--", "*.py"],
+        ["git", "ls-files", "--others", "--exclude-standard", "--", "*.py"],
+    ]
+    for cmd in commands:
+        try:
+            proc = subprocess.run(
+                cmd,
+                cwd=root,
+                capture_output=True,
+                text=True,
+                check=True,
+                timeout=30,
+            )
+        except FileNotFoundError as exc:
+            raise LintConfigError(f"--changed requires git: {exc}") from exc
+        except subprocess.TimeoutExpired as exc:
+            raise LintConfigError(f"git timed out: {exc}") from exc
+        except subprocess.CalledProcessError as exc:
+            detail = (exc.stderr or "").strip() or f"exit code {exc.returncode}"
+            raise LintConfigError(
+                f"git diff against {ref!r} failed: {detail}"
+            ) from exc
+        out.update(line.strip() for line in proc.stdout.splitlines() if line.strip())
+    return out
 
 
 def default_baseline_path(root: "Path | str | None" = None) -> Path:

@@ -19,6 +19,9 @@ Two call styles:
 * developer tooling::
 
       python -m repro.cli lint --check      # reprolint invariant linter
+      python -m repro.cli lint --flow       # + interprocedural FLOW passes
+      python -m repro.cli dsan-report graph.txt --budget 5e8 \\
+          --workers 1,2,4                   # runtime determinism sanitizer
 """
 
 from __future__ import annotations
@@ -200,6 +203,54 @@ def build_tool_parser() -> argparse.ArgumentParser:
             "dead-lettered chunks, instead of aborting the whole corpus"
         ),
     )
+    walk.add_argument(
+        "--dsan",
+        action="store_true",
+        help=(
+            "enable the runtime determinism sanitizer: fingerprint every "
+            "chunk's RNG stream (equivalent to REPRO_DSAN=1; sampled "
+            "values are unchanged)"
+        ),
+    )
+    walk.add_argument(
+        "--dsan-report",
+        default=None,
+        metavar="PATH",
+        help="write the per-chunk RNG fingerprint report as JSON to PATH",
+    )
+
+    dsan = sub.add_parser(
+        "dsan-report",
+        parents=[common],
+        help=(
+            "run the same walk workload under the determinism sanitizer "
+            "at several worker counts and verify the per-chunk RNG "
+            "fingerprints are identical"
+        ),
+    )
+    dsan.add_argument("--num-walks", type=int, default=2)
+    dsan.add_argument("--length", type=int, default=20)
+    dsan.add_argument(
+        "--engine", default="batch", choices=["scalar", "batch"]
+    )
+    dsan.add_argument("--chunk-size", type=int, default=64)
+    dsan.add_argument(
+        "--workers",
+        default="1,2,4",
+        help="comma-separated worker counts to cross-check (default 1,2,4)",
+    )
+    dsan.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the reference (first worker count) report JSON to PATH",
+    )
+    dsan.add_argument(
+        "--compare",
+        default=None,
+        metavar="PATH",
+        help="also verify against a previously saved report",
+    )
 
     return parser
 
@@ -242,6 +293,9 @@ def _run_tool(argv: list[str]) -> int:
     framework = _build_framework(args)
     print(framework.assignment.describe())
 
+    if args.command == "dsan-report":
+        return _run_dsan_report(args, framework)
+
     if args.command == "optimize":
         from .analysis import profile_assignment
 
@@ -268,6 +322,8 @@ def _run_tool(argv: list[str]) -> int:
     else:
         engine = framework.walk_engine
 
+    if args.dsan or args.dsan_report:
+        supervised = True
     if supervised:
         from .walks import parallel_walks
 
@@ -282,6 +338,7 @@ def _run_tool(argv: list[str]) -> int:
             timeout=args.chunk_timeout,
             checkpoint=args.checkpoint,
             on_exhausted="dead-letter" if args.dead_letter else "raise",
+            dsan=True if (args.dsan or args.dsan_report) else None,
         )
     elif args.engine == "batch":
         corpus = engine.walks(
@@ -300,10 +357,100 @@ def _run_tool(argv: list[str]) -> int:
         print(engine.describe())
     for letter in corpus.failed_chunks:
         print(f"DEAD-LETTER: {letter.describe()}", file=sys.stderr)
+    if "dsan" in corpus.metadata:
+        from .analysis.dsan import DsanReport
+
+        report = DsanReport.from_dict(corpus.metadata["dsan"])
+        print(
+            f"dsan: {len(report)} chunk fingerprint(s), "
+            f"{report.total_draws} RNG draw(s)"
+        )
+        if args.dsan_report:
+            report.save(args.dsan_report)
+            print(f"dsan report written to {args.dsan_report}")
     if args.output:
         corpus.save(args.output)
         print(f"written to {args.output}")
     return 0 if corpus.is_complete else 3
+
+
+def _run_dsan_report(args, framework) -> int:
+    """Cross-worker determinism check: same workload, w ∈ --workers.
+
+    Exit codes: 0 all fingerprints identical, 4 divergence detected,
+    2 bad arguments.
+    """
+    from .analysis.dsan import DsanReport, diff_reports
+    from .walks import parallel_walks
+
+    try:
+        worker_counts = [
+            int(w) for w in str(args.workers).split(",") if w.strip()
+        ]
+    except ValueError:
+        print(f"--workers expects a comma-separated int list, got "
+              f"{args.workers!r}", file=sys.stderr)
+        return 2
+    if not worker_counts:
+        print("--workers must name at least one worker count", file=sys.stderr)
+        return 2
+
+    if args.engine == "batch":
+        engine = framework.batch_engine()
+    else:
+        engine = framework.walk_engine
+
+    reports: dict[int, "DsanReport"] = {}
+    for workers in worker_counts:
+        corpus = parallel_walks(
+            engine,
+            num_walks=args.num_walks,
+            length=args.length,
+            workers=workers,
+            chunk_size=args.chunk_size,
+            rng=args.seed,
+            dsan=True,
+        )
+        report = DsanReport.from_dict(corpus.metadata["dsan"])
+        reports[workers] = report
+        kernels: dict[str, int] = {}
+        for fp in report.fingerprints.values():
+            for kernel, draws in fp.kernels:
+                kernels[kernel] = kernels.get(kernel, 0) + draws
+        per_kernel = ", ".join(
+            f"{k}={v}" for k, v in sorted(kernels.items())
+        )
+        print(
+            f"workers={workers}: {len(report)} chunk(s), "
+            f"{report.total_draws} draw(s) [{per_kernel}]"
+        )
+
+    reference_workers = worker_counts[0]
+    reference = reports[reference_workers]
+    divergences: list[str] = []
+    for workers in worker_counts[1:]:
+        for line in diff_reports(reference, reports[workers]):
+            divergences.append(
+                f"workers={reference_workers} vs workers={workers}: {line}"
+            )
+    if args.compare:
+        saved = DsanReport.load(args.compare)
+        for line in diff_reports(saved, reference):
+            divergences.append(f"{args.compare} vs this run: {line}")
+
+    if args.output:
+        reference.save(args.output)
+        print(f"dsan report written to {args.output}")
+
+    if divergences:
+        for line in divergences:
+            print(f"DSAN DIVERGENCE: {line}", file=sys.stderr)
+        return 4
+    print(
+        f"dsan: per-chunk RNG fingerprints identical across "
+        f"workers={{{','.join(map(str, worker_counts))}}}"
+    )
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -317,7 +464,7 @@ def main(argv: list[str] | None = None) -> int:
         from .analysis.lint import lint_main
 
         return lint_main(argv[1:])
-    if argv and argv[0] in ("info", "optimize", "walk"):
+    if argv and argv[0] in ("info", "optimize", "walk", "dsan-report"):
         return _run_tool(argv)
     # Fall through to the experiment parser for its help/error message.
     return _run_experiments(argv)

@@ -193,6 +193,32 @@ class InjectedFaultError(ReproError):
         return (type(self), (self.chunk_index, self.attempt))
 
 
+class DeterminismError(ReproError):
+    """The runtime determinism sanitizer observed stream divergence.
+
+    Raised by :mod:`repro.analysis.dsan` when per-chunk RNG fingerprints
+    (draw counts and draw-order digests) differ between runs that the
+    framework guarantees bit-identical — e.g. the same corpus generated
+    with different worker counts, or a retried chunk consuming its RNG
+    stream differently from the attempt it replaced.  The message lists
+    the diverging chunks; the attached reports carry the full evidence.
+    """
+
+    def __init__(self, divergences: list, detail: str = "") -> None:
+        self.divergences = list(divergences)
+        lines = "; ".join(str(d) for d in self.divergences[:5])
+        more = (
+            f" (+{len(self.divergences) - 5} more)"
+            if len(self.divergences) > 5
+            else ""
+        )
+        suffix = f" — {detail}" if detail else ""
+        super().__init__(
+            f"determinism sanitizer: {len(self.divergences)} diverging "
+            f"chunk(s): {lines}{more}{suffix}"
+        )
+
+
 class CheckpointError(ReproError):
     """A walk checkpoint file is unreadable or belongs to a different run
     (mismatched signature, seeds, or chunking)."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import os
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
@@ -50,7 +51,13 @@ class WalkCheckpoint:
             handle.flush()
             os.fsync(handle.fileno())
 
-    def append(self, chunk_index: int, seed: int, nodes, walks) -> None:
+    def append(
+        self,
+        chunk_index: int,
+        seed: int,
+        nodes: Iterable[int],
+        walks: Sequence[Any],
+    ) -> None:
         """Persist one completed chunk (flushed + fsync'd)."""
         record = {
             "kind": "chunk",

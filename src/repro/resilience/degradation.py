@@ -16,12 +16,13 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from ..cost import CostTable
 from ..exceptions import SimulatedOOMError
-from ..optimizer.assignment import as_kind, column_code
+from ..optimizer.assignment import TraceEntry, as_kind, column_code
 
 
 @dataclass(frozen=True)
@@ -79,7 +80,7 @@ class DegradationLog:
 
 def events_from_trace(
     table: CostTable,
-    popped_entries,
+    popped_entries: "Sequence[TraceEntry]",
     initial_used: float,
     chargeable_mask: np.ndarray | None = None,
 ) -> list[DegradationEvent]:

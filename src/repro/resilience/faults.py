@@ -33,6 +33,11 @@ class FaultKind(str, Enum):
     HANG = "hang"
     #: return the right number of walks but with out-of-range node ids.
     CORRUPT = "corrupt"
+    #: silently burn extra draws from the chunk's RNG before walking.
+    #: The walks remain *valid* (right count, right starts, in-range
+    #: nodes) so every structural validator passes — only the
+    #: determinism sanitizer's stream fingerprint can catch it.
+    DESYNC = "desync"
 
 
 @dataclass(frozen=True)
@@ -125,6 +130,29 @@ class FaultPlan:
             raise InjectedFaultError(chunk_index, attempt)
         if fault is FaultKind.HANG:
             time.sleep(self.hang_seconds)
+
+    def perturb_rng(
+        self, chunk_index: int, attempt: int, rng: np.random.Generator
+    ) -> None:
+        """Desynchronisation hook, applied to the chunk's generator.
+
+        Burns a deterministic number of draws (derived from the plan
+        seed) before any walk is taken, shifting the chunk onto a
+        different — but still perfectly legal — stream.  This is the
+        bug class no output validator can see: the corpus differs from
+        the reproducible one yet every walk in it is well-formed.
+        """
+        if self.fault_for(chunk_index, attempt) is not FaultKind.DESYNC:
+            return
+        burn = 1 + int(
+            np.random.default_rng(
+                np.random.SeedSequence(
+                    entropy=int(self.seed),
+                    spawn_key=(int(chunk_index), int(attempt)),
+                )
+            ).integers(1, 8)
+        )
+        rng.integers(0, 2**31, size=burn)
 
     def after_chunk(self, chunk_index: int, attempt: int, walks: list) -> list:
         """Corruption hook, applied to the chunk's finished walk list.

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Callable
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -76,7 +76,7 @@ class RetryPolicy:
         return float(min(self.max_delay, raw * (1.0 + self.jitter * u)))
 
 
-def as_retry_policy(retry) -> RetryPolicy:
+def as_retry_policy(retry: "RetryPolicy | int | np.integer | None") -> RetryPolicy:
     """Normalise ``None`` (default policy), an int (attempt count), or a
     ready :class:`RetryPolicy`."""
     if retry is None:
@@ -176,7 +176,7 @@ class ChunkSupervisor:
         self._sleep = sleep
 
     # ------------------------------------------------------------------
-    def run_sequential(self, tasks) -> SupervisedRun:
+    def run_sequential(self, tasks: Sequence[Any]) -> SupervisedRun:
         """Drain ``tasks`` inline, one attempt at a time."""
         run = SupervisedRun()
         for task in tasks:
@@ -200,7 +200,7 @@ class ChunkSupervisor:
                 break
         return run
 
-    def run_pool(self, pool, tasks) -> SupervisedRun:
+    def run_pool(self, pool: Any, tasks: Sequence[Any]) -> SupervisedRun:
         """Drain ``tasks`` through a multiprocessing pool.
 
         All first attempts are submitted immediately; retries are
@@ -213,7 +213,7 @@ class ChunkSupervisor:
         pending: dict[int, tuple] = {}  # index -> (async_result, deadline, attempt, task)
         backlog: list[tuple] = []  # (not_before, attempt, task)
 
-        def submit(task, attempt):
+        def submit(task: Any, attempt: int) -> None:
             attempted = replace(task, attempt=attempt)
             run.attempts[task.index] = attempt + 1
             handle = pool.apply_async(self.run_one, (attempted,))
@@ -268,7 +268,7 @@ class ChunkSupervisor:
         return run
 
     # ------------------------------------------------------------------
-    def _record_success(self, run: SupervisedRun, task, result) -> None:
+    def _record_success(self, run: SupervisedRun, task: Any, result: Any) -> None:
         run.results[task.index] = result
         if task.attempt > 0:
             run.events.append(
@@ -281,7 +281,9 @@ class ChunkSupervisor:
         if self.on_success is not None:
             self.on_success(task, result)
 
-    def _handle_failure(self, run: SupervisedRun, task, attempt, exc) -> bool:
+    def _handle_failure(
+        self, run: SupervisedRun, task: Any, attempt: int, exc: Exception
+    ) -> bool:
         """Record the failure; return True to retry, False when final."""
         final = attempt + 1 >= self.policy.max_attempts
         run.events.append(

@@ -356,7 +356,13 @@ class BatchWalkEngine:
     # naive path: segmented inverse-CDF over on-demand distributions
     # ------------------------------------------------------------------
     @hot_path
-    def _n2e_naive(self, sub, current, trails, gen) -> None:
+    def _n2e_naive(
+        self,
+        sub: np.ndarray,
+        current: np.ndarray,
+        trails: np.ndarray,
+        gen: np.random.Generator,
+    ) -> None:
         vs, group, _counts = np.unique(
             current[sub], return_inverse=True, return_counts=True
         )
@@ -377,7 +383,15 @@ class BatchWalkEngine:
         self._count("naive", len(vs), len(sub))
 
     @hot_path
-    def _e2e_naive(self, sub, previous, current, trails, t, gen) -> None:
+    def _e2e_naive(
+        self,
+        sub: np.ndarray,
+        previous: np.ndarray,
+        current: np.ndarray,
+        trails: np.ndarray,
+        t: int,
+        gen: np.random.Generator,
+    ) -> None:
         keys = previous[sub] * self._n + current[sub]
         uk, group, _counts = np.unique(
             keys, return_inverse=True, return_counts=True
@@ -465,7 +479,15 @@ class BatchWalkEngine:
     # rejection path: frontier-wide vectorised acceptance-rejection
     # ------------------------------------------------------------------
     @hot_path
-    def _e2e_rejection(self, sub, previous, current, trails, t, gen) -> None:
+    def _e2e_rejection(
+        self,
+        sub: np.ndarray,
+        previous: np.ndarray,
+        current: np.ndarray,
+        trails: np.ndarray,
+        t: int,
+        gen: np.random.Generator,
+    ) -> None:
         u_arr = previous[sub]
         v_arr = current[sub]
         base_all = self._n2e_base[v_arr]
@@ -500,7 +522,9 @@ class BatchWalkEngine:
         trails[sub, t] = result
         self._count("rejection", self._distinct_nodes(v_arr), len(sub))
 
-    def _acceptance_factors(self, sub, u_arr, v_arr) -> np.ndarray:
+    def _acceptance_factors(
+        self, sub: np.ndarray, u_arr: np.ndarray, v_arr: np.ndarray
+    ) -> np.ndarray:
         """``1 / max_t r_uvt`` per walker: the model's closed-form bound
         when it has one, else the per-edge factors held by each node's
         rejection sampler (one lookup per distinct edge state)."""
@@ -523,7 +547,15 @@ class BatchWalkEngine:
     # alias path: gathered pre-built tables, two uniforms per walker
     # ------------------------------------------------------------------
     @hot_path
-    def _e2e_alias(self, sub, previous, current, trails, t, gen) -> None:
+    def _e2e_alias(
+        self,
+        sub: np.ndarray,
+        previous: np.ndarray,
+        current: np.ndarray,
+        trails: np.ndarray,
+        t: int,
+        gen: np.random.Generator,
+    ) -> None:
         u_arr = previous[sub]
         v_arr = current[sub]
         total = len(sub)
@@ -551,7 +583,15 @@ class BatchWalkEngine:
             self._e2e_alias_extra(extra, previous, current, trails, t, gen)
         self._count("alias", groups, total)
 
-    def _e2e_alias_extra(self, sub, previous, current, trails, t, gen) -> None:
+    def _e2e_alias_extra(
+        self,
+        sub: np.ndarray,
+        previous: np.ndarray,
+        current: np.ndarray,
+        trails: np.ndarray,
+        t: int,
+        gen: np.random.Generator,
+    ) -> None:
         """Arrivals from outside ``N(v)``: gather the samplers' on-demand
         ``table_for`` tables per distinct edge state (rare, directed-only)."""
         keys = previous[sub] * self._n + current[sub]
@@ -570,7 +610,14 @@ class BatchWalkEngine:
         trails[sub, t] = self.graph.indices[self.graph.indptr[vs][group] + picks]
 
     @hot_path
-    def _n2e_alias(self, sub, current, trails, gen, bucket) -> None:
+    def _n2e_alias(
+        self,
+        sub: np.ndarray,
+        current: np.ndarray,
+        trails: np.ndarray,
+        gen: np.random.Generator,
+        bucket: int,
+    ) -> None:
         v_arr = current[sub]
         picks = self._flat_alias_pick(
             self._n2e_prob,
@@ -583,7 +630,9 @@ class BatchWalkEngine:
         self._count(_KIND_NAMES[bucket], self._distinct_nodes(v_arr), len(sub))
 
     @staticmethod
-    def _gather_tables(tables) -> tuple:
+    def _gather_tables(
+        tables: "Sequence[AliasTable]",
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Concatenate alias tables into flat prob/alias arrays."""
         sizes = np.array([t.num_outcomes for t in tables], dtype=np.int64)
         prob_flat = (
@@ -602,7 +651,12 @@ class BatchWalkEngine:
     @staticmethod
     @hot_path
     def _alias_pick(
-        prob_flat, alias_flat, starts_flat, sizes, group, gen
+        prob_flat: np.ndarray,
+        alias_flat: np.ndarray,
+        starts_flat: np.ndarray,
+        sizes: np.ndarray,
+        group: np.ndarray,
+        gen: np.random.Generator,
     ) -> np.ndarray:
         """Vectorised Walker draw per walker over gathered tables."""
         k = len(group)
@@ -615,7 +669,13 @@ class BatchWalkEngine:
 
     @staticmethod
     @hot_path
-    def _flat_alias_pick(prob_flat, alias_flat, base, sizes, gen) -> np.ndarray:
+    def _flat_alias_pick(
+        prob_flat: np.ndarray,
+        alias_flat: np.ndarray,
+        base: np.ndarray,
+        sizes: np.ndarray,
+        gen: np.random.Generator,
+    ) -> np.ndarray:
         """Vectorised Walker draw over the consolidated tables: walker ``w``
         draws from the ``sizes[w]``-wide table starting at ``base[w]``.
         Same two-uniform draw pattern (column, then keep) as
@@ -639,7 +699,13 @@ class BatchWalkEngine:
     # ------------------------------------------------------------------
     # fallback path: per-group NodeSampler batch API
     # ------------------------------------------------------------------
-    def _n2e_fallback(self, sub, current, trails, gen) -> None:
+    def _n2e_fallback(
+        self,
+        sub: np.ndarray,
+        current: np.ndarray,
+        trails: np.ndarray,
+        gen: np.random.Generator,
+    ) -> None:
         order = sub[np.argsort(current[sub], kind="stable")]
         vs, bounds = np.unique(current[order], return_index=True)
         bounds = np.append(bounds, len(order))
@@ -650,7 +716,15 @@ class BatchWalkEngine:
             )
         self._count("fallback", len(vs), len(sub))
 
-    def _e2e_fallback(self, sub, previous, current, trails, t, gen) -> None:
+    def _e2e_fallback(
+        self,
+        sub: np.ndarray,
+        previous: np.ndarray,
+        current: np.ndarray,
+        trails: np.ndarray,
+        t: int,
+        gen: np.random.Generator,
+    ) -> None:
         keys = previous[sub] * self._n + current[sub]
         order = sub[np.argsort(keys, kind="stable")]
         sorted_keys = previous[order] * self._n + current[order]

@@ -35,10 +35,19 @@ from __future__ import annotations
 import multiprocessing
 import os
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
+from ..analysis.dsan import (
+    DsanChunkResult,
+    DsanReport,
+    collect_report,
+    dsan_enabled,
+    make_chunk_rng,
+    unwrap_chunk_result,
+    verify_reports,
+)
 from ..exceptions import CheckpointError, ChunkFailure, WalkError
 from ..framework import WalkEngine
 from ..resilience import (
@@ -67,14 +76,17 @@ class WalkChunkTask:
     seed: int
     fault_plan: FaultPlan | None = None
     attempt: int = 0
+    dsan: bool = False
 
 
-def _walk_chunk(task: WalkChunkTask) -> list[np.ndarray]:
+def _walk_chunk(task: WalkChunkTask) -> "list[np.ndarray] | DsanChunkResult":
     """Worker body: generate walks for one chunk of start nodes.
 
     Any failure — injected or genuine — crosses the process boundary as a
     :class:`ChunkFailure` carrying the chunk index and start-node range,
-    on the pool path *and* the sequential fallback alike.
+    on the pool path *and* the sequential fallback alike.  When the
+    determinism sanitizer is active (``task.dsan``) the walks come back
+    wrapped with the chunk's RNG fingerprint.
     """
     engine = _SHARED_ENGINE
     if engine is None:  # pragma: no cover - defensive, fork guarantees it
@@ -82,7 +94,9 @@ def _walk_chunk(task: WalkChunkTask) -> list[np.ndarray]:
     try:
         if task.fault_plan is not None:
             task.fault_plan.before_chunk(task.index, task.attempt)
-        rng = np.random.default_rng(task.seed)
+        rng = make_chunk_rng(task.seed, dsan=task.dsan)
+        if task.fault_plan is not None:
+            task.fault_plan.perturb_rng(task.index, task.attempt, rng)
         if hasattr(engine, "walk_chunk"):
             # Batch engines advance the whole chunk frontier vectorised;
             # walk_chunk returns start-major order, same as the scalar loop.
@@ -99,6 +113,8 @@ def _walk_chunk(task: WalkChunkTask) -> list[np.ndarray]:
                     walks.append(engine.walk(v, task.length, rng))
         if task.fault_plan is not None:
             walks = task.fault_plan.after_chunk(task.index, task.attempt, walks)
+        if task.dsan:
+            return DsanChunkResult(walks, rng.fingerprint(task.index))
         return walks
     except ChunkFailure:
         raise
@@ -106,10 +122,13 @@ def _walk_chunk(task: WalkChunkTask) -> list[np.ndarray]:
         raise ChunkFailure(task.index, task.nodes, task.attempt + 1, exc) from exc
 
 
-def _chunk_validator(num_nodes: int):
+def _chunk_validator(
+    num_nodes: int,
+) -> "Callable[[WalkChunkTask, object], None]":
     """Supervisor-side result validation: catches corrupt chunk output."""
 
-    def validate(task: WalkChunkTask, walks: list) -> None:
+    def validate(task: WalkChunkTask, result: object) -> None:
+        walks, _ = unwrap_chunk_result(result)
         expected = len(task.nodes) * task.num_walks
         if len(walks) != expected:
             raise WalkError(
@@ -133,7 +152,7 @@ def _chunk_validator(num_nodes: int):
     return validate
 
 
-def _engine_tag(engine) -> str:
+def _engine_tag(engine: WalkEngine) -> str:
     """Stable identifier of the engine's RNG-stream contract."""
     return "batch" if hasattr(engine, "walk_chunk") else "scalar"
 
@@ -151,6 +170,8 @@ def run_chunked_walks(
     timeout: float | None = None,
     checkpoint: "WalkCheckpoint | str | os.PathLike | None" = None,
     on_exhausted: str = "raise",
+    dsan: "bool | None" = None,
+    dsan_expected: "DsanReport | None" = None,
 ) -> WalkCorpus:
     """Supervised execution of pre-chunked walk tasks.
 
@@ -159,6 +180,13 @@ def run_chunked_walks(
     :meth:`repro.distributed.PartitionedFramework.generate_walks` aligns
     chunks to partition boundaries.  Results are assembled in chunk order
     regardless of completion order, so the corpus is deterministic.
+
+    ``dsan`` (default: the ``REPRO_DSAN`` environment variable) turns on
+    the runtime determinism sanitizer: each chunk's RNG stream is
+    fingerprinted and the per-chunk report lands in
+    ``corpus.metadata["dsan"]``.  ``dsan_expected`` additionally verifies
+    the run against a previous report, raising
+    :class:`~repro.exceptions.DeterminismError` on divergence.
     """
     if on_exhausted not in EXHAUSTION_POLICIES:
         raise WalkError(
@@ -168,6 +196,7 @@ def run_chunked_walks(
     if len(chunks) != len(seeds):
         raise WalkError(f"{len(chunks)} chunks but {len(seeds)} seeds")
     policy = as_retry_policy(retry)
+    dsan_active = dsan_enabled(dsan)
 
     tasks = [
         WalkChunkTask(
@@ -177,6 +206,7 @@ def run_chunked_walks(
             length=length,
             seed=int(seed),
             fault_plan=fault_plan,
+            dsan=dsan_active,
         )
         for i, (chunk, seed) in enumerate(zip(chunks, seeds))
     ]
@@ -216,7 +246,8 @@ def run_chunked_walks(
             completed[index] = walks
         store.start(signature)
 
-        def on_success(task: WalkChunkTask, walks: list) -> None:
+        def on_success(task: WalkChunkTask, result: object) -> None:
+            walks, _ = unwrap_chunk_result(result)
             store.append(task.index, task.seed, task.nodes, walks)
 
     remaining = [task for task in tasks if task.index not in completed]
@@ -247,10 +278,15 @@ def run_chunked_walks(
         _SHARED_ENGINE = None
 
     corpus = WalkCorpus(failed_chunks=list(run.dead_letters))
+    fingerprints = []
     for task in tasks:
         chunk_walks = completed.get(task.index)
         if chunk_walks is None:
-            chunk_walks = run.results.get(task.index)
+            chunk_walks, fingerprint = unwrap_chunk_result(
+                run.results.get(task.index)
+            )
+            if fingerprint is not None:
+                fingerprints.append(fingerprint)
         if chunk_walks is None:
             continue  # dead-lettered; recorded on corpus.failed_chunks
         for walk in chunk_walks:
@@ -258,6 +294,23 @@ def run_chunked_walks(
     corpus.metadata["engine"] = _engine_tag(engine)
     corpus.metadata["num_chunks"] = len(chunks)
     corpus.metadata["workers"] = int(workers)
+    if dsan_active:
+        report = collect_report(
+            fingerprints,
+            meta={
+                "engine": _engine_tag(engine),
+                "num_chunks": len(chunks),
+                "workers": int(workers),
+                "replayed_chunks": sorted(completed),
+            },
+        )
+        corpus.metadata["dsan"] = report.to_dict()
+        if dsan_expected is not None:
+            verify_reports(
+                dsan_expected,
+                report,
+                detail=f"run with workers={int(workers)}",
+            )
     if hasattr(engine, "stats"):
         # Batch-engine dispatch/cache counters.  Only in-process chunks
         # accumulate here: counters bumped inside forked pool workers stay
@@ -280,6 +333,8 @@ def parallel_walks(
     timeout: float | None = None,
     checkpoint: "WalkCheckpoint | str | os.PathLike | None" = None,
     on_exhausted: str = "raise",
+    dsan: "bool | None" = None,
+    dsan_expected: "DsanReport | None" = None,
 ) -> WalkCorpus:
     """Generate ``num_walks`` walks per start node across worker processes.
 
@@ -318,6 +373,15 @@ def parallel_walks(
         :class:`~repro.exceptions.ChunkFailure`; ``"dead-letter"`` — it is
         recorded on ``WalkCorpus.failed_chunks`` and the rest of the
         corpus is still returned.
+    dsan:
+        Runtime determinism sanitizer switch (default: ``REPRO_DSAN``
+        env var).  Fingerprints every chunk's RNG stream into
+        ``corpus.metadata["dsan"]`` without changing a single sampled
+        value.
+    dsan_expected:
+        A :class:`~repro.analysis.dsan.DsanReport` from a previous run
+        to verify against; divergence raises
+        :class:`~repro.exceptions.DeterminismError`.
 
     Requires a ``fork``-capable platform (Linux/macOS).  Falls back to the
     sequential path when fork is unavailable.
@@ -352,4 +416,6 @@ def parallel_walks(
         timeout=timeout,
         checkpoint=checkpoint,
         on_exhausted=on_exhausted,
+        dsan=dsan,
+        dsan_expected=dsan_expected,
     )

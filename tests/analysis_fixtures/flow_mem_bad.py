@@ -1,0 +1,28 @@
+"""FLOW-MEM fixture: degree-sized state escaping without accounting."""
+
+import numpy as np
+
+_TABLE_CACHE = {}
+
+
+class LeakySampler:
+    """Alias-style sampler that never reports its footprint."""
+
+    def __init__(self, num_outcomes):
+        self.num_outcomes = num_outcomes
+
+    def build(self):
+        probs = np.zeros(self.num_outcomes)  # degree-sized scratch
+        self.probs = probs  # finding: stored on self, no accounting
+        return self.probs
+
+
+def build_table(num_outcomes):
+    table = np.empty(num_outcomes)
+    return table
+
+
+def cache_table(node, num_outcomes):
+    table = build_table(num_outcomes)
+    _TABLE_CACHE[node] = table  # finding: returned value stored in a global
+    return table

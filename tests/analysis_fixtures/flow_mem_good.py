@@ -1,0 +1,23 @@
+"""FLOW-MEM fixture: accounted or transient degree-sized allocations."""
+
+import numpy as np
+
+
+class AccountedSampler:
+    """Alias-style sampler that reports every byte it holds."""
+
+    def __init__(self, num_outcomes):
+        self.num_outcomes = num_outcomes
+
+    def build(self):
+        probs = np.zeros(self.num_outcomes)
+        self.probs = probs  # fine: memory_bytes() covers it
+        return self.probs
+
+    def memory_bytes(self):
+        return float(self.probs.nbytes)
+
+
+def transient_sum(num_outcomes):
+    scratch = np.zeros(num_outcomes)  # fine: dies with the frame
+    return float(scratch.sum())

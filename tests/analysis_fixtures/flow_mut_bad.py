@@ -1,0 +1,26 @@
+"""FLOW-MUT fixture: shared-state writes inside worker-reachable code."""
+
+import os
+from multiprocessing import Pool
+
+_PROGRESS = {}
+_SEEN = []
+_TOTAL = 0
+
+
+def work_chunk(chunk):
+    global _TOTAL
+    _TOTAL += len(chunk)  # finding: module-global assignment in a worker
+    _PROGRESS[chunk[0]] = True  # finding: item store on module-level dict
+    os.environ.update(REPRO_CHUNK="1")  # finding: environment mutation
+    return summarize(chunk)
+
+
+def summarize(chunk):
+    _SEEN.append(chunk[0])  # finding: mutating call, transitively reachable
+    return len(chunk)
+
+
+def run(chunks):
+    with Pool(2) as pool:
+        return pool.map(work_chunk, chunks)

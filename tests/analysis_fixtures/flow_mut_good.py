@@ -1,0 +1,17 @@
+"""FLOW-MUT fixture: workers mutate only their own frame, then return."""
+
+from multiprocessing import Pool
+
+
+def work_chunk(chunk):
+    seen = []
+    seen.append(chunk[0])  # fine: local container
+    return len(chunk), seen
+
+
+def run(chunks):
+    totals = {}
+    with Pool(2) as pool:
+        for index, (count, _) in enumerate(pool.map(work_chunk, chunks)):
+            totals[index] = count  # fine: parent-side aggregation
+    return totals

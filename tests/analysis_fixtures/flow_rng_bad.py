@@ -1,0 +1,44 @@
+"""FLOW-RNG fixture: every RNG-provenance leak the pass rejects."""
+
+from multiprocessing import Pool
+
+from numpy.random import default_rng
+
+from repro.hotpath import hot_path
+
+_GLOBAL_RNG = default_rng(7)  # finding: ambient module-level generator
+
+
+def fresh_entropy():
+    return default_rng()  # finding: unseeded construction
+
+
+def ambient_draw(n):
+    return _GLOBAL_RNG.random(n)  # finding: draw on module-level generator
+
+
+def sample_from(gen, n):
+    return gen.integers(0, n, size=n)
+
+
+def indirect_ambient(n):
+    # finding: ambient generator flows into a function that samples from it
+    return sample_from(_GLOBAL_RNG, n)
+
+
+def ship_live_state(chunks, seed):
+    rng = default_rng(seed)
+    with Pool(2) as pool:
+        # finding: live generator state crosses the process boundary
+        return pool.map(work_chunk, [(rng, c) for c in chunks])
+
+
+def work_chunk(payload):
+    rng, chunk = payload
+    return rng.random(len(chunk))
+
+
+@hot_path
+def kernel(sub, gen):
+    extra = default_rng(123)  # finding: generator constructed in a kernel
+    return gen.random(sub) + extra.random(sub)

@@ -1,0 +1,28 @@
+"""FLOW-RNG fixture: seed-derived, threaded generators — all allowed."""
+
+from multiprocessing import Pool
+
+from numpy.random import default_rng
+
+from repro.hotpath import hot_path
+
+
+def derive_seeds(rng, n):
+    return [int(s) for s in rng.integers(0, 2**31, size=n)]
+
+
+def run_chunks(chunks, rng):
+    seeds = derive_seeds(rng, len(chunks))
+    with Pool(2) as pool:
+        # Only derived seeds cross the boundary; workers rebuild.
+        return pool.starmap(work_chunk, zip(seeds, chunks))
+
+
+def work_chunk(seed, chunk):
+    rng = default_rng(seed)
+    return rng.random(len(chunk))
+
+
+@hot_path
+def kernel(sub, gen):
+    return gen.random(sub)

@@ -1,0 +1,248 @@
+"""Tests for the runtime determinism sanitizer (``repro.analysis.dsan``).
+
+The sanitizer's core promises, each pinned here:
+
+* enabling it never changes a sampled value (the recording generator is
+  bit-identical to ``default_rng(seed)``);
+* chunk fingerprints are invariant under the worker count;
+* a deliberately desynchronised worker RNG — walks still perfectly
+  well-formed — is detected and reported loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DeterminismError, Node2VecModel
+from repro.analysis.dsan import (
+    DSAN_ENV,
+    ChunkFingerprint,
+    DsanReport,
+    RecordingGenerator,
+    diff_reports,
+    dsan_enabled,
+    make_chunk_rng,
+    verify_reports,
+)
+from repro.graph import barabasi_albert_graph
+from repro.resilience import FaultKind, FaultPlan
+from repro.rng import ensure_rng
+from repro.walks import BatchWalkEngine, parallel_walks
+
+WALK_KWARGS = dict(num_walks=2, length=10, chunk_size=8, rng=7)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    graph = barabasi_albert_graph(40, 3, rng=5)
+    return BatchWalkEngine(graph, Node2VecModel(0.5, 2.0))
+
+
+# ----------------------------------------------------------------------
+# the recording generator
+# ----------------------------------------------------------------------
+class TestRecordingGenerator:
+    def test_stream_is_bit_identical_to_default_rng(self):
+        plain = np.random.default_rng(42)
+        recording = RecordingGenerator(42)
+        assert np.array_equal(
+            plain.integers(0, 100, size=32), recording.integers(0, 100, size=32)
+        )
+        assert np.array_equal(plain.random(16), recording.random(16))
+        a, b = np.arange(20), np.arange(20)
+        plain.shuffle(a)
+        recording.shuffle(b)
+        assert np.array_equal(a, b)
+
+    def test_passes_through_ensure_rng(self):
+        recording = RecordingGenerator(3)
+        assert ensure_rng(recording) is recording
+
+    def test_fingerprint_counts_and_replays(self):
+        first = RecordingGenerator(11)
+        first.random(5)
+        first.integers(0, 9, size=3)
+        replay = RecordingGenerator(11)
+        replay.random(5)
+        replay.integers(0, 9, size=3)
+        assert first.fingerprint(0) == replay.fingerprint(0)
+        assert first.fingerprint(0).draws == 2
+
+    def test_fingerprint_is_order_sensitive(self):
+        ab = RecordingGenerator(11)
+        ab.random(5)
+        ab.integers(0, 9, size=3)
+        # Same draw count, different order -> different digest.
+        ba = RecordingGenerator(11)
+        ba.integers(0, 9, size=3)
+        ba.random(5)
+        assert ab.fingerprint(0).draws == ba.fingerprint(0).draws
+        assert ab.fingerprint(0).digest != ba.fingerprint(0).digest
+
+    def test_make_chunk_rng_streams_agree(self):
+        plain = make_chunk_rng(123, dsan=False)
+        recording = make_chunk_rng(123, dsan=True)
+        assert not isinstance(plain, RecordingGenerator)
+        assert isinstance(recording, RecordingGenerator)
+        assert np.array_equal(plain.random(8), recording.random(8))
+
+
+# ----------------------------------------------------------------------
+# the environment/flag switch
+# ----------------------------------------------------------------------
+class TestDsanEnabled:
+    def test_explicit_flag_wins(self, monkeypatch):
+        monkeypatch.setenv(DSAN_ENV, "1")
+        assert dsan_enabled(False) is False
+        monkeypatch.delenv(DSAN_ENV)
+        assert dsan_enabled(True) is True
+
+    @pytest.mark.parametrize("value,expected", [
+        ("", False), ("0", False), ("false", False), ("no", False),
+        ("1", True), ("true", True), ("yes", True),
+    ])
+    def test_env_parsing(self, monkeypatch, value, expected):
+        monkeypatch.setenv(DSAN_ENV, value)
+        assert dsan_enabled() is expected
+
+
+# ----------------------------------------------------------------------
+# fingerprints are worker-count invariant
+# ----------------------------------------------------------------------
+class TestWorkerInvariance:
+    def test_identical_fingerprints_across_1_2_4_workers(self, engine):
+        reports = {}
+        corpora = {}
+        for workers in (1, 2, 4):
+            corpus = parallel_walks(
+                engine, workers=workers, dsan=True, **WALK_KWARGS
+            )
+            corpora[workers] = corpus
+            reports[workers] = DsanReport.from_dict(corpus.metadata["dsan"])
+        baseline = reports[1]
+        assert len(baseline) > 1  # more than one chunk, or the test is vacuous
+        assert baseline.total_draws > 0
+        for workers in (2, 4):
+            assert diff_reports(baseline, reports[workers]) == []
+            for a, b in zip(corpora[1], corpora[workers]):
+                assert np.array_equal(a, b)
+
+    def test_sanitizer_does_not_change_walks(self, engine):
+        plain = parallel_walks(engine, workers=2, dsan=False, **WALK_KWARGS)
+        sanitized = parallel_walks(engine, workers=2, dsan=True, **WALK_KWARGS)
+        assert "dsan" not in plain.metadata
+        assert "dsan" in sanitized.metadata
+        for a, b in zip(plain, sanitized):
+            assert np.array_equal(a, b)
+
+    def test_kernel_attribution_present(self, engine):
+        corpus = parallel_walks(engine, workers=1, dsan=True, **WALK_KWARGS)
+        report = DsanReport.from_dict(corpus.metadata["dsan"])
+        kernels = set()
+        for fp in report.fingerprints.values():
+            kernels.update(dict(fp.kernels))
+        assert any(k != "<chunk>" for k in kernels)
+
+    def test_env_variable_activates_sanitizer(self, engine, monkeypatch):
+        monkeypatch.setenv(DSAN_ENV, "1")
+        corpus = parallel_walks(engine, workers=1, **WALK_KWARGS)
+        assert "dsan" in corpus.metadata
+
+
+# ----------------------------------------------------------------------
+# detection: a desynchronised worker RNG is caught
+# ----------------------------------------------------------------------
+class TestDesyncDetection:
+    DESYNC = FaultPlan(
+        seed=0,
+        kind=FaultKind.DESYNC,
+        chunks=frozenset({1}),
+        failures_per_chunk=None,
+    )
+
+    def test_desync_changes_fingerprint_not_validity(self, engine):
+        clean = parallel_walks(engine, workers=1, dsan=True, **WALK_KWARGS)
+        desynced = parallel_walks(
+            engine, workers=1, dsan=True, fault_plan=self.DESYNC, **WALK_KWARGS
+        )
+        expected = DsanReport.from_dict(clean.metadata["dsan"])
+        actual = DsanReport.from_dict(desynced.metadata["dsan"])
+        divergences = diff_reports(expected, actual)
+        assert len(divergences) == 1
+        assert divergences[0].startswith("chunk 1:")
+        # The corpus itself is structurally valid — every walk passed the
+        # supervisor's validator — which is exactly why only the
+        # sanitizer can catch this bug class.
+        assert len(desynced) == len(clean)
+
+    def test_verify_reports_raises_determinism_error(self, engine):
+        clean = parallel_walks(engine, workers=1, dsan=True, **WALK_KWARGS)
+        expected = DsanReport.from_dict(clean.metadata["dsan"])
+        with pytest.raises(DeterminismError, match="chunk 1"):
+            parallel_walks(
+                engine,
+                workers=1,
+                dsan=True,
+                dsan_expected=expected,
+                fault_plan=self.DESYNC,
+                **WALK_KWARGS,
+            )
+
+    def test_matching_expectation_passes(self, engine):
+        clean = parallel_walks(engine, workers=2, dsan=True, **WALK_KWARGS)
+        expected = DsanReport.from_dict(clean.metadata["dsan"])
+        again = parallel_walks(
+            engine, workers=1, dsan=True, dsan_expected=expected, **WALK_KWARGS
+        )
+        assert "dsan" in again.metadata
+
+
+# ----------------------------------------------------------------------
+# reports: round-trip, diff semantics
+# ----------------------------------------------------------------------
+class TestReports:
+    def _report(self):
+        report = DsanReport(meta={"engine": "batch"})
+        report.record(ChunkFingerprint(
+            index=0, seed=11, draws=4, digest="aa" * 20,
+            kernels=(("<chunk>", 1), ("_flat_alias_pick", 3)),
+        ))
+        report.record(ChunkFingerprint(
+            index=1, seed=12, draws=5, digest="bb" * 20,
+        ))
+        return report
+
+    def test_save_load_round_trip(self, tmp_path):
+        report = self._report()
+        path = tmp_path / "dsan.json"
+        report.save(path)
+        loaded = DsanReport.load(path)
+        assert loaded.fingerprints == report.fingerprints
+        assert loaded.meta == report.meta
+        assert loaded.total_draws == 9
+
+    def test_diff_ignores_disjoint_chunks(self):
+        a, b = self._report(), DsanReport()
+        b.record(a.fingerprints[0])
+        # b has no chunk 1 (e.g. replayed from checkpoint): not a divergence.
+        assert diff_reports(a, b) == []
+
+    def test_diff_explains_draw_count_mismatch(self):
+        a = self._report()
+        b = self._report()
+        b.record(ChunkFingerprint(
+            index=1, seed=12, draws=7, digest="cc" * 20,
+        ))
+        divergences = diff_reports(a, b)
+        assert divergences == ["chunk 1: draw count 5 vs 7"]
+        with pytest.raises(DeterminismError, match="draw count 5 vs 7"):
+            verify_reports(a, b, detail="unit test")
+
+    def test_digest_only_mismatch_is_reported(self):
+        a = self._report()
+        b = self._report()
+        b.record(ChunkFingerprint(
+            index=0, seed=11, draws=4, digest="dd" * 20,
+            kernels=(("<chunk>", 1), ("_flat_alias_pick", 3)),
+        ))
+        (message,) = diff_reports(a, b)
+        assert "draw-order digest" in message

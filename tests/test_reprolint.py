@@ -20,7 +20,11 @@ from repro.analysis.lint import (
 )
 from repro.analysis.lint.baseline import BaselineEntry
 from repro.analysis.lint.engine import RULE_REGISTRY, Rule, register_rule
-from repro.analysis.lint.runner import default_baseline_path, discover_files
+from repro.analysis.lint.runner import (
+    changed_files,
+    default_baseline_path,
+    discover_files,
+)
 
 FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
 REPO_ROOT = default_baseline_path().parent
@@ -326,3 +330,144 @@ def test_committed_baseline_entries_are_justified():
     for entry in baseline.entries.values():
         assert entry.justification
         assert "TODO" not in entry.justification
+
+
+# ----------------------------------------------------------------------
+# CLI edge cases: broken inputs must exit 2, never crash or pass
+# ----------------------------------------------------------------------
+def test_cli_corrupt_baseline_is_config_error(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text("{not json")
+    argv = [str(FIXTURES / "def_good.py"), "--baseline", str(baseline)]
+    assert lint_main(argv) == 2
+    assert "cannot read baseline" in capsys.readouterr().err
+
+
+def test_cli_unsupported_baseline_version_is_config_error(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({"version": 99, "findings": []}))
+    argv = [str(FIXTURES / "def_good.py"), "--baseline", str(baseline)]
+    assert lint_main(argv) == 2
+    assert "version" in capsys.readouterr().err
+
+
+def test_missing_baseline_file_loads_empty():
+    baseline = Baseline.load(Path("no-such-reprolint-baseline.json"))
+    assert len(baseline) == 0
+
+
+def test_cli_syntax_error_is_config_error(tmp_path, capsys):
+    target = tmp_path / "broken.py"
+    target.write_text("def f(:\n")
+    assert lint_main([str(target), "--no-baseline"]) == 2
+    assert "cannot parse" in capsys.readouterr().err
+
+
+def test_cli_unknown_flow_style_rule_is_config_error(capsys):
+    argv = ["--rules", "FLOW-NOPE", str(FIXTURES / "def_good.py")]
+    assert lint_main(argv) == 2
+
+
+def test_empty_file_lints_clean_even_with_flow(tmp_path):
+    target = tmp_path / "empty.py"
+    target.write_text("")
+    result, _ = run_lint(
+        [target], rules=["RNG001"], baseline=Baseline(), root=tmp_path, flow=True
+    )
+    assert result.new_findings == []
+    assert result.files == ["empty.py"]
+
+
+def test_cli_changed_with_unknown_ref_is_config_error(capsys):
+    argv = [str(FIXTURES / "def_good.py"), "--changed", "no-such-ref-xyz"]
+    assert lint_main(argv) == 2
+    assert "no-such-ref-xyz" in capsys.readouterr().err
+
+
+def test_changed_files_lists_modified_python(tmp_path):
+    import subprocess
+
+    def git(*argv):
+        subprocess.run(
+            ["git", "-c", "user.email=t@t.invalid", "-c", "user.name=t", *argv],
+            cwd=tmp_path,
+            check=True,
+            capture_output=True,
+        )
+
+    git("init", "-q")
+    (tmp_path / "tracked.py").write_text("X = 1\n")
+    (tmp_path / "notes.txt").write_text("not python\n")
+    git("add", "tracked.py", "notes.txt")
+    git("commit", "-qm", "init")
+    (tmp_path / "tracked.py").write_text("X = 2\n")  # modified
+    (tmp_path / "fresh.py").write_text("Y = 1\n")  # untracked
+    changed = changed_files("HEAD", root=tmp_path)
+    assert changed == {"tracked.py", "fresh.py"}
+
+
+# ----------------------------------------------------------------------
+# baseline fingerprints: whitespace insensitivity and v1 -> v2 migration
+# ----------------------------------------------------------------------
+def test_v2_fingerprint_survives_reformatting():
+    finding = Finding(
+        rule="X001", severity="error", path="p.py", line=1, col=1, message="m"
+    )
+    assert finding.fingerprint("def f(acc=[]):") == finding.fingerprint(
+        "  def f( acc = [] ):  "
+    )
+    # The legacy scheme only collapsed runs, so reformatting broke it.
+    assert finding.fingerprint(
+        "def f(acc=[]):", version=1
+    ) != finding.fingerprint("def f( acc = [] ):", version=1)
+
+
+def test_v1_baseline_matches_then_migrates_to_v2(tmp_path, capsys):
+    target = tmp_path / "module.py"
+    target.write_text('"""Doc."""\n\n\ndef f(acc=[]):\n    return acc\n')
+    result, _ = run_lint(
+        [target], rules=["DEF001"], baseline=Baseline()
+    )
+    (finding,) = result.new_findings
+    line_text = target.read_text().splitlines()[finding.line - 1]
+    old_print = finding.fingerprint(line_text, 0, version=1)
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(
+        json.dumps(
+            {
+                "version": 1,
+                "findings": [
+                    {
+                        "fingerprint": old_print,
+                        "rule": finding.rule,
+                        "path": finding.path,
+                        "symbol": finding.symbol,
+                        "justification": "kept for the test",
+                    }
+                ],
+            }
+        )
+    )
+    argv = [
+        str(target),
+        "--rules",
+        "DEF001",
+        "--baseline",
+        str(baseline_path),
+    ]
+    # Not yet migrated: the legacy fingerprint still matches.
+    assert lint_main(argv + ["--check"]) == 0
+    # --update-baseline rewrites to version 2, keeping the justification.
+    assert lint_main(argv + ["--update-baseline"]) == 0
+    payload = json.loads(baseline_path.read_text())
+    assert payload["version"] == 2
+    (entry,) = payload["findings"]
+    assert entry["justification"] == "kept for the test"
+    assert entry["fingerprint"] != old_print
+    capsys.readouterr()
+    assert lint_main(argv + ["--check"]) == 0
+
+
+def test_committed_baseline_is_current_version():
+    payload = json.loads(default_baseline_path().read_text())
+    assert payload["version"] == 2
