@@ -19,19 +19,29 @@ scalar engine walks start nodes under a wall-clock budget and its rate is
 extrapolated from the walks it completed (flagged ``extrapolated`` in the
 output — the per-walk cost is constant, so the extrapolation is safe).
 
+The assignment-aware configuration is additionally benchmarked once per
+available kernel backend (``numpy`` always; ``numba`` when the soft dep
+imports), as ``assignment_aware_batch`` and
+``assignment_aware_batch[numba]`` — every backend consumes the identical
+pre-drawn uniform stream, so the matrix measures pure kernel speed.
+
 Usage::
 
     python benchmarks/bench_engine.py                  # full trajectory
     python benchmarks/bench_engine.py --smoke --check  # CI smoke gate
+    python benchmarks/bench_engine.py --quick --check  # CI, no extrapolation
     python benchmarks/bench_engine.py --output BENCH_walks.json
 
-``--check`` exits non-zero if the assignment-aware batch engine is not
-faster than the scalar engine at every scale.
+``--check`` exits non-zero if any batch configuration fails to beat the
+scalar engine at any scale.  ``--quick`` sizes the workload so every
+engine finishes inside the budget: no rate is extrapolated, which makes
+the numbers directly comparable across CI runs.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib.util
 import json
 import platform
 import sys
@@ -55,6 +65,23 @@ from repro.walks import BatchWalkEngine
 
 #: starts handed to one walk_chunk call; bounds frontier memory.
 BATCH_CHUNK = 4096
+
+
+def kernel_backends() -> list[str]:
+    """Backends to bench: numpy always, numba when importable."""
+    backends = ["numpy"]
+    if importlib.util.find_spec("numba") is not None:
+        backends.append("numba")
+    return backends
+
+
+def numba_version() -> "str | None":
+    """Version of the optional numba dep, None when absent."""
+    if importlib.util.find_spec("numba") is None:
+        return None
+    import numba
+
+    return str(numba.__version__)
 
 
 def build_graph(num_nodes: int, *, attach: int = 5, seed: int = 0):
@@ -127,33 +154,48 @@ def run_scale(num_nodes, *, num_walks, length, time_budget, seed=0):
     done, secs, trunc = bench_scalar(
         framework, starts, num_walks, length, time_budget
     )
-    configs["scalar"] = (done, secs, trunc)
+    configs["scalar"] = (done, secs, trunc, None)
 
     naive_engine = BatchWalkEngine(graph, model)
     done, secs, trunc = bench_batch(
         naive_engine, starts, num_walks, length, time_budget
     )
-    configs["batched_naive"] = (done, secs, trunc)
+    configs["batched_naive"] = (done, secs, trunc, "numpy")
 
-    aware_engine = framework.batch_engine()
-    done, secs, trunc = bench_batch(
-        aware_engine, starts, num_walks, length, time_budget
-    )
-    configs["assignment_aware_batch"] = (done, secs, trunc)
+    aware_engine = None
+    for backend in kernel_backends():
+        aware_engine = framework.batch_engine(backend=backend)
+        # One tiny untimed chunk first: a compiled backend JITs (or loads
+        # its on-disk cache) on first call, and that cost is setup, not
+        # steady-state throughput.
+        aware_engine.walk_chunk(
+            starts[:8], num_walks=1, length=4, rng=np.random.default_rng(0)
+        )
+        done, secs, trunc = bench_batch(
+            aware_engine, starts, num_walks, length, time_budget
+        )
+        key = (
+            "assignment_aware_batch"
+            if backend == "numpy"
+            else f"assignment_aware_batch[{backend}]"
+        )
+        configs[key] = (done, secs, trunc, backend)
 
     engines = {}
-    for name, (done, secs, trunc) in configs.items():
+    for name, (done, secs, trunc, backend) in configs.items():
         engines[name] = {
             "walks_per_sec": round(done / secs, 2) if secs > 0 else None,
             "walks_timed": int(done),
             "seconds": round(secs, 3),
             "extrapolated": bool(trunc),
         }
+        if backend is not None:
+            engines[name]["backend"] = backend
     cache_stats = aware_engine.cache.stats() if aware_engine.cache else None
     counts = framework.assignment.counts()
     scalar_rate = engines["scalar"]["walks_per_sec"]
     aware_rate = engines["assignment_aware_batch"]["walks_per_sec"]
-    return {
+    result = {
         "num_nodes": int(graph.num_nodes),
         "num_edges": int(graph.num_edges),
         "total_walks": int(total_walks),
@@ -165,6 +207,12 @@ def run_scale(num_nodes, *, num_walks, length, time_budget, seed=0):
             round(aware_rate / scalar_rate, 2) if scalar_rate else None
         ),
     }
+    numba_entry = engines.get("assignment_aware_batch[numba]")
+    if numba_entry is not None and aware_rate:
+        result["speedup_numba_vs_numpy"] = round(
+            numba_entry["walks_per_sec"] / aware_rate, 2
+        )
+    return result
 
 
 def main(argv=None) -> int:
@@ -175,9 +223,17 @@ def main(argv=None) -> int:
         help="small single-scale run for CI (seconds, not minutes)",
     )
     parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "small single-scale run sized to finish inside the budget: "
+            "no engine is truncated, no rate is extrapolated"
+        ),
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
-        help="exit non-zero unless assignment-aware batch beats scalar",
+        help="exit non-zero unless every batch config beats scalar",
     )
     parser.add_argument(
         "--output",
@@ -192,7 +248,13 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.smoke:
+    if args.quick:
+        # Sized so even the scalar engine completes the workload: every
+        # `extrapolated` flag comes out False and runs compare cleanly.
+        scales = [1_000]
+        num_walks, length = 1, 10
+        time_budget = args.time_budget or 600.0
+    elif args.smoke:
         scales = [2_000]
         num_walks, length = 2, 20
         time_budget = args.time_budget or 10.0
@@ -220,7 +282,7 @@ def main(argv=None) -> int:
 
     report = {
         "benchmark": "walk-engine-trajectory",
-        "mode": "smoke" if args.smoke else "full",
+        "mode": "quick" if args.quick else ("smoke" if args.smoke else "full"),
         "workload": {
             "graph": "barabasi-albert power law (attach=5)",
             "model": "node2vec a=0.25 b=4.0",
@@ -235,6 +297,8 @@ def main(argv=None) -> int:
         "environment": {
             "python": platform.python_version(),
             "numpy": np.__version__,
+            "numba": numba_version(),
+            "kernel_backends": kernel_backends(),
         },
         "results": results,
     }
@@ -246,15 +310,22 @@ def main(argv=None) -> int:
         failures = []
         for entry in results:
             scalar = entry["engines"]["scalar"]["walks_per_sec"]
-            aware = entry["engines"]["assignment_aware_batch"]["walks_per_sec"]
-            if scalar is None or aware is None or aware <= scalar:
-                failures.append(
-                    f"{entry['num_nodes']} nodes: batch {aware} <= scalar {scalar}"
-                )
+            for name, stats in entry["engines"].items():
+                if not name.startswith("assignment_aware_batch"):
+                    continue
+                rate = stats["walks_per_sec"]
+                if scalar is None or rate is None or rate <= scalar:
+                    failures.append(
+                        f"{entry['num_nodes']} nodes: {name} {rate} "
+                        f"<= scalar {scalar}"
+                    )
         if failures:
             print("[bench_engine] CHECK FAILED:", "; ".join(failures))
             return 1
-        print("[bench_engine] check passed: batch beats scalar at every scale")
+        print(
+            "[bench_engine] check passed: every batch config beats scalar "
+            "at every scale"
+        )
     return 0
 
 

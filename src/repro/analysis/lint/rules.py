@@ -354,6 +354,91 @@ class HotPathPurityRule(Rule):
 
 
 # ----------------------------------------------------------------------
+# HOT002 — array-module discipline
+# ----------------------------------------------------------------------
+@register_rule
+class HotPathArrayModuleRule(Rule):
+    """``@hot_path`` kernels go through the ``xp`` array-module handle.
+
+    The step-centric kernels in ``walks/kernels/`` are written once and
+    bound to a concrete array module by the backend registry (numpy
+    today, CuPy on the GPU roadmap).  A kernel that grabs ``np.`` from
+    module scope is silently pinned to host numpy: it still passes every
+    numpy-backend test, then breaks the first alternative backend that
+    binds it.  Annotations are exempt — they are documentation, not
+    dispatch.
+    """
+
+    id = "HOT002"
+    name = "hot-path-array-module"
+    description = (
+        "@hot_path kernels must take the array-module handle `xp` as "
+        "their first parameter and must not reach the numpy module "
+        "directly in their body"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        numpy_aliases: set[str] = set()
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy" or alias.name.startswith("numpy."):
+                        numpy_aliases.add(
+                            alias.asname or alias.name.split(".")[0]
+                        )
+
+        for fn in walk_functions(src.tree):
+            if not has_decorator(fn, "hot_path"):
+                continue
+            params = list(fn.args.posonlyargs) + list(fn.args.args)
+            if not params or params[0].arg != "xp":
+                yield self.finding(
+                    src,
+                    fn,
+                    f"@hot_path `{fn.name}` must take the array-module "
+                    "handle `xp` as its first parameter so backends can "
+                    "rebind it",
+                )
+            annotation_nodes = _annotation_node_ids(fn)
+            for stmt in fn.body:
+                for node in ast.walk(stmt):
+                    if id(node) in annotation_nodes:
+                        continue
+                    if (
+                        isinstance(node, ast.Attribute)
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id in numpy_aliases
+                    ):
+                        yield self.finding(
+                            src,
+                            node,
+                            f"`{node.value.id}.{node.attr}` inside "
+                            f"@hot_path `{fn.name}` pins the kernel to "
+                            "host numpy; dispatch through the `xp` "
+                            "parameter instead",
+                        )
+
+
+def _annotation_node_ids(fn: ast.AST) -> set[int]:
+    """``id()`` of every AST node inside a type annotation under ``fn``."""
+    skip: set[int] = set()
+    for sub in ast.walk(fn):
+        annotations: list[ast.AST] = []
+        if isinstance(sub, ast.AnnAssign):
+            annotations.append(sub.annotation)
+        elif isinstance(sub, ast.arg) and sub.annotation is not None:
+            annotations.append(sub.annotation)
+        elif (
+            isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and sub.returns is not None
+        ):
+            annotations.append(sub.returns)
+        for annotation in annotations:
+            skip.update(id(n) for n in ast.walk(annotation))
+    return skip
+
+
+# ----------------------------------------------------------------------
 # MEM001 — budget discipline
 # ----------------------------------------------------------------------
 _MEM_MODULES_EXACT = {"framework/node_samplers.py", "walks/cache.py"}
@@ -640,6 +725,7 @@ __all__ = [
     "WallClockRule",
     "PicklabilityRule",
     "HotPathPurityRule",
+    "HotPathArrayModuleRule",
     "BudgetDisciplineRule",
     "ExceptionDisciplineRule",
     "MutableDefaultRule",

@@ -172,6 +172,17 @@ def build_tool_parser() -> argparse.ArgumentParser:
         ),
     )
     walk.add_argument(
+        "--kernel-backend",
+        default=None,
+        metavar="NAME",
+        help=(
+            "kernel backend for the batch engine's step arithmetic "
+            "('numpy' default, 'numba' if installed; also via "
+            "REPRO_KERNEL_BACKEND).  Backends consume identical pre-drawn "
+            "uniforms, so the corpus is bit-identical either way"
+        ),
+    )
+    walk.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -232,6 +243,16 @@ def build_tool_parser() -> argparse.ArgumentParser:
     dsan.add_argument("--length", type=int, default=20)
     dsan.add_argument(
         "--engine", default="batch", choices=["scalar", "batch"]
+    )
+    dsan.add_argument(
+        "--kernel-backend",
+        default=None,
+        metavar="NAME",
+        help=(
+            "kernel backend for the batch engine (the fingerprints must "
+            "match the numpy backend's bit-for-bit — this is the "
+            "cross-backend equivalence gate)"
+        ),
     )
     dsan.add_argument("--chunk-size", type=int, default=64)
     dsan.add_argument(
@@ -318,7 +339,9 @@ def _run_tool(argv: list[str]) -> int:
         or args.dead_letter
     )
     if args.engine == "batch":
-        engine = framework.batch_engine(cache_budget=args.cache_budget)
+        engine = framework.batch_engine(
+            cache_budget=args.cache_budget, backend=args.kernel_backend
+        )
     else:
         engine = framework.walk_engine
 
@@ -396,7 +419,7 @@ def _run_dsan_report(args, framework) -> int:
         return 2
 
     if args.engine == "batch":
-        engine = framework.batch_engine()
+        engine = framework.batch_engine(backend=args.kernel_backend)
     else:
         engine = framework.walk_engine
 

@@ -148,12 +148,19 @@ class PartitionedFramework:
         """Cluster-wide walk engine (walks cross partitions freely)."""
         return self._engine
 
-    def batch_engine(self, *, cache_budget: float | None = None):
+    def batch_engine(
+        self,
+        *,
+        cache_budget: float | None = None,
+        backend: str | None = None,
+    ):
         """Assignment-aware :class:`~repro.walks.BatchWalkEngine` over the
         stitched cluster samplers.
 
         The default cache budget is the summed headroom the per-worker
-        optimisers left unused (finite worker budgets only).
+        optimisers left unused (finite worker budgets only).  ``backend``
+        selects the step-kernel backend as in
+        :meth:`repro.MemoryAwareFramework.batch_engine`.
         """
         from ..walks.batch import BatchWalkEngine
 
@@ -164,7 +171,11 @@ class PartitionedFramework:
                 if np.isfinite(a.budget)
             )
         return BatchWalkEngine(
-            self.graph, self.model, self._samplers, cache=cache_budget
+            self.graph,
+            self.model,
+            self._samplers,
+            cache=cache_budget,
+            backend=backend,
         )
 
     def worker_stats(self) -> list[WorkerStats]:
@@ -208,6 +219,7 @@ class PartitionedFramework:
         on_exhausted: str = "raise",
         engine: str = "scalar",
         cache_budget: float | None = None,
+        backend: str | None = None,
     ) -> WalkCorpus:
         """Cluster-wide corpus generation under the resilience supervisor.
 
@@ -220,7 +232,7 @@ class PartitionedFramework:
         from ``rng`` up-front, so the corpus is deterministic for a fixed
         seed regardless of the process count.  ``engine="batch"`` runs
         chunks through the vectorised assignment-aware engine
-        (``cache_budget`` as in :meth:`batch_engine`).
+        (``cache_budget`` and ``backend`` as in :meth:`batch_engine`).
         """
         if num_walks < 1 or length < 0:
             raise WalkError("num_walks must be >= 1 and length >= 0")
@@ -230,6 +242,8 @@ class PartitionedFramework:
             raise WalkError(
                 f"unknown engine {engine!r}; choose from ('scalar', 'batch')"
             )
+        if backend is not None and engine != "batch":
+            raise WalkError("kernel backends apply to engine='batch' only")
         if workers is None:
             workers = min(os.cpu_count() or 1, 16)
         chunks: list[list[int]] = []
@@ -246,7 +260,7 @@ class PartitionedFramework:
         base = ensure_rng(rng)
         seeds = [int(base.integers(0, 2**63 - 1)) for _ in chunks]
         walk_engine = (
-            self.batch_engine(cache_budget=cache_budget)
+            self.batch_engine(cache_budget=cache_budget, backend=backend)
             if engine == "batch"
             else self._engine
         )

@@ -119,6 +119,18 @@ class WalkError(ReproError):
     length, etc.)."""
 
 
+class KernelBackendError(WalkError):
+    """A kernel backend is unknown or its soft dependency failed to load.
+
+    Raised by :func:`repro.walks.kernels.resolve_backend` for a name that
+    was never registered, and by backend loaders whose optional compiled
+    dependency (e.g. ``numba``) is absent or broken.  The latter is
+    normally swallowed by the resolver's graceful fallback — surfacing as
+    a :class:`KernelBackendWarning` instead — unless the failing backend
+    *is* the fallback.
+    """
+
+
 class WalkTimeoutError(WalkError):
     """A walk chunk exceeded its wall-clock timeout.
 
@@ -230,6 +242,18 @@ class DatasetError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured incorrectly."""
+
+
+class KernelBackendWarning(UserWarning, ReproError):
+    """A requested kernel backend is unavailable; the run fell back.
+
+    Emitted (via :mod:`warnings`) when e.g. ``backend="numba"`` is asked
+    for but numba is not importable: the walk still runs — on the numpy
+    backend, which is bit-identical by construction — so degrading to it
+    is a performance event, not a correctness one.  Inherits
+    :class:`ReproError` so the hierarchy stays single rooted;
+    ``warnings.filterwarnings`` targets it via ``UserWarning``.
+    """
 
 
 class DegradedRunWarning(UserWarning, ReproError):

@@ -215,7 +215,12 @@ class MemoryAwareFramework:
         """The walk engine over the materialised samplers."""
         return self._engine
 
-    def batch_engine(self, *, cache_budget: float | None = None):
+    def batch_engine(
+        self,
+        *,
+        cache_budget: float | None = None,
+        backend: str | None = None,
+    ):
         """An assignment-aware :class:`~repro.walks.BatchWalkEngine` over
         the materialised samplers.
 
@@ -223,7 +228,10 @@ class MemoryAwareFramework:
         default gives it the budget headroom the optimizer left unused
         (``budget - used_memory``) — the cache dynamically materialises
         distributions the assignment could not afford to, in the same byte
-        currency.  Pass ``0`` to disable the cache.
+        currency.  Pass ``0`` to disable the cache.  ``backend`` selects
+        the step-kernel backend (``"numpy"``/``"numba"``/registered name;
+        default: ``REPRO_KERNEL_BACKEND`` or numpy) — bit-identical output
+        either way, the choice is purely about speed.
         """
         from ..walks.batch import BatchWalkEngine
 
@@ -234,7 +242,11 @@ class MemoryAwareFramework:
             else:
                 cache_budget = 0.0
         return BatchWalkEngine(
-            self.graph, self.model, self._samplers, cache=cache_budget
+            self.graph,
+            self.model,
+            self._samplers,
+            cache=cache_budget,
+            backend=backend,
         )
 
     def sampler(self, node: int) -> NodeSampler | None:
@@ -256,19 +268,27 @@ class MemoryAwareFramework:
         rng: RngLike = None,
         engine: str = "scalar",
         cache_budget: float | None = None,
+        backend: str | None = None,
     ) -> list[np.ndarray]:
         """The node2vec pattern: ``num_walks`` walks of ``length`` per node.
 
         ``engine="batch"`` runs the vectorised assignment-aware engine
         (same walk distribution, different RNG stream; ``cache_budget``
-        as in :meth:`batch_engine`).
+        and ``backend`` as in :meth:`batch_engine` — the kernel backend
+        never changes the corpus, only its speed).
         """
         if engine not in ("scalar", "batch"):
             raise OptimizerError(
                 f"unknown engine {engine!r}; choose from ('scalar', 'batch')"
             )
+        if backend is not None and engine != "batch":
+            raise OptimizerError(
+                "kernel backends apply to engine='batch' only"
+            )
         if engine == "batch":
-            corpus = self.batch_engine(cache_budget=cache_budget).walks(
+            corpus = self.batch_engine(
+                cache_budget=cache_budget, backend=backend
+            ).walks(
                 num_walks=num_walks,
                 length=length,
                 rng=rng if rng is not None else self._rng,

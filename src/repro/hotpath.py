@@ -19,7 +19,8 @@ both the walk engines and the sanitizer import *it*, never the reverse.
 from __future__ import annotations
 
 import functools
-from typing import Callable, TypeVar
+from contextlib import contextmanager
+from typing import Callable, Iterator, TypeVar
 
 F = TypeVar("F", bound=Callable[..., object])
 
@@ -48,6 +49,28 @@ def current_kernel() -> str | None:
     return _kernel_stack[-1] if _kernel_stack else None
 
 
+@contextmanager
+def kernel_scope(name: str) -> Iterator[None]:
+    """Attribute RNG draws inside the block to kernel ``name``.
+
+    The step-centric kernels take *pre-drawn* uniforms (so compiled
+    backends consume the identical stream); the draws therefore happen in
+    the engine driver, outside any ``@hot_path`` function.  Wrapping the
+    draw site in ``kernel_scope("segmented_inverse_cdf")`` keeps the
+    sanitizer's per-kernel attribution pointing at the kernel the
+    uniforms are destined for.  Free when no observer is installed.
+    """
+    if not _observer_installed:
+        yield
+        return
+    _kernel_stack.append(name)
+    try:
+        yield
+    finally:
+        if _kernel_stack and _kernel_stack[-1] == name:
+            _kernel_stack.pop()
+
+
 def hot_path(fn: F) -> F:
     """Mark ``fn`` as a vectorised hot path (enforced by reprolint HOT001)."""
 
@@ -74,6 +97,7 @@ def is_hot_path(fn: object) -> bool:
 __all__ = [
     "hot_path",
     "is_hot_path",
+    "kernel_scope",
     "set_kernel_observation",
     "current_kernel",
 ]

@@ -12,6 +12,14 @@ from .batch import BatchWalkEngine, batch_second_order_pagerank, batch_walks
 from .cache import EdgeStateCache
 from .corpus import WalkCorpus
 from .exact_pagerank import exact_second_order_pagerank
+from .kernels import (
+    KERNEL_BACKEND_ENV,
+    KernelBackend,
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
+from .metrics import diff_counters, merge_counters
 from .parallel import parallel_walks
 from .node2vec_task import node2vec_walk_task
 from .pagerank import PageRankResult, second_order_pagerank
@@ -27,4 +35,11 @@ __all__ = [
     "batch_second_order_pagerank",
     "BatchWalkEngine",
     "EdgeStateCache",
+    "KernelBackend",
+    "KERNEL_BACKEND_ENV",
+    "available_backends",
+    "register_backend",
+    "resolve_backend",
+    "diff_counters",
+    "merge_counters",
 ]

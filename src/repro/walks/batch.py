@@ -33,6 +33,17 @@ order — the dispatch order (naive → rejection → alias → fallback, groups
 in sorted key order) is fixed, and the cache is exact memoisation that
 never consumes walk RNG, so worker count and cache size never change the
 corpus (hash-pinned in the test suite).
+
+Step-centric kernels (ThunderRW-style): the engine methods are thin
+*drivers* — they regroup the frontier, materialise flat tables/weights,
+and **pre-draw every uniform** from the chunk generator (under
+:func:`~repro.hotpath.kernel_scope` for sanitizer attribution) — while
+the actual array math lives in :mod:`repro.walks.kernels` behind a
+pluggable backend (``numpy`` reference kernels by default, compiled
+``numba`` kernels opt-in).  Because no kernel ever touches the RNG, every
+backend consumes the identical draw sequence: swapping backends can
+change speed but never a sampled value, and the determinism sanitizer's
+draw-order digests prove it at the bit level.
 """
 
 from __future__ import annotations
@@ -45,11 +56,12 @@ from ..exceptions import SamplerError, WalkError
 from ..framework.interfaces import NodeSampler
 from ..framework.node_samplers import AliasNodeSampler, RejectionNodeSampler
 from ..graph import CSRGraph
-from ..hotpath import hot_path
+from ..hotpath import kernel_scope
 from ..models import SecondOrderModel
 from ..rng import RngLike, ensure_rng
 from .cache import EdgeStateCache
 from .corpus import WalkCorpus
+from .kernels import KernelBackend, resolve_backend
 
 # Internal dispatch buckets, processed in this fixed order each step.
 _NAIVE, _REJECTION, _ALIAS, _FALLBACK = 0, 1, 2, 3
@@ -75,6 +87,13 @@ class BatchWalkEngine:
         whose distributions the assignment did *not* pay to materialise).
     max_rejection_rounds:
         Safety valve for the vectorised rejection loop.
+    backend:
+        Kernel backend running the step-centric array math: a registry
+        name (``"numpy"``, ``"numba"``), a resolved
+        :class:`~repro.walks.kernels.KernelBackend`, or ``None`` for the
+        ``REPRO_KERNEL_BACKEND`` environment override / numpy default.
+        Backends consume the identical pre-drawn uniform stream, so the
+        choice never changes the corpus.
     """
 
     def __init__(
@@ -85,9 +104,11 @@ class BatchWalkEngine:
         *,
         cache: "EdgeStateCache | object | float | None" = None,
         max_rejection_rounds: int = 10_000,
+        backend: "KernelBackend | str | None" = None,
     ) -> None:
         self.graph = graph
         self.model = model
+        self.backend = resolve_backend(backend)
         self.samplers = list(samplers) if samplers is not None else None
         if cache is None or isinstance(cache, EdgeStateCache):
             self.cache = cache
@@ -249,6 +270,7 @@ class BatchWalkEngine:
         """
         stats = {
             "engine": "batch",
+            "backend": self.backend.name,
             "steps": int(self._steps),
             "dispatch": {
                 name: {
@@ -261,6 +283,47 @@ class BatchWalkEngine:
         if self.cache is not None:
             stats["cache"] = self.cache.stats()
         return stats
+
+    def counters(self) -> dict:
+        """Summable event counts only (the cross-worker merge payload).
+
+        Subset of :meth:`stats` restricted to monotonically increasing
+        integers, so per-chunk deltas merge associatively across worker
+        processes (see :mod:`repro.walks.metrics`).  Gauges such as the
+        cache's ``used_bytes`` are deliberately absent — they are
+        process-local state, not events.
+        """
+        counters: dict = {
+            "steps": int(self._steps),
+            "dispatch": {
+                name: {
+                    "groups": int(self._dispatch_groups[name]),
+                    "walkers": int(self._dispatch_walkers[name]),
+                }
+                for name in _KIND_NAMES.values()
+            },
+        }
+        if self.cache is not None:
+            cache_stats = self.cache.stats()
+            counters["cache"] = {
+                key: int(cache_stats[key])
+                for key in ("hits", "misses", "evictions")
+            }
+        return counters
+
+    def reset_chunk_state(self) -> None:
+        """Reset transient state so the next chunk is self-contained.
+
+        Called by the chunked runner before every chunk: dropping the
+        edge-state cache's entries (counters survive — deltas are taken
+        around the chunk body) makes each chunk's counter delta a pure
+        function of that chunk, independent of which worker ran it or
+        what ran before — the invariant behind the 1-vs-4-worker counter
+        equality the tests pin.  Output is unaffected either way: the
+        cache is exact memoisation and never consumes walk RNG.
+        """
+        if self.cache is not None:
+            self.cache.clear()
 
     def describe(self) -> str:
         """One-line dispatch/cache summary (``graph.stats`` style)."""
@@ -288,13 +351,13 @@ class BatchWalkEngine:
         if n_walkers == 0 or length == 0:
             return trails
 
-        degrees = self.graph.degrees
+        degrees = self.graph.degrees.astype(np.int64, copy=False)
         active = degrees[walkers] > 0
         current = walkers.copy()
         previous = np.full(n_walkers, -1, dtype=np.int64)
 
         for t in range(1, length + 1):
-            idx = np.flatnonzero(active)
+            idx = np.flatnonzero(active).astype(np.int64, copy=False)
             if len(idx) == 0:
                 break
             self._steps += 1
@@ -302,9 +365,9 @@ class BatchWalkEngine:
                 self._step_n2e(idx, current, trails, gen)
             else:
                 self._step_e2e(idx, previous, current, trails, t, gen)
-            previous[idx] = current[idx]
-            current[idx] = trails[idx, t]
-            active[idx] = degrees[current[idx]] > 0
+            self.backend.advance_frontier(
+                idx, trails[:, t], previous, current, active, degrees
+            )
         return trails
 
     def _step_n2e(
@@ -355,7 +418,6 @@ class BatchWalkEngine:
     # ------------------------------------------------------------------
     # naive path: segmented inverse-CDF over on-demand distributions
     # ------------------------------------------------------------------
-    @hot_path
     def _n2e_naive(
         self,
         sub: np.ndarray,
@@ -363,26 +425,23 @@ class BatchWalkEngine:
         trails: np.ndarray,
         gen: np.random.Generator,
     ) -> None:
-        vs, group, _counts = np.unique(
-            current[sub], return_inverse=True, return_counts=True
-        )
+        kb = self.backend
+        vs, group = kb.regroup_pairs(current[sub])
         indptr = self.graph.indptr
-        starts = indptr[vs]
+        starts = indptr[vs].astype(np.int64, copy=False)
         sizes = (indptr[vs + 1] - starts).astype(np.int64)
         # n2e weights live in the graph itself: one segmented gather.
-        total = int(sizes.sum())
-        offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
-        flat_pos = (
-            np.arange(total, dtype=np.int64)
-            - np.repeat(offsets, sizes)
-            + np.repeat(starts, sizes)
-        )
-        flat = self.graph.weights[flat_pos]
-        picks = self._segmented_inverse_cdf(flat, sizes, group, gen, vs)
+        flat = kb.gather_segments(starts, sizes, self.graph.weights)
+        with kernel_scope("segmented_inverse_cdf"):
+            uniforms = gen.random(len(sub))
+        picks, bad = kb.segmented_inverse_cdf(flat, sizes, group, uniforms)
+        if bad >= 0:
+            raise WalkError(
+                f"distribution at node {int(vs[bad])} has zero total mass"
+            )
         trails[sub, 1] = self.graph.indices[starts[group] + picks]
         self._count("naive", len(vs), len(sub))
 
-    @hot_path
     def _e2e_naive(
         self,
         sub: np.ndarray,
@@ -392,16 +451,21 @@ class BatchWalkEngine:
         t: int,
         gen: np.random.Generator,
     ) -> None:
+        kb = self.backend
         keys = previous[sub] * self._n + current[sub]
-        uk, group, _counts = np.unique(
-            keys, return_inverse=True, return_counts=True
-        )
+        uk, group = kb.regroup_pairs(keys)
         us = uk // self._n
         vs = uk % self._n
         indptr = self.graph.indptr
         sizes = (indptr[vs + 1] - indptr[vs]).astype(np.int64)
         flat = self._materialise_weights(us, vs, sizes)
-        picks = self._segmented_inverse_cdf(flat, sizes, group, gen, vs)
+        with kernel_scope("segmented_inverse_cdf"):
+            uniforms = gen.random(len(sub))
+        picks, bad = kb.segmented_inverse_cdf(flat, sizes, group, uniforms)
+        if bad >= 0:
+            raise WalkError(
+                f"distribution at node {int(vs[bad])} has zero total mass"
+            )
         trails[sub, t] = self.graph.indices[indptr[vs][group] + picks]
         self._count("naive", len(uk), len(sub))
 
@@ -444,41 +508,9 @@ class BatchWalkEngine:
             else np.empty(0, dtype=np.float64)
         )
 
-    @hot_path
-    def _segmented_inverse_cdf(
-        self,
-        flat: np.ndarray,
-        sizes: np.ndarray,
-        group: np.ndarray,
-        gen: np.random.Generator,
-        vs: np.ndarray,
-    ) -> np.ndarray:
-        """One inverse-CDF draw per walker over per-group weight segments.
-
-        ``flat`` concatenates the segments, ``sizes`` their lengths, and
-        ``group[w]`` maps walker ``w`` to its segment.  Returns the picked
-        position *within* each walker's segment.
-        """
-        ends = np.cumsum(sizes)
-        starts = ends - sizes
-        cumulative = np.cumsum(flat)
-        bases = np.where(starts > 0, cumulative[starts - 1], 0.0)
-        totals = cumulative[ends - 1] - bases
-        if np.any(totals <= 0):
-            bad = int(vs[int(np.flatnonzero(totals <= 0)[0])])
-            raise WalkError(
-                f"distribution at node {bad} has zero total mass"
-            )
-        r = gen.random(len(group))
-        targets = bases[group] + r * totals[group]
-        picks = np.searchsorted(cumulative, targets, side="right")
-        picks = np.clip(picks, starts[group], ends[group] - 1)
-        return picks - starts[group]
-
     # ------------------------------------------------------------------
     # rejection path: frontier-wide vectorised acceptance-rejection
     # ------------------------------------------------------------------
-    @hot_path
     def _e2e_rejection(
         self,
         sub: np.ndarray,
@@ -488,31 +520,41 @@ class BatchWalkEngine:
         t: int,
         gen: np.random.Generator,
     ) -> None:
+        kb = self.backend
         u_arr = previous[sub]
         v_arr = current[sub]
         base_all = self._n2e_base[v_arr]
-        d_all = self.graph.degrees[v_arr]
+        d_all = self.graph.degrees[v_arr].astype(np.int64, copy=False)
         factors = self._acceptance_factors(sub, u_arr, v_arr)
 
         result = np.empty(len(sub), dtype=np.int64)
         pending = np.arange(len(sub))
         indptr = self.graph.indptr
+        # The rejection *loop* is a driver concern (its trip count is
+        # data-dependent); each round's array work is one proposal kernel
+        # plus one acceptance kernel over the pending remainder.
         for _ in range(self.max_rejection_rounds):
             if pending.size == 0:
                 break
-            picks = self._flat_alias_pick(
+            k = len(pending)
+            with kernel_scope("flat_alias_pick"):
+                u_column = gen.random(k)
+                u_keep = gen.random(k)
+            picks = kb.flat_alias_pick(
                 self._n2e_prob,
                 self._n2e_alias_tab,
                 base_all[pending],
                 d_all[pending],
-                gen,
+                u_column,
+                u_keep,
             )
             z = self.graph.indices[indptr[v_arr[pending]] + picks]
             ratios = self.model.target_ratio_bulk(
                 self.graph, u_arr[pending], v_arr[pending], z
             )
-            acceptance = np.minimum(1.0, ratios * factors[pending])
-            accepted = gen.random(len(pending)) <= acceptance
+            with kernel_scope("acceptance_mask"):
+                u_accept = gen.random(k)
+            accepted = kb.acceptance_mask(ratios, factors[pending], u_accept)
             result[pending[accepted]] = z[accepted]
             pending = pending[~accepted]
         if pending.size:
@@ -546,7 +588,6 @@ class BatchWalkEngine:
     # ------------------------------------------------------------------
     # alias path: gathered pre-built tables, two uniforms per walker
     # ------------------------------------------------------------------
-    @hot_path
     def _e2e_alias(
         self,
         sub: np.ndarray,
@@ -556,6 +597,7 @@ class BatchWalkEngine:
         t: int,
         gen: np.random.Generator,
     ) -> None:
+        kb = self.backend
         u_arr = previous[sub]
         v_arr = current[sub]
         total = len(sub)
@@ -571,10 +613,13 @@ class BatchWalkEngine:
             v_arr = v_arr[found]
             offsets = offsets[found]
         if len(sub):
-            d = self.graph.degrees[v_arr]
+            d = self.graph.degrees[v_arr].astype(np.int64, copy=False)
             base = self._e2e_base[v_arr] + offsets * d
-            picks = self._flat_alias_pick(
-                self._e2e_prob, self._e2e_alias_tab, base, d, gen
+            with kernel_scope("flat_alias_pick"):
+                u_column = gen.random(len(sub))
+                u_keep = gen.random(len(sub))
+            picks = kb.flat_alias_pick(
+                self._e2e_prob, self._e2e_alias_tab, base, d, u_column, u_keep
             )
             trails[sub, t] = self.graph.indices[
                 self.graph.indptr[v_arr] + picks
@@ -594,8 +639,9 @@ class BatchWalkEngine:
     ) -> None:
         """Arrivals from outside ``N(v)``: gather the samplers' on-demand
         ``table_for`` tables per distinct edge state (rare, directed-only)."""
+        kb = self.backend
         keys = previous[sub] * self._n + current[sub]
-        uk, group = np.unique(keys, return_inverse=True)
+        uk, group = kb.regroup_pairs(keys)
         us = uk // self._n
         vs = uk % self._n
         prob_flat, alias_flat, starts_flat, sizes = self._gather_tables(
@@ -604,12 +650,14 @@ class BatchWalkEngine:
                 for u, v in zip(us, vs)
             ]
         )
-        picks = self._alias_pick(
-            prob_flat, alias_flat, starts_flat, sizes, group, gen
+        with kernel_scope("gathered_alias_pick"):
+            u_column = gen.random(len(sub))
+            u_keep = gen.random(len(sub))
+        picks = kb.gathered_alias_pick(
+            prob_flat, alias_flat, starts_flat, sizes, group, u_column, u_keep
         )
         trails[sub, t] = self.graph.indices[self.graph.indptr[vs][group] + picks]
 
-    @hot_path
     def _n2e_alias(
         self,
         sub: np.ndarray,
@@ -618,13 +666,18 @@ class BatchWalkEngine:
         gen: np.random.Generator,
         bucket: int,
     ) -> None:
+        kb = self.backend
         v_arr = current[sub]
-        picks = self._flat_alias_pick(
+        with kernel_scope("flat_alias_pick"):
+            u_column = gen.random(len(sub))
+            u_keep = gen.random(len(sub))
+        picks = kb.flat_alias_pick(
             self._n2e_prob,
             self._n2e_alias_tab,
             self._n2e_base[v_arr],
-            self.graph.degrees[v_arr],
-            gen,
+            self.graph.degrees[v_arr].astype(np.int64, copy=False),
+            u_column,
+            u_keep,
         )
         trails[sub, 1] = self.graph.indices[self.graph.indptr[v_arr] + picks]
         self._count(_KIND_NAMES[bucket], self._distinct_nodes(v_arr), len(sub))
@@ -647,47 +700,6 @@ class BatchWalkEngine:
         )
         starts_flat = np.concatenate(([0], np.cumsum(sizes)[:-1]))
         return prob_flat, alias_flat, starts_flat, sizes
-
-    @staticmethod
-    @hot_path
-    def _alias_pick(
-        prob_flat: np.ndarray,
-        alias_flat: np.ndarray,
-        starts_flat: np.ndarray,
-        sizes: np.ndarray,
-        group: np.ndarray,
-        gen: np.random.Generator,
-    ) -> np.ndarray:
-        """Vectorised Walker draw per walker over gathered tables."""
-        k = len(group)
-        columns = np.minimum(
-            (gen.random(k) * sizes[group]).astype(np.int64), sizes[group] - 1
-        )
-        flat_pos = starts_flat[group] + columns
-        keep = gen.random(k) <= prob_flat[flat_pos]
-        return np.where(keep, columns, alias_flat[flat_pos])
-
-    @staticmethod
-    @hot_path
-    def _flat_alias_pick(
-        prob_flat: np.ndarray,
-        alias_flat: np.ndarray,
-        base: np.ndarray,
-        sizes: np.ndarray,
-        gen: np.random.Generator,
-    ) -> np.ndarray:
-        """Vectorised Walker draw over the consolidated tables: walker ``w``
-        draws from the ``sizes[w]``-wide table starting at ``base[w]``.
-        Same two-uniform draw pattern (column, then keep) as
-        :meth:`_alias_pick`, so both addressing modes consume the RNG
-        identically."""
-        k = len(base)
-        columns = np.minimum(
-            (gen.random(k) * sizes).astype(np.int64), sizes - 1
-        )
-        flat_pos = base + columns
-        keep = gen.random(k) <= prob_flat[flat_pos]
-        return np.where(keep, columns, alias_flat[flat_pos])
 
     def _distinct_nodes(self, nodes: np.ndarray) -> int:
         """Distinct-node count by scatter mask — ``O(k + |V|)``, no sort
@@ -757,17 +769,21 @@ def batch_walks(
     rng: RngLike = None,
     samplers: Sequence[NodeSampler | None] | None = None,
     cache: "EdgeStateCache | float | None" = None,
+    backend: "KernelBackend | str | None" = None,
 ) -> WalkCorpus:
     """Generate walks for all start nodes with edge-state batching.
 
     Without ``samplers`` this is the batched-*naive* engine (O(1)
     persistent memory, distributions rebuilt on demand — vectorised per
     step); passing a framework's sampler array makes it assignment-aware.
-    Returns a :class:`WalkCorpus` in start order (deterministic given
-    ``rng``; the stream differs from the scalar engine's but the walk
-    distribution is identical).
+    ``backend`` selects the kernel backend (see
+    :func:`repro.walks.kernels.resolve_backend`); every backend consumes
+    the identical pre-drawn uniform stream, so it never changes the
+    corpus.  Returns a :class:`WalkCorpus` in start order (deterministic
+    given ``rng``; the stream differs from the scalar engine's but the
+    walk distribution is identical).
     """
-    engine = BatchWalkEngine(graph, model, samplers, cache=cache)
+    engine = BatchWalkEngine(graph, model, samplers, cache=cache, backend=backend)
     return engine.walks(
         starts=starts, num_walks=num_walks, length=length, rng=rng
     )

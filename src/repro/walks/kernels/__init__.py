@@ -1,0 +1,35 @@
+"""Step-centric hot kernels for the batch walk engine (ThunderRW-style).
+
+The batch engine's step loop decomposes into *gather–move–update*
+phases; this package holds those phases as flat, state-free kernel
+functions plus the registry that selects which implementation runs:
+
+* :mod:`~repro.walks.kernels.numpy_backend` — the ``xp``-generic
+  reference kernels (``@hot_path``, linted by HOT001/HOT002);
+* :mod:`~repro.walks.kernels.numba_backend` — optional compiled loop
+  kernels (lazy ``njit(cache=True)``), bit-identical to the reference
+  because all randomness is pre-drawn by the engine;
+* :mod:`~repro.walks.kernels.registry` — named-backend resolution
+  (``numpy`` default, ``REPRO_KERNEL_BACKEND`` env override, graceful
+  fallback when a soft dependency is missing).
+"""
+
+from .registry import (
+    DEFAULT_BACKEND,
+    KERNEL_BACKEND_ENV,
+    KernelBackend,
+    available_backends,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "KERNEL_BACKEND_ENV",
+    "KernelBackend",
+    "available_backends",
+    "register_backend",
+    "resolve_backend",
+    "unregister_backend",
+]

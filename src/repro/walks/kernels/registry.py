@@ -1,0 +1,182 @@
+"""Pluggable kernel-backend registry for the batch walk engine.
+
+A *backend* is a named bundle of the seven step-centric kernels (see
+:mod:`repro.walks.kernels.numpy_backend` for the reference signatures,
+minus the ``xp`` handle the loaders bind).  Two ship built in:
+
+* ``numpy`` — the default: the ``xp``-generic reference kernels bound to
+  numpy.  Always available; its output defines the pinned corpus hashes.
+* ``numba`` — optional compiled kernels, loaded lazily and JITted with
+  ``cache=True``.  A missing/broken numba degrades gracefully: the
+  resolver warns (:class:`~repro.exceptions.KernelBackendWarning`) and
+  returns the numpy backend, which is bit-identical by construction.
+
+Selection precedence: an explicit ``backend=`` argument (or CLI
+``--kernel-backend``) wins, then the ``REPRO_KERNEL_BACKEND``
+environment variable, then the default.  Third parties (tests, the
+future CuPy backend) can :func:`register_backend` additional loaders;
+the backend *name* is recorded in ``WalkCorpus.metadata`` and in the
+checkpoint signature, so resuming a checkpoint across backends with
+divergent streams is refused rather than silently mixed.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import warnings
+from dataclasses import dataclass, replace
+from typing import Callable
+
+import numpy as np
+
+from ...exceptions import KernelBackendError, KernelBackendWarning
+from . import numba_backend, numpy_backend
+
+#: Environment variable consulted when no explicit backend is requested.
+KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+#: Backend used when nothing is requested, and the graceful-fallback target.
+DEFAULT_BACKEND = "numpy"
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """One resolved kernel implementation set, addressed by :attr:`name`.
+
+    The seven callables share the engine-facing signatures of the
+    reference kernels with the ``xp`` handle already bound (a compiled
+    backend has none to bind).  Instances are immutable and cached per
+    process, so forked pool workers inherit the loaded — and for numba,
+    already compiled — backend copy-on-write.
+    """
+
+    name: str
+    regroup_pairs: Callable[..., tuple[np.ndarray, np.ndarray]]
+    gather_segments: Callable[..., np.ndarray]
+    segmented_inverse_cdf: Callable[..., tuple[np.ndarray, int]]
+    flat_alias_pick: Callable[..., np.ndarray]
+    gathered_alias_pick: Callable[..., np.ndarray]
+    acceptance_mask: Callable[..., np.ndarray]
+    advance_frontier: Callable[..., None]
+    version: str | None = None
+
+    def renamed(self, name: str) -> "KernelBackend":
+        """Copy of this backend under another registry name (test hook)."""
+        return replace(self, name=name)
+
+
+def _load_numpy() -> KernelBackend:
+    """Bind the ``xp``-generic reference kernels to numpy."""
+    return KernelBackend(
+        name="numpy",
+        version=str(np.__version__),
+        **{
+            name: functools.partial(getattr(numpy_backend, name), np)
+            for name in numba_backend.KERNEL_NAMES
+        },
+    )
+
+
+_LOADERS: dict[str, Callable[[], KernelBackend]] = {
+    "numpy": _load_numpy,
+    "numba": numba_backend.load,
+}
+_LOADED: dict[str, KernelBackend] = {}
+
+
+def register_backend(
+    name: str,
+    loader: Callable[[], KernelBackend],
+    *,
+    replace_existing: bool = False,
+) -> None:
+    """Register ``loader`` under ``name`` for :func:`resolve_backend`.
+
+    The loader runs at most once per process (the result is cached).
+    Re-registering an existing name requires ``replace_existing=True``
+    and evicts any cached instance.
+    """
+    key = str(name).strip().lower()
+    if not key:
+        raise KernelBackendError("kernel backend name must be non-empty")
+    if key in _LOADERS and not replace_existing:
+        raise KernelBackendError(
+            f"kernel backend {key!r} is already registered"
+        )
+    _LOADERS[key] = loader
+    _LOADED.pop(key, None)
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (built-ins are protected)."""
+    key = str(name).strip().lower()
+    if key in ("numpy", "numba"):
+        raise KernelBackendError(
+            f"built-in kernel backend {key!r} cannot be unregistered"
+        )
+    if key not in _LOADERS:
+        raise KernelBackendError(f"unknown kernel backend {key!r}")
+    del _LOADERS[key]
+    _LOADED.pop(key, None)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted (availability is not probed)."""
+    return tuple(sorted(_LOADERS))
+
+
+def resolve_backend(
+    backend: "KernelBackend | str | None" = None,
+) -> KernelBackend:
+    """Resolve a backend request into a loaded :class:`KernelBackend`.
+
+    ``None`` defers to ``REPRO_KERNEL_BACKEND``, then to the ``numpy``
+    default.  An already-resolved :class:`KernelBackend` passes through
+    untouched.  An unknown name raises
+    :class:`~repro.exceptions.KernelBackendError`; a *known* name whose
+    loader fails (numba not installed) falls back to the default with a
+    :class:`~repro.exceptions.KernelBackendWarning` — every backend
+    consumes the identical pre-drawn uniform stream, so the fallback
+    changes speed, never output.
+    """
+    if isinstance(backend, KernelBackend):
+        return backend
+    if backend is None:
+        backend = os.environ.get(KERNEL_BACKEND_ENV, "").strip() or None
+    name = str(backend).strip().lower() if backend is not None else DEFAULT_BACKEND
+    if name not in _LOADERS:
+        raise KernelBackendError(
+            f"unknown kernel backend {name!r}; available: "
+            f"{', '.join(available_backends())}"
+        )
+    cached = _LOADED.get(name)
+    if cached is not None:
+        return cached
+    try:
+        loaded = _LOADERS[name]()
+    except KernelBackendError as exc:
+        if name == DEFAULT_BACKEND:
+            raise
+        warnings.warn(
+            KernelBackendWarning(
+                f"kernel backend {name!r} is unavailable ({exc}); "
+                f"falling back to {DEFAULT_BACKEND!r} (bit-identical "
+                f"output, uncompiled speed)"
+            ),
+            stacklevel=2,
+        )
+        return resolve_backend(DEFAULT_BACKEND)
+    _LOADED[name] = loaded
+    return loaded
+
+
+__all__ = [
+    "KERNEL_BACKEND_ENV",
+    "DEFAULT_BACKEND",
+    "KernelBackend",
+    "available_backends",
+    "register_backend",
+    "unregister_backend",
+    "resolve_backend",
+]

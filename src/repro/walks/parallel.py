@@ -40,12 +40,12 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..analysis.dsan import (
+    ChunkFingerprint,
     DsanChunkResult,
     DsanReport,
     collect_report,
     dsan_enabled,
     make_chunk_rng,
-    unwrap_chunk_result,
     verify_reports,
 )
 from ..exceptions import CheckpointError, ChunkFailure, WalkError
@@ -59,6 +59,7 @@ from ..resilience import (
 from ..resilience.supervisor import EXHAUSTION_POLICIES, as_retry_policy
 from ..rng import RngLike, ensure_rng
 from .corpus import WalkCorpus
+from .metrics import CounterTree, diff_counters, merge_counters
 
 # Module-level slot the forked children inherit; set immediately before the
 # pool is created and cleared after.
@@ -79,19 +80,50 @@ class WalkChunkTask:
     dsan: bool = False
 
 
-def _walk_chunk(task: WalkChunkTask) -> "list[np.ndarray] | DsanChunkResult":
+@dataclass
+class WalkChunkResult:
+    """Everything one chunk sends back across the process boundary.
+
+    ``fingerprint`` is present when the determinism sanitizer is active;
+    ``counters`` is the engine's per-chunk counter *delta* (``None`` for
+    engines without counters) — the associatively mergeable payload that
+    makes dispatch/cache totals worker-count invariant instead of dying
+    with the forked child.
+    """
+
+    walks: list
+    fingerprint: "ChunkFingerprint | None" = None
+    counters: "CounterTree | None" = None
+
+
+def _unwrap(result: object) -> tuple:
+    """Split any worker result into ``(walks, fingerprint, counters)``."""
+    if isinstance(result, WalkChunkResult):
+        return result.walks, result.fingerprint, result.counters
+    if isinstance(result, DsanChunkResult):
+        return result.walks, result.fingerprint, None
+    return result, None, None
+
+
+def _walk_chunk(task: WalkChunkTask) -> WalkChunkResult:
     """Worker body: generate walks for one chunk of start nodes.
 
     Any failure — injected or genuine — crosses the process boundary as a
     :class:`ChunkFailure` carrying the chunk index and start-node range,
-    on the pool path *and* the sequential fallback alike.  When the
-    determinism sanitizer is active (``task.dsan``) the walks come back
-    wrapped with the chunk's RNG fingerprint.
+    on the pool path *and* the sequential fallback alike.  The walks come
+    back in a :class:`WalkChunkResult` carrying the chunk's RNG
+    fingerprint (when the sanitizer is active) and the engine's counter
+    delta for the chunk.  Chunk-scoped engine state is reset up front
+    (``reset_chunk_state``), so both payloads — and a retry's — are pure
+    functions of the task.
     """
     engine = _SHARED_ENGINE
     if engine is None:  # pragma: no cover - defensive, fork guarantees it
         raise WalkError("worker has no inherited walk engine")
     try:
+        if hasattr(engine, "reset_chunk_state"):
+            engine.reset_chunk_state()
+        before = engine.counters() if hasattr(engine, "counters") else None
         if task.fault_plan is not None:
             task.fault_plan.before_chunk(task.index, task.attempt)
         rng = make_chunk_rng(task.seed, dsan=task.dsan)
@@ -113,9 +145,13 @@ def _walk_chunk(task: WalkChunkTask) -> "list[np.ndarray] | DsanChunkResult":
                     walks.append(engine.walk(v, task.length, rng))
         if task.fault_plan is not None:
             walks = task.fault_plan.after_chunk(task.index, task.attempt, walks)
-        if task.dsan:
-            return DsanChunkResult(walks, rng.fingerprint(task.index))
-        return walks
+        counters = (
+            diff_counters(engine.counters(), before)
+            if before is not None
+            else None
+        )
+        fingerprint = rng.fingerprint(task.index) if task.dsan else None
+        return WalkChunkResult(walks, fingerprint, counters)
     except ChunkFailure:
         raise
     except Exception as exc:
@@ -128,7 +164,7 @@ def _chunk_validator(
     """Supervisor-side result validation: catches corrupt chunk output."""
 
     def validate(task: WalkChunkTask, result: object) -> None:
-        walks, _ = unwrap_chunk_result(result)
+        walks, _, _ = _unwrap(result)
         expected = len(task.nodes) * task.num_walks
         if len(walks) != expected:
             raise WalkError(
@@ -155,6 +191,37 @@ def _chunk_validator(
 def _engine_tag(engine: WalkEngine) -> str:
     """Stable identifier of the engine's RNG-stream contract."""
     return "batch" if hasattr(engine, "walk_chunk") else "scalar"
+
+
+def _engine_backend(engine: WalkEngine) -> str:
+    """Kernel-backend name of a batch engine (``""`` for scalar engines).
+
+    Part of the checkpoint signature: backends are bit-identical *today*,
+    but a future backend with its own stream contract must not silently
+    resume another backend's checkpoint — refusal is the safe default.
+    """
+    return str(getattr(getattr(engine, "backend", None), "name", ""))
+
+
+def _counter_metadata(engine: WalkEngine, counters: CounterTree) -> dict:
+    """Corpus-metadata view of merged per-chunk counters.
+
+    The summable counts are reported as merged; the cache section is
+    re-dressed with the engine's byte budget and the recomputed hit rate
+    (a ratio cannot be summed across chunks — it is derived from the
+    merged hits/misses, which keeps it associative too).
+    """
+    meta = dict(counters)
+    cache = getattr(engine, "cache", None)
+    cache_counts = meta.get("cache")
+    if isinstance(cache_counts, dict) and cache is not None:
+        section = dict(cache_counts)
+        hits = int(section.get("hits", 0))
+        lookups = hits + int(section.get("misses", 0))
+        section["budget_bytes"] = float(cache.budget.total_bytes)
+        section["hit_rate"] = (hits / lookups) if lookups else 0.0
+        meta["cache"] = section
+    return meta
 
 
 def run_chunked_walks(
@@ -228,8 +295,11 @@ def run_chunked_walks(
             "num_chunks": len(chunks),
             "num_nodes": int(engine.graph.num_nodes),
             # Scalar and batch engines consume the per-chunk RNG streams
-            # differently; refuse to resume a checkpoint across engines.
+            # differently; refuse to resume a checkpoint across engines —
+            # and across kernel backends, whose stream contract is only
+            # guaranteed for the backends shipped in-tree.
             "engine": _engine_tag(engine),
+            "backend": _engine_backend(engine),
         }
         for index, (seed, nodes, walks) in store.load(signature).items():
             if index >= len(tasks):
@@ -247,7 +317,7 @@ def run_chunked_walks(
         store.start(signature)
 
         def on_success(task: WalkChunkTask, result: object) -> None:
-            walks, _ = unwrap_chunk_result(result)
+            walks, _, _ = _unwrap(result)
             store.append(task.index, task.seed, task.nodes, walks)
 
     remaining = [task for task in tasks if task.index not in completed]
@@ -279,19 +349,28 @@ def run_chunked_walks(
 
     corpus = WalkCorpus(failed_chunks=list(run.dead_letters))
     fingerprints = []
+    merged: "CounterTree | None" = None
     for task in tasks:
         chunk_walks = completed.get(task.index)
         if chunk_walks is None:
-            chunk_walks, fingerprint = unwrap_chunk_result(
+            chunk_walks, fingerprint, counters = _unwrap(
                 run.results.get(task.index)
             )
             if fingerprint is not None:
                 fingerprints.append(fingerprint)
+            if counters is not None:
+                merged = (
+                    counters
+                    if merged is None
+                    else merge_counters(merged, counters)
+                )
         if chunk_walks is None:
             continue  # dead-lettered; recorded on corpus.failed_chunks
         for walk in chunk_walks:
             corpus.add(walk)
     corpus.metadata["engine"] = _engine_tag(engine)
+    if _engine_backend(engine):
+        corpus.metadata["backend"] = _engine_backend(engine)
     corpus.metadata["num_chunks"] = len(chunks)
     corpus.metadata["workers"] = int(workers)
     if dsan_active:
@@ -311,10 +390,16 @@ def run_chunked_walks(
                 report,
                 detail=f"run with workers={int(workers)}",
             )
-    if hasattr(engine, "stats"):
-        # Batch-engine dispatch/cache counters.  Only in-process chunks
-        # accumulate here: counters bumped inside forked pool workers stay
-        # in the child, so treat these as sequential-path observability.
+    if hasattr(engine, "counters"):
+        # Dispatch/cache counters, summed from the per-chunk deltas each
+        # worker sent back with its walks — worker-count invariant, unlike
+        # reading the parent engine object (forked children's increments
+        # never come home).  All-replayed runs report a zero tree.
+        if merged is None:
+            zero = engine.counters()
+            merged = diff_counters(zero, zero)
+        corpus.metadata.update(_counter_metadata(engine, merged))
+    elif hasattr(engine, "stats"):
         corpus.metadata.update(engine.stats())
     return corpus
 

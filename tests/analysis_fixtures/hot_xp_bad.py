@@ -1,0 +1,23 @@
+"""HOT002 fixture: @hot_path kernels pinned to host numpy."""
+
+import numpy as np
+
+from repro.hotpath import hot_path
+
+
+@hot_path
+def pick(xp, weights, uniforms):
+    cumulative = xp.cumsum(weights)
+    return np.searchsorted(cumulative, uniforms)  # finding: bare np.
+
+
+@hot_path
+def mask(ratios, uniforms):  # finding: first parameter is not `xp`
+    return uniforms <= ratios
+
+
+@hot_path
+def advance(xp, current, step):
+    out = np.empty_like(current)  # finding: bare np.
+    out[:] = xp.where(step >= 0, step, current)
+    return out

@@ -1,0 +1,25 @@
+"""HOT002 fixture: kernels dispatch through ``xp``; annotations and
+non-kernel helpers may still name numpy."""
+
+from typing import Any
+
+import numpy as np
+
+from repro.hotpath import hot_path
+
+
+@hot_path
+def pick(xp: Any, weights: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
+    cumulative = xp.cumsum(weights)
+    return xp.searchsorted(cumulative, uniforms)
+
+
+@hot_path
+def mask(xp: Any, ratios: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
+    kept: np.ndarray = uniforms <= xp.minimum(1.0, ratios)
+    return kept
+
+
+def driver(weights, uniforms):
+    # Not @hot_path: host-numpy access is the driver's business.
+    return pick(np, np.asarray(weights), np.asarray(uniforms))

@@ -8,6 +8,7 @@ equivalence with the scalar engine, and dead-end round-tripping through
 """
 
 import hashlib
+import importlib.util
 
 import numpy as np
 import pytest
@@ -40,6 +41,19 @@ def framework(graph, model):
 def corpus_sha(corpus) -> str:
     payload = "\n".join(" ".join(map(str, w.tolist())) for w in corpus)
     return hashlib.sha256(payload.encode()).hexdigest()
+
+
+#: Both kernel backends; the numba leg skips where the soft dep is absent.
+BACKENDS = [
+    "numpy",
+    pytest.param(
+        "numba",
+        marks=pytest.mark.skipif(
+            importlib.util.find_spec("numba") is None,
+            reason="numba not installed",
+        ),
+    ),
+]
 
 
 # ----------------------------------------------------------------------
@@ -224,8 +238,12 @@ class TestCacheUnderLoad:
 class TestBatchDeterminism:
     PINNED = "c9cd8613846572b4ed879b29b79545a33f8cdb71a680c8a16bf90ba65aadd620"
 
-    def test_pinned_corpus_hash(self, framework):
-        engine = framework.batch_engine(cache_budget=10_000)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_pinned_corpus_hash(self, framework, backend):
+        # The pin holds for every kernel backend: uniforms are drawn by
+        # the engine driver, so a compiled backend consumes the identical
+        # RNG stream and must reproduce the identical corpus.
+        engine = framework.batch_engine(cache_budget=10_000, backend=backend)
         corpus = parallel_walks(
             engine, num_walks=3, length=20, workers=1, chunk_size=16, rng=11
         )
@@ -269,7 +287,8 @@ class TestChiSquareEquivalence:
         counts = corpus.second_order_transition_counts()
         return {ctx: counts.get(ctx, {}) for ctx in contexts}
 
-    def test_scalar_vs_batch_chi_square(self, graph, model, framework):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_scalar_vs_batch_chi_square(self, graph, model, framework, backend):
         """Two-sample chi-square on next-step counts: p > 0.01.
 
         Both engines are run on the same assignment; their transition
@@ -280,9 +299,9 @@ class TestChiSquareEquivalence:
         scalar = WalkCorpus.from_walks(
             framework.generate_walks(num_walks=num_walks, length=length, rng=21)
         )
-        batch = framework.batch_engine(cache_budget=10_000).walks(
-            num_walks=num_walks, length=length, rng=22
-        )
+        batch = framework.batch_engine(
+            cache_budget=10_000, backend=backend
+        ).walks(num_walks=num_walks, length=length, rng=22)
 
         scalar_counts = scalar.second_order_transition_counts()
         batch_counts = batch.second_order_transition_counts()

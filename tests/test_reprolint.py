@@ -47,6 +47,7 @@ RULE_CASES = [
     ("TIME001", "time_bad_identity.py", "time_good.py", 2),
     ("MP001", "mp_bad.py", "mp_good.py", 3),
     ("HOT001", "hot_bad.py", "hot_good.py", 3),
+    ("HOT002", "hot_xp_bad.py", "hot_xp_good.py", 3),
     ("MEM001", "mem_bad.py", "mem_good.py", 3),
     ("EXC001", "exc_bad.py", "exc_good.py", 3),
     ("DEF001", "def_bad.py", "def_good.py", 4),
@@ -247,6 +248,7 @@ def test_expected_rule_catalogue():
         "TIME001",
         "MP001",
         "HOT001",
+        "HOT002",
         "MEM001",
         "EXC001",
         "DEF001",
@@ -319,10 +321,10 @@ def test_self_check_src_repro_clean_modulo_baseline():
         f.render() for f in result.new_findings
     )
     assert result.stale_baseline == []
-    # The one grandfathered finding (bounded rejection loop) is present
-    # and justified.
-    assert len(result.baselined) == 1
-    assert result.baselined[0].rule == "HOT001"
+    # The step-centric kernel refactor retired the one grandfathered
+    # HOT001 entry (the rejection loop now lives in a non-@hot_path
+    # driver); the default rule set carries no baselined debt.
+    assert result.baselined == []
 
 
 def test_committed_baseline_entries_are_justified():

@@ -395,6 +395,7 @@ class TestCheckpointResume:
             "num_chunks": 8,
             "num_nodes": framework.graph.num_nodes,
             "engine": "scalar",
+            "backend": "",
         }
         completed = store.load(signature)
         assert sorted(completed) == list(range(8))  # torn record ignored
