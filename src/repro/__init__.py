@@ -27,8 +27,10 @@ from .exceptions import (
     BudgetError,
     CheckpointError,
     ChunkFailure,
+    CircuitOpenError,
     CostModelError,
     DatasetError,
+    DeadlineExceededError,
     DegradedRunWarning,
     DeterminismError,
     DistributionError,
@@ -37,12 +39,17 @@ from .exceptions import (
     InjectedFaultError,
     ModelError,
     OptimizerError,
+    PermanentTransportError,
+    RateLimitedError,
     ReproError,
     RngConfigError,
     SamplerConfigError,
     SamplerError,
     SimulatedOOMError,
     SimulatedTimeoutError,
+    TransientFaultError,
+    TransientTransportError,
+    TransportError,
     WalkError,
     WalkTimeoutError,
 )
@@ -77,6 +84,7 @@ from .framework import (
     MemoryAwareFramework,
     MemoryBudget,
     MemoryMeter,
+    NeighborProvider,
     NodeSampler,
     WalkEngine,
     format_bytes,
@@ -98,6 +106,22 @@ from .resilience import (
     FaultPlan,
     RetryPolicy,
     WalkCheckpoint,
+)
+from .remote import (
+    CircuitBreaker,
+    CircuitState,
+    Clock,
+    InjectedFaultTransport,
+    NeighborhoodCache,
+    RemoteGraph,
+    ResilientClient,
+    SystemClock,
+    TokenBucket,
+    Transport,
+    VirtualClock,
+    crawl_walks,
+    estimate_average_degree,
+    estimate_pagerank,
 )
 
 __version__ = "1.0.0"
@@ -140,6 +164,7 @@ __all__ = [
     "min_memory_for_time",
     # framework
     "MemoryAwareFramework",
+    "NeighborProvider",
     "NodeSampler",
     "WalkEngine",
     "MemoryBudget",
@@ -163,6 +188,21 @@ __all__ = [
     "WalkCheckpoint",
     "DegradationEvent",
     "DegradationLog",
+    # remote / crawl mode
+    "Transport",
+    "InjectedFaultTransport",
+    "TokenBucket",
+    "CircuitBreaker",
+    "CircuitState",
+    "ResilientClient",
+    "NeighborhoodCache",
+    "RemoteGraph",
+    "Clock",
+    "SystemClock",
+    "VirtualClock",
+    "crawl_walks",
+    "estimate_average_degree",
+    "estimate_pagerank",
     # constants
     "DEFAULT_WALKS_PER_NODE",
     "DEFAULT_WALK_LENGTH",
@@ -187,6 +227,13 @@ __all__ = [
     "WalkTimeoutError",
     "ChunkFailure",
     "InjectedFaultError",
+    "TransientFaultError",
+    "TransportError",
+    "TransientTransportError",
+    "PermanentTransportError",
+    "RateLimitedError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
     "CheckpointError",
     "DeterminismError",
     "DegradedRunWarning",

@@ -218,6 +218,104 @@ class WallClockRule(Rule):
 
 
 # ----------------------------------------------------------------------
+# TIME002 — clock-injection discipline
+# ----------------------------------------------------------------------
+#: module prefixes whose timing behaviour must be a pure function of an
+#: injected Clock — any ambient ``time.*`` call is a finding.
+_CLOCK_INJECTED_PREFIXES = ("remote/",)
+
+#: the one module allowed to touch the ambient clock: it *implements*
+#: the injection boundary.
+_CLOCK_BOUNDARY_MODULES = {"remote/clock.py"}
+
+#: elsewhere, functions whose names suggest a retry / pacing loop are
+#: held to the same standard inside their loops: a retry loop timed off
+#: the ambient clock cannot be tested without real sleeping.
+_RETRY_FUNCTION = re.compile(
+    r"(retry|backoff|poll(?:ing)?(?:_|$)|acquire|wait_for)", re.IGNORECASE
+)
+
+#: ambient ``time`` attributes that read or burn real time.
+_AMBIENT_TIME_ATTRS = {
+    "sleep",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "time",
+    "time_ns",
+}
+
+
+@register_rule
+class ClockInjectionRule(Rule):
+    """Crawl-mode code reads time only through an injected ``Clock``.
+
+    The remote stack's contract is that a run under a ``VirtualClock``
+    is a deterministic simulation: retries, rate-limit waits, and
+    circuit-breaker probe windows are asserted exactly in tests and the
+    same seed reproduces byte-identical output regardless of real
+    timing.  One ambient ``time.monotonic()`` or ``time.sleep()`` breaks
+    that — timing decisions silently leave the injected clock's axis.
+    The same discipline applies to retry/backoff/pacing loops anywhere
+    in the tree.
+    """
+
+    id = "TIME002"
+    name = "clock-injection"
+    description = (
+        "remote/ modules and retry/backoff loops must read time through "
+        "an injected Clock, never the ambient time module"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        if src.module_path in _CLOCK_BOUNDARY_MODULES:
+            return
+        clock_injected_module = src.module_path.startswith(
+            _CLOCK_INJECTED_PREFIXES
+        )
+        loop_spans: list[tuple[int, int]] = []
+        if not clock_injected_module:
+            for fn in walk_functions(src.tree):
+                if not _RETRY_FUNCTION.search(fn.name):
+                    continue
+                for node in ast.walk(fn):
+                    if isinstance(node, (ast.For, ast.While, ast.AsyncFor)):
+                        loop_spans.append(
+                            (node.lineno, node.end_lineno or node.lineno)
+                        )
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_name(node.func)
+            if "." not in chain:
+                continue
+            base, attr = chain.rsplit(".", 1)
+            if base.rsplit(".", 1)[-1] != "time":
+                continue
+            if attr not in _AMBIENT_TIME_ATTRS:
+                continue
+            if clock_injected_module:
+                yield self.finding(
+                    src,
+                    node,
+                    f"ambient `{chain}()` in clock-injected module "
+                    f"{src.module_path!r}; read time through the injected "
+                    "Clock so virtual-clock runs stay deterministic",
+                )
+            elif any(
+                start <= node.lineno <= end for start, end in loop_spans
+            ):
+                yield self.finding(
+                    src,
+                    node,
+                    f"ambient `{chain}()` inside a retry/pacing loop; "
+                    "inject the clock (sleep/monotonic parameters) so the "
+                    "loop is testable without real waiting",
+                )
+
+
+# ----------------------------------------------------------------------
 # MP001 — picklability of multiprocessing payloads
 # ----------------------------------------------------------------------
 _MP_MODULES_EXACT = {"walks/parallel.py"}
@@ -723,6 +821,7 @@ class PublicDocstringRule(Rule):
 __all__ = [
     "RngDisciplineRule",
     "WallClockRule",
+    "ClockInjectionRule",
     "PicklabilityRule",
     "HotPathPurityRule",
     "HotPathArrayModuleRule",

@@ -273,6 +273,80 @@ def build_tool_parser() -> argparse.ArgumentParser:
         help="also verify against a previously saved report",
     )
 
+    crawl = sub.add_parser(
+        "crawl",
+        help=(
+            "crawl-mode walks and estimators over a simulated remote "
+            "neighbour API (rate limiting, faults, circuit breaking)"
+        ),
+    )
+    crawl.add_argument("edgelist", help="hidden ground-truth edge-list file")
+    crawl.add_argument(
+        "--estimator",
+        default="walks",
+        choices=["walks", "degree", "pagerank"],
+        help="what to crawl: a walk corpus, or a degree/PageRank estimate",
+    )
+    crawl.add_argument(
+        "--model",
+        default=None,
+        help="second-order model for walks (default: first-order)",
+    )
+    crawl.add_argument(
+        "--param", action="append", default=[], help="model hyper-parameter key=value"
+    )
+    crawl.add_argument("--num-walks", type=int, default=10)
+    crawl.add_argument("--length", type=int, default=20)
+    crawl.add_argument(
+        "--num-samples", type=int, default=500, help="estimator sample count"
+    )
+    crawl.add_argument("--query", type=int, default=0, help="PageRank query node")
+    crawl.add_argument(
+        "--cache-budget",
+        type=float,
+        default=1e6,
+        help="bytes for the neighbourhood history cache (0 disables reuse)",
+    )
+    crawl.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        help="server-side requests/second (429s above it)",
+    )
+    crawl.add_argument(
+        "--client-rate",
+        type=float,
+        default=None,
+        help="client-side token-bucket rate (stay under the server's)",
+    )
+    crawl.add_argument(
+        "--latency-rate",
+        type=float,
+        default=0.0,
+        help="fraction of nodes with seeded latency spikes",
+    )
+    crawl.add_argument(
+        "--flaky-rate",
+        type=float,
+        default=0.0,
+        help="fraction of nodes whose first fetch fails transiently",
+    )
+    crawl.add_argument(
+        "--outage",
+        action="append",
+        default=[],
+        metavar="START:END",
+        help="outage window in virtual seconds (repeatable)",
+    )
+    crawl.add_argument("--fault-seed", type=int, default=0)
+    crawl.add_argument("--seed", type=int, default=None)
+    crawl.add_argument(
+        "--deadline", type=float, default=None, help="per-fetch budget, seconds"
+    )
+    crawl.add_argument(
+        "--output", default=None, help="write the corpus / estimate JSON here"
+    )
+
     return parser
 
 
@@ -295,8 +369,160 @@ def _build_framework(args):
     )
 
 
+def _run_crawl(args) -> int:
+    """The ``crawl`` subcommand: estimator runs over a simulated API.
+
+    Always runs on a virtual clock, so a given configuration is a
+    deterministic simulation — injected latency and rate limiting shape
+    the (virtual) timeline, never the estimate.
+    """
+    import json
+
+    import numpy as np
+
+    from .graph import load_edge_list
+    from .models import get_model
+    from .remote import (
+        CircuitBreaker,
+        InjectedFaultTransport,
+        RemoteGraph,
+        ResilientClient,
+        TokenBucket,
+        VirtualClock,
+        crawl_walks,
+        estimate_average_degree,
+        estimate_pagerank,
+    )
+    from .resilience import FaultKind, FaultPlan
+
+    graph = load_edge_list(args.edgelist)
+    model = (
+        get_model(args.model, **_parse_params(args.param))
+        if args.model is not None
+        else None
+    )
+    outages = []
+    for window in args.outage:
+        start, _, end = window.partition(":")
+        try:
+            outages.append((float(start), float(end)))
+        except ValueError:
+            print(f"bad --outage window {window!r} (want START:END)", file=sys.stderr)
+            return 2
+    plans = []
+    if args.latency_rate > 0:
+        plans.append(
+            FaultPlan(
+                kind=FaultKind.LATENCY, rate=args.latency_rate, seed=args.fault_seed
+            )
+        )
+    if args.flaky_rate > 0:
+        plans.append(
+            FaultPlan(
+                kind=FaultKind.FLAKY,
+                rate=args.flaky_rate,
+                seed=args.fault_seed + 1,
+                failures_per_chunk=1,
+            )
+        )
+    clock = VirtualClock()
+    transport = InjectedFaultTransport(
+        graph,
+        clock=clock,
+        plans=plans,
+        rate_limit=args.rate_limit,
+        outages=outages,
+    )
+    client = ResilientClient(
+        transport,
+        limiter=TokenBucket(args.client_rate, clock=clock),
+        breaker=CircuitBreaker(reset_timeout=5.0, clock=clock),
+        deadline=args.deadline,
+        clock=clock,
+    )
+    rgraph = RemoteGraph(client, cache=args.cache_budget)
+
+    if args.estimator == "walks":
+        corpus = crawl_walks(
+            rgraph,
+            num_walks=args.num_walks,
+            length=args.length,
+            model=model,
+            rng=args.seed,
+        )
+        meta = corpus.metadata["crawl"]
+        print(
+            f"crawled {len(corpus)} walks, {corpus.total_steps} steps, "
+            f"{meta['truncated_walks']} truncated, "
+            f"{meta['stale_hits']} stale step(s)"
+        )
+        if args.output:
+            corpus.save(args.output)
+            print(f"written to {args.output}")
+        result = {"kind": "walks", **{k: v for k, v in meta.items() if k != "client"}}
+    elif args.estimator == "degree":
+        estimate = estimate_average_degree(
+            rgraph,
+            num_samples=args.num_samples,
+            rng=args.seed,
+            snapshot_every=max(1, args.num_samples // 10),
+        )
+        print(
+            f"average degree ≈ {estimate.average_degree:.3f} "
+            f"({estimate.num_samples} samples, {estimate.api_calls} API calls, "
+            f"{estimate.circuit_waits} circuit wait(s))"
+        )
+        result = {
+            "kind": "degree",
+            "estimate": estimate.average_degree,
+            "api_calls": estimate.api_calls,
+            "circuit_waits": estimate.circuit_waits,
+            "curve": [list(point) for point in estimate.curve],
+        }
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                json.dump(result, fh, indent=2)
+            print(f"written to {args.output}")
+    else:  # pagerank
+        estimate = estimate_pagerank(
+            rgraph,
+            args.query,
+            num_samples=args.num_samples,
+            rng=args.seed,
+        )
+        top = np.argsort(estimate.scores)[::-1][:5]
+        ranked = ", ".join(
+            f"{int(v)}:{estimate.scores[v]:.4f}" for v in top
+        )
+        print(
+            f"pagerank({args.query}) top-5: {ranked} "
+            f"({estimate.api_calls} API calls, "
+            f"{estimate.truncated_walks} truncated walk(s))"
+        )
+        result = {
+            "kind": "pagerank",
+            "query": args.query,
+            "scores": estimate.scores.tolist(),
+            "api_calls": estimate.api_calls,
+            "truncated_walks": estimate.truncated_walks,
+        }
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                json.dump(result, fh, indent=2)
+            print(f"written to {args.output}")
+    print(rgraph.describe())
+    print(
+        f"virtual time {clock.now:.3f}s, breaker opens: "
+        f"{client.breaker.opens}, rate-limit retries: {client.rate_limit_retries}"
+    )
+    return 0
+
+
 def _run_tool(argv: list[str]) -> int:
     args = build_tool_parser().parse_args(argv)
+
+    if args.command == "crawl":
+        return _run_crawl(args)
 
     if args.command == "info":
         from .datasets import load_dataset, paper_graph_info
@@ -487,7 +713,7 @@ def main(argv: list[str] | None = None) -> int:
         from .analysis.lint import lint_main
 
         return lint_main(argv[1:])
-    if argv and argv[0] in ("info", "optimize", "walk", "dsan-report"):
+    if argv and argv[0] in ("info", "optimize", "walk", "dsan-report", "crawl"):
         return _run_tool(argv)
     # Fall through to the experiment parser for its help/error message.
     return _run_experiments(argv)

@@ -205,6 +205,106 @@ class InjectedFaultError(ReproError):
         return (type(self), (self.chunk_index, self.attempt))
 
 
+class TransientFaultError(InjectedFaultError):
+    """A deterministic *transient* fault (:attr:`FaultKind.FLAKY`).
+
+    Semantically distinct from a crash: the schedule guarantees the
+    failure heals after ``failures_per_chunk`` attempts, so a retry
+    policy with enough budget always masks it.  The transport layer maps
+    this kind onto :class:`TransientTransportError`.
+    """
+
+
+class TransportError(ReproError):
+    """A remote neighbour-API request failed.
+
+    Base class for every failure mode of the crawl-mode transport layer
+    (:mod:`repro.remote`): transient and permanent server errors, rate
+    limiting, client-side deadlines, and the circuit breaker refusing to
+    issue a call at all.
+    """
+
+
+class TransientTransportError(TransportError):
+    """A remote request failed in a way that is expected to heal.
+
+    The retryable class: connection resets, 5xx-style hiccups, and the
+    :attr:`repro.resilience.FaultKind.FLAKY` injected fault all surface
+    here.  :class:`repro.remote.ResilientClient` retries these under its
+    :class:`~repro.resilience.RetryPolicy`.
+    """
+
+
+class PermanentTransportError(TransportError):
+    """A remote request failed in a way no retry can fix (4xx-style).
+
+    Raised for malformed or forbidden requests and for
+    :attr:`repro.resilience.FaultKind.CRASH` faults injected with a
+    persistent schedule; the resilient client fails fast instead of
+    burning retry budget.
+    """
+
+
+class RateLimitedError(TransientTransportError):
+    """The remote API rejected a request for exceeding its rate limit.
+
+    The HTTP-429 shape: carries the server-suggested ``retry_after``
+    delay (seconds).  The resilient client honours the larger of
+    ``retry_after`` and its own backoff before the next attempt.
+    """
+
+    def __init__(self, retry_after: float) -> None:
+        self.retry_after = float(retry_after)
+        super().__init__(
+            f"rate limited by remote API; retry after {self.retry_after:.3g}s"
+        )
+
+    def __reduce__(self) -> tuple:
+        return (type(self), (self.retry_after,))
+
+
+class DeadlineExceededError(TransportError):
+    """A remote request ran out of its client-side deadline.
+
+    Raised before an attempt (or a backoff sleep) that could not finish
+    within the caller's deadline — the bounded-latency guarantee of the
+    resilient client.
+    """
+
+    def __init__(self, deadline_seconds: float, elapsed_seconds: float) -> None:
+        self.deadline_seconds = float(deadline_seconds)
+        self.elapsed_seconds = float(elapsed_seconds)
+        super().__init__(
+            f"deadline of {self.deadline_seconds:.3g}s exceeded after "
+            f"{self.elapsed_seconds:.3g}s"
+        )
+
+    def __reduce__(self) -> tuple:
+        return (type(self), (self.deadline_seconds, self.elapsed_seconds))
+
+
+class CircuitOpenError(TransportError):
+    """The circuit breaker refused to issue a remote call.
+
+    Raised while the breaker is open (the remote API is presumed down)
+    and the requested neighbourhood is not in the history cache — the
+    point where graceful degradation runs out of road.  Walks catch this
+    to truncate instead of crashing; the truncation is recorded in
+    ``WalkCorpus.metadata``.
+    """
+
+    def __init__(self, failures: int, retry_in: float) -> None:
+        self.failures = int(failures)
+        self.retry_in = float(retry_in)
+        super().__init__(
+            f"circuit open after {self.failures} consecutive failure(s); "
+            f"next probe in {self.retry_in:.3g}s"
+        )
+
+    def __reduce__(self) -> tuple:
+        return (type(self), (self.failures, self.retry_in))
+
+
 class DeterminismError(ReproError):
     """The runtime determinism sanitizer observed stream divergence.
 

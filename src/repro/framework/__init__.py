@@ -7,7 +7,7 @@ walk generation.  The per-node samplers implement the paper's
 ``NodeSampler`` programming interface (Figure 6).
 """
 
-from .interfaces import NodeSampler
+from .interfaces import NeighborProvider, NodeSampler
 from .node_samplers import (
     AliasNodeSampler,
     NaiveNodeSampler,
@@ -31,6 +31,7 @@ from .serialize import (
 )
 
 __all__ = [
+    "NeighborProvider",
     "NodeSampler",
     "NaiveNodeSampler",
     "RejectionNodeSampler",

@@ -16,6 +16,7 @@ this ABC, exactly as the C++ interface in the paper intends.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
@@ -23,6 +24,44 @@ from ..cost import CostParams, SamplerKind
 from ..exceptions import WalkError
 from ..graph import CSRGraph
 from ..models import SecondOrderModel
+
+
+@runtime_checkable
+class NeighborProvider(Protocol):
+    """Read-side neighbour interface shared by in-memory and remote graphs.
+
+    Both :class:`~repro.graph.CSRGraph` and
+    :class:`~repro.remote.RemoteGraph` satisfy this protocol — the
+    former answers from CSR arrays, the latter may spend an API call.
+    Code written against ``NeighborProvider`` (walk steps, estimators)
+    runs unchanged in either mode; code that needs whole-graph arrays
+    (the optimizer, alias builders) must require a ``CSRGraph``.
+    """
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the id space ``0..num_nodes-1``."""
+        ...
+
+    def degree(self, v: int) -> int:
+        """Out-degree of node ``v``."""
+        ...
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbour ids of ``v``."""
+        ...
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        """Edge weights aligned with :meth:`neighbors`."""
+        ...
+
+    def weight_sum(self, v: int) -> float:
+        """Total outgoing weight ``W_v``."""
+        ...
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the edge ``(u, v)`` exists."""
+        ...
 
 
 class NodeSampler(ABC):

@@ -1,0 +1,49 @@
+"""Crawl-mode walking: resilient access to a remote neighbour API.
+
+The package turns the in-memory framework into a crawler: a
+:class:`Transport` is the wire (the reference implementation wraps a
+local :class:`~repro.graph.CSRGraph` with seeded fault injection), the
+:class:`ResilientClient` adds deadline-aware retries, token-bucket rate
+limiting and a circuit breaker, the :class:`NeighborhoodCache` reuses
+fetched neighbourhoods under a byte budget, and :class:`RemoteGraph`
+presents it all through the familiar neighbour interface.  On top sit
+the crawl estimators (:func:`crawl_walks`,
+:func:`estimate_average_degree`, :func:`estimate_pagerank`).
+
+Everything reads time through an injectable :class:`Clock` — see
+``docs/robustness.md`` for the determinism contract.
+"""
+
+from .breaker import CircuitBreaker, CircuitState
+from .client import ResilientClient
+from .clock import Clock, SystemClock, VirtualClock
+from .estimators import (
+    DegreeEstimate,
+    PageRankEstimate,
+    crawl_walks,
+    estimate_average_degree,
+    estimate_pagerank,
+)
+from .graph import RemoteGraph
+from .history import NeighborhoodCache
+from .limiter import TokenBucket
+from .transport import InjectedFaultTransport, Transport
+
+__all__ = [
+    "Clock",
+    "SystemClock",
+    "VirtualClock",
+    "Transport",
+    "InjectedFaultTransport",
+    "TokenBucket",
+    "CircuitBreaker",
+    "CircuitState",
+    "ResilientClient",
+    "NeighborhoodCache",
+    "RemoteGraph",
+    "DegreeEstimate",
+    "PageRankEstimate",
+    "crawl_walks",
+    "estimate_average_degree",
+    "estimate_pagerank",
+]

@@ -1,0 +1,179 @@
+"""Circuit breaker: fail fast when the remote API is presumed down.
+
+Classic three-state machine (closed → open → half-open → …):
+
+* **closed** — calls flow; ``failure_threshold`` *consecutive* failures
+  trip the breaker open;
+* **open** — calls are refused without touching the wire; after
+  ``reset_timeout`` seconds (on the injectable clock) the breaker
+  half-opens;
+* **half-open** — a limited number of probe calls are admitted; one
+  success closes the breaker, one failure re-opens it (and restarts the
+  reset window).
+
+The breaker never consumes RNG and reads time only through the injected
+:class:`~repro.remote.Clock`, so its state trajectory is a deterministic
+function of the call/outcome sequence and the clock — which is how the
+open/half-open/recover cycle is asserted exactly in tests.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..exceptions import WalkError
+from .clock import Clock, SystemClock
+
+
+class CircuitState(str, Enum):
+    """The three breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures (while closed) that trip the breaker.
+    reset_timeout:
+        Seconds the breaker stays open before admitting probes.
+    half_open_probes:
+        Concurrent probe admissions while half-open (1 is the classic
+        single-probe breaker).
+    clock:
+        Injectable :class:`~repro.remote.Clock` (default: system clock).
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Clock | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise WalkError("failure_threshold must be >= 1")
+        if reset_timeout < 0:
+            raise WalkError("reset_timeout must be non-negative")
+        if half_open_probes < 1:
+            raise WalkError("half_open_probes must be >= 1")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self.half_open_probes = int(half_open_probes)
+        self.clock = clock if clock is not None else SystemClock()
+        self._state = CircuitState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._epoch = self.clock.monotonic()
+        #: ``(from, to, seconds-since-construction)`` transition log.
+        self.transitions: list[tuple[str, str, float]] = []
+        self.rejected = 0
+        self.opens = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> CircuitState:
+        """Current state, after applying any due open→half-open move."""
+        self._maybe_half_open()
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Failures seen since the last success (drives tripping)."""
+        return self._consecutive_failures
+
+    def _transition(self, to: CircuitState) -> None:
+        self.transitions.append(
+            (self._state.value, to.value, self.clock.monotonic() - self._epoch)
+        )
+        self._state = to
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state is CircuitState.OPEN
+            and self.clock.monotonic() - self._opened_at >= self.reset_timeout
+        ):
+            self._transition(CircuitState.HALF_OPEN)
+            self._probes_in_flight = 0
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """Whether a call may be issued now.
+
+        While half-open, admissions are capped at ``half_open_probes``
+        until an outcome is recorded.  A refusal is counted.
+        """
+        self._maybe_half_open()
+        if self._state is CircuitState.CLOSED:
+            return True
+        if self._state is CircuitState.HALF_OPEN:
+            if self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                return True
+        self.rejected += 1
+        return False
+
+    def retry_in(self) -> float:
+        """Seconds until the next probe window (0 when not open)."""
+        self._maybe_half_open()
+        if self._state is not CircuitState.OPEN:
+            return 0.0
+        return max(
+            0.0,
+            self._opened_at + self.reset_timeout - self.clock.monotonic(),
+        )
+
+    def record_success(self) -> None:
+        """Note a successful call: closes a half-open breaker."""
+        self._maybe_half_open()
+        self._consecutive_failures = 0
+        if self._state is CircuitState.HALF_OPEN:
+            self._transition(CircuitState.CLOSED)
+            self._probes_in_flight = 0
+
+    def record_failure(self) -> None:
+        """Note a failed call: may trip (or re-trip) the breaker."""
+        self._maybe_half_open()
+        self._consecutive_failures += 1
+        if self._state is CircuitState.HALF_OPEN:
+            self._trip()
+        elif (
+            self._state is CircuitState.CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._trip()
+
+    def release_probe(self) -> None:
+        """Return a half-open probe admission without an outcome.
+
+        Used when an admitted call never reached the remote service
+        (e.g. it was rate-limited client-side): the probe slot frees up
+        so the breaker cannot deadlock half-open, but the breaker learns
+        nothing about the service's health.
+        """
+        if self._state is CircuitState.HALF_OPEN and self._probes_in_flight > 0:
+            self._probes_in_flight -= 1
+
+    def _trip(self) -> None:
+        self._transition(CircuitState.OPEN)
+        self._opened_at = self.clock.monotonic()
+        self._probes_in_flight = 0
+        self.opens += 1
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """State snapshot plus the full transition log."""
+        return {
+            "state": self.state.value,
+            "consecutive_failures": int(self._consecutive_failures),
+            "opens": int(self.opens),
+            "rejected": int(self.rejected),
+            "transitions": [list(t) for t in self.transitions],
+        }

@@ -1,0 +1,207 @@
+"""The resilient client: retries, deadlines, rate limiting, circuit
+breaking — composed around any :class:`~repro.remote.Transport`.
+
+Call path of one :meth:`ResilientClient.fetch`::
+
+    circuit breaker ──► token bucket ──► deadline check ──► transport
+          ▲                                                    │
+          └── backoff (RetryPolicy, deterministic jitter) ◄────┘
+
+Design rules that keep crawls reproducible:
+
+* every delay (bucket wait, backoff, 429 ``retry_after``) goes through
+  the injected :class:`~repro.remote.Clock`;
+* backoff jitter reuses :meth:`repro.resilience.RetryPolicy.delay`,
+  keyed by ``(node, attempt)`` — the same deterministic-jitter scheme
+  the chunk supervisor uses;
+* no code path consumes walk RNG, so retries and rate limiting are
+  invisible to the sampled corpus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    PermanentTransportError,
+    RateLimitedError,
+    TransientTransportError,
+)
+from ..resilience import RetryPolicy
+from .breaker import CircuitBreaker
+from .clock import Clock, SystemClock
+from .limiter import TokenBucket
+from .transport import Transport
+
+
+class ResilientClient:
+    """Deadline-aware retrying facade over a :class:`Transport`.
+
+    Parameters
+    ----------
+    transport:
+        The neighbour API to protect.
+    policy:
+        :class:`~repro.resilience.RetryPolicy` for transient failures
+        (default: the standard 3-attempt exponential policy).
+    limiter:
+        Client-side :class:`TokenBucket`; ``None`` builds a disabled
+        bucket.  Staying under the server's rate avoids billing 429s.
+    breaker:
+        :class:`CircuitBreaker`; ``None`` builds the default
+        (5 consecutive failures, 30 s reset) on the shared clock.
+    deadline:
+        Default per-call budget in seconds (``None``: unbounded).
+    clock:
+        Injectable :class:`~repro.remote.Clock` shared with the default
+        limiter/breaker (pass the same clock to custom ones).
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        *,
+        policy: RetryPolicy | None = None,
+        limiter: TokenBucket | None = None,
+        breaker: CircuitBreaker | None = None,
+        deadline: float | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self.transport = transport
+        self.clock = clock if clock is not None else SystemClock()
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.limiter = (
+            limiter if limiter is not None else TokenBucket(None, clock=self.clock)
+        )
+        self.breaker = (
+            breaker if breaker is not None else CircuitBreaker(clock=self.clock)
+        )
+        self.deadline = deadline
+        self.fetches = 0
+        self.successes = 0
+        self.retries = 0
+        self.rate_limit_retries = 0
+        self.transient_failures = 0
+        self.permanent_failures = 0
+        self.deadline_failures = 0
+        self.circuit_rejections = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Id space of the underlying transport."""
+        return self.transport.num_nodes
+
+    def _validate(
+        self, node: int, ids: np.ndarray, weights: np.ndarray
+    ) -> None:
+        """Reject corrupt responses (they retry like transient faults)."""
+        if len(ids) != len(weights):
+            raise TransientTransportError(
+                f"corrupt response for node {node}: misaligned arrays"
+            )
+        if len(ids) and (
+            int(ids.min()) < 0 or int(ids.max()) >= self.transport.num_nodes
+        ):
+            raise TransientTransportError(
+                f"corrupt response for node {node}: neighbour id out of range"
+            )
+
+    def _remaining(self, started: float, deadline: float | None) -> float:
+        if deadline is None:
+            return float("inf")
+        return deadline - (self.clock.monotonic() - started)
+
+    def _spend(
+        self, started: float, deadline: float | None, needed: float
+    ) -> None:
+        """Fail fast when ``needed`` more seconds would blow the deadline."""
+        if deadline is None:
+            return
+        remaining = self._remaining(started, deadline)
+        if needed > remaining:
+            self.deadline_failures += 1
+            raise DeadlineExceededError(
+                deadline, self.clock.monotonic() - started
+            )
+
+    # ------------------------------------------------------------------
+    def fetch(
+        self, node: int, *, deadline: float | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fetch ``node``'s neighbourhood with full resilience applied.
+
+        Raises :class:`~repro.exceptions.CircuitOpenError` without
+        touching the wire while the breaker is open,
+        :class:`~repro.exceptions.DeadlineExceededError` when the call
+        budget runs out, and the final transport error when retries are
+        exhausted.
+        """
+        deadline = deadline if deadline is not None else self.deadline
+        started = self.clock.monotonic()
+        self.fetches += 1
+        last_error: Exception | None = None
+        for attempt in range(self.policy.max_attempts):
+            if not self.breaker.allow():
+                self.circuit_rejections += 1
+                raise CircuitOpenError(
+                    self.breaker.consecutive_failures, self.breaker.retry_in()
+                )
+            try:
+                self._spend(started, deadline, self.limiter.wait_needed())
+            except DeadlineExceededError:
+                self.breaker.release_probe()
+                raise
+            self.limiter.acquire()
+            try:
+                ids, weights = self.transport.fetch(node)
+                self._validate(node, ids, weights)
+            except RateLimitedError as exc:
+                # Backpressure, not brokenness: the breaker learns
+                # nothing, the probe slot (if any) is returned.
+                self.breaker.release_probe()
+                self.rate_limit_retries += 1
+                last_error = exc
+                delay = max(exc.retry_after, self.policy.delay(node, attempt))
+            except PermanentTransportError:
+                self.breaker.record_failure()
+                self.permanent_failures += 1
+                raise
+            except TransientTransportError as exc:
+                self.breaker.record_failure()
+                self.transient_failures += 1
+                last_error = exc
+                delay = self.policy.delay(node, attempt)
+            else:
+                self.breaker.record_success()
+                self.successes += 1
+                return ids, weights
+            if attempt + 1 >= self.policy.max_attempts:
+                break
+            self._spend(started, deadline, delay)
+            self.clock.sleep(delay)
+            self.retries += 1
+        assert last_error is not None  # loop always sets it before break
+        raise last_error
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Combined client / limiter / breaker / transport counters."""
+        result = {
+            "fetches": int(self.fetches),
+            "successes": int(self.successes),
+            "retries": int(self.retries),
+            "rate_limit_retries": int(self.rate_limit_retries),
+            "transient_failures": int(self.transient_failures),
+            "permanent_failures": int(self.permanent_failures),
+            "deadline_failures": int(self.deadline_failures),
+            "circuit_rejections": int(self.circuit_rejections),
+            "limiter": self.limiter.stats(),
+            "breaker": self.breaker.stats(),
+        }
+        stats = getattr(self.transport, "stats", None)
+        if callable(stats):
+            result["transport"] = stats()
+        return result

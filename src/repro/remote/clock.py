@@ -1,0 +1,78 @@
+"""Injectable clocks: the single wall-clock boundary of :mod:`repro.remote`.
+
+Every timing decision in the crawl-mode stack — token-bucket refills,
+retry backoffs, circuit-breaker probe windows, deadlines, injected
+latency spikes — reads time from a :class:`Clock` handed in at
+construction.  Production uses :class:`SystemClock`; tests use
+:class:`VirtualClock`, whose ``sleep`` *is* the passage of time, so the
+exact sequence of waits is asserted instead of sampled, and a run's
+behaviour is a pure function of its inputs.
+
+The ``TIME002`` lint rule enforces the discipline: this module is the
+only file under ``remote/`` allowed to touch the ambient ``time``
+module.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+from ..exceptions import WalkError
+
+
+class Clock(ABC):
+    """Monotonic time source plus sleep, as one injectable unit."""
+
+    @abstractmethod
+    def monotonic(self) -> float:
+        """Seconds on a monotonic axis (origin is arbitrary)."""
+
+    @abstractmethod
+    def sleep(self, seconds: float) -> None:
+        """Block (or account) ``seconds`` of waiting."""
+
+
+class SystemClock(Clock):
+    """The real clock: :func:`time.monotonic` and :func:`time.sleep`."""
+
+    def monotonic(self) -> float:
+        """Current :func:`time.monotonic` reading."""
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        """Really sleep ``seconds`` (no-op for non-positive values)."""
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class VirtualClock(Clock):
+    """A deterministic clock where sleeping *is* how time advances.
+
+    ``sleep`` adds to :attr:`now` and records the request, so a test can
+    assert the exact wait sequence a component performed; ``advance``
+    moves time without recording (external events).  Nothing here ever
+    touches the ambient clock, which is what makes crawl-mode runs
+    byte-reproducible under arbitrary injected latency.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+        self.sleeps: list[float] = []
+
+    def monotonic(self) -> float:
+        """The current virtual time."""
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        """Advance virtual time by ``seconds`` and record the request."""
+        if seconds < 0 or not seconds == seconds:  # NaN guard
+            raise WalkError(f"cannot sleep a negative/NaN duration: {seconds!r}")
+        self.sleeps.append(float(seconds))
+        self.now += float(seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without recording a sleep (external event)."""
+        if seconds < 0:
+            raise WalkError("cannot advance the clock backwards")
+        self.now += float(seconds)

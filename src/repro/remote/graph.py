@@ -1,0 +1,156 @@
+"""`RemoteGraph`: the CSRGraph neighbour interface over a remote API.
+
+The adapter exposes the read-side neighbour interface of
+:class:`~repro.graph.CSRGraph` — ``num_nodes``, ``degree``,
+``neighbors``, ``neighbor_weights``, ``weight_sum``, ``has_edge`` — but
+every answer may cost an API call through the
+:class:`~repro.remote.ResilientClient`.  A byte-accounted
+:class:`~repro.remote.NeighborhoodCache` sits in front of the client:
+hits are free, misses are billed, and while the circuit breaker is open
+the cache is the *only* source of answers (stale-but-available
+degradation, every stale serve counted).
+
+The adapter is deliberately not a :class:`~repro.graph.CSRGraph`
+subclass: whole-graph accessors (``degrees``, ``edges``, …) would hide
+unbounded API cost behind an attribute read.  What it does implement is
+the :class:`~repro.framework.NeighborProvider` protocol shared with the
+in-memory graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import WalkError
+from ..framework.memory import MemoryBudget
+from .breaker import CircuitState
+from .client import ResilientClient
+from .history import NeighborhoodCache
+
+
+class RemoteGraph:
+    """Partially-observed graph behind a resilient remote client.
+
+    Parameters
+    ----------
+    client:
+        The :class:`~repro.remote.ResilientClient` issuing fetches.
+    cache:
+        A ready :class:`~repro.remote.NeighborhoodCache`, a
+        :class:`~repro.framework.MemoryBudget`, a byte count, or ``None``
+        / ``0`` for no history reuse (every miss re-bills the API).
+    """
+
+    def __init__(
+        self,
+        client: ResilientClient,
+        *,
+        cache: "NeighborhoodCache | MemoryBudget | float | None" = None,
+    ) -> None:
+        self.client = client
+        if isinstance(cache, NeighborhoodCache):
+            self.cache = cache
+        else:
+            self.cache = NeighborhoodCache(cache)
+        self._observed: set[int] = set()
+        self.stale_hits = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Size of the remote id space (known a priori, like an API's)."""
+        return self.client.num_nodes
+
+    @property
+    def api_calls(self) -> int:
+        """Billable requests issued so far (the crawl budget spent)."""
+        transport = self.client.transport
+        calls = getattr(transport, "calls", None)
+        if calls is not None:
+            return int(calls)
+        return int(self.client.fetches)
+
+    @property
+    def observed_nodes(self) -> int:
+        """Distinct nodes whose neighbourhood has ever been fetched."""
+        return len(self._observed)
+
+    # ------------------------------------------------------------------
+    def neighborhood(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(ids, weights)`` of ``v`` — cached, else fetched and cached.
+
+        While the circuit is open a cache hit is served as *stale* (the
+        remote may have changed; ours is immutable, but the accounting
+        mirrors the real contract) and counted in :attr:`stale_hits`.
+        A miss with the circuit open propagates
+        :class:`~repro.exceptions.CircuitOpenError` — the caller decides
+        whether to truncate, wait, or fail.
+        """
+        if not 0 <= v < self.num_nodes:
+            raise WalkError(f"node {v} out of range")
+        cached = self.cache.get(v)
+        if cached is not None:
+            if self.client.breaker.state is not CircuitState.CLOSED:
+                self.stale_hits += 1
+            return cached
+        ids, weights = self.client.fetch(v)
+        self._observed.add(int(v))
+        self.cache.put(v, (ids, weights))
+        return ids, weights
+
+    def degree(self, v: int) -> int:
+        """Out-degree of ``v`` (one fetch on a cache miss)."""
+        return len(self.neighborhood(v)[0])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbour ids of ``v``."""
+        return self.neighborhood(v)[0]
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        """Weights aligned with :meth:`neighbors`."""
+        return self.neighborhood(v)[1]
+
+    def weight_sum(self, v: int) -> float:
+        """``W_v``: total outgoing weight of ``v``."""
+        return float(self.neighborhood(v)[1].sum())
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``(u, v)`` exists, by binary search of ``u``'s
+        (possibly cached) neighbourhood."""
+        row = self.neighbors(u)
+        pos = int(np.searchsorted(row, v))
+        return pos < len(row) and int(row[pos]) == v
+
+    def edge_weight(self, u: int, v: int, default: float = 0.0) -> float:
+        """Weight of edge ``(u, v)``, or ``default`` if absent."""
+        ids, weights = self.neighborhood(u)
+        pos = int(np.searchsorted(ids, v))
+        if pos < len(ids) and int(ids[pos]) == v:
+            return float(weights[pos])
+        return default
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Crawl observability: client, cache, coverage, staleness."""
+        return {
+            "api_calls": self.api_calls,
+            "observed_nodes": self.observed_nodes,
+            "stale_hits": int(self.stale_hits),
+            "cache": self.cache.stats(),
+            "client": self.client.stats(),
+        }
+
+    def describe(self) -> str:
+        """One-line summary in the repository's reporting style."""
+        cache = self.cache.stats()
+        return (
+            f"remote graph: {self.observed_nodes}/{self.num_nodes} nodes "
+            f"observed, {self.api_calls} API call(s), cache hit_rate="
+            f"{cache['hit_rate']:.2f}, stale_hits={self.stale_hits}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RemoteGraph(num_nodes={self.num_nodes}, "
+            f"observed={self.observed_nodes}, api_calls={self.api_calls})"
+        )

@@ -1,0 +1,39 @@
+"""Neighbourhood history cache — the "Leveraging History" reuse layer.
+
+Crawl-mode walks revisit hub nodes constantly (the stationary
+distribution of a random walk is proportional to degree), so caching
+fetched neighbourhoods across walks cuts API calls superlinearly on
+power-law graphs.  The cache is byte-accounted on the
+:class:`~repro.walks.cache.ByteLRUCache` substrate against a
+:class:`~repro.framework.MemoryBudget` — the same currency the paper's
+optimizer prices sampler state in — and doubles as the graceful-
+degradation store: while the circuit breaker is open, walks continue
+from cached neighbourhoods, with the staleness surfaced in
+``WalkCorpus.metadata`` rather than hidden.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..walks.cache import ByteLRUCache
+
+
+class NeighborhoodCache(ByteLRUCache[int, "tuple[np.ndarray, np.ndarray]"]):
+    """LRU cache of fetched neighbourhoods, keyed by node id.
+
+    Values are ``(ids, weights)`` array pairs exactly as the transport
+    returned them; both payloads are charged against the byte budget.
+    The cache is pure memoisation over an immutable remote graph, so a
+    hit is bit-identical to a re-fetch and cache size never changes walk
+    output — only how many API calls it costs.
+    """
+
+    @staticmethod
+    def entry_bytes(value: "tuple[np.ndarray, np.ndarray]") -> int:
+        """Payload bytes of one neighbourhood (ids + weights arrays)."""
+        ids, weights = value
+        return int(ids.nbytes) + int(weights.nbytes)
+
+    def _describe_name(self) -> str:
+        return "neighbourhood history cache"

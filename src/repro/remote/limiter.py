@@ -1,0 +1,94 @@
+"""Client-side token-bucket rate limiter for the resilient client.
+
+Staying *under* the server's advertised rate is cheaper than eating 429
+responses: a rejected request still bills an API call against the crawl
+budget.  The bucket runs entirely on the injectable
+:class:`~repro.remote.Clock` — refill arithmetic reads
+``clock.monotonic()``, waiting uses ``clock.sleep()`` — so under a
+:class:`~repro.remote.VirtualClock` the exact wait sequence is a pure
+function of the request sequence.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import WalkError
+from .clock import Clock, SystemClock
+
+
+class TokenBucket:
+    """A token bucket: ``rate`` tokens/second, capacity ``burst``.
+
+    ``acquire()`` takes one token, sleeping on the clock exactly as long
+    as the refill arithmetic requires when the bucket is empty.  With
+    ``rate=None`` the bucket is disabled and ``acquire`` returns
+    immediately — the zero-cost default.
+    """
+
+    def __init__(
+        self,
+        rate: float | None,
+        *,
+        burst: float | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise WalkError("rate must be positive (or None to disable)")
+        if burst is not None and burst < 1:
+            raise WalkError("burst must be >= 1 (or None)")
+        self.rate = rate
+        self.burst = float(burst) if burst is not None else (
+            max(1.0, rate) if rate is not None else 1.0
+        )
+        self.clock = clock if clock is not None else SystemClock()
+        self._tokens = self.burst
+        self._refill_at = self.clock.monotonic()
+        self.acquired = 0
+        self.waits = 0
+        self.total_wait_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def _refill(self) -> None:
+        if self.rate is None:
+            return
+        now = self.clock.monotonic()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._refill_at) * self.rate
+        )
+        self._refill_at = now
+
+    def wait_needed(self) -> float:
+        """Seconds :meth:`acquire` would sleep if called now (0 if none)."""
+        if self.rate is None:
+            return 0.0
+        self._refill()
+        if self._tokens >= 1.0:
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+    def acquire(self) -> float:
+        """Take one token, sleeping until one is available.
+
+        Returns the seconds actually waited (0.0 for an immediate grant).
+        """
+        self.acquired += 1
+        if self.rate is None:
+            return 0.0
+        wait = self.wait_needed()
+        if wait > 0.0:
+            self.waits += 1
+            self.total_wait_seconds += wait
+            self.clock.sleep(wait)
+            self._refill()
+        self._tokens -= 1.0
+        return wait
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counter snapshot (grants, waits, total seconds waited)."""
+        return {
+            "rate": self.rate,
+            "burst": self.burst,
+            "acquired": int(self.acquired),
+            "waits": int(self.waits),
+            "total_wait_seconds": float(self.total_wait_seconds),
+        }

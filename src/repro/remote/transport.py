@@ -1,0 +1,210 @@
+"""Transports: the wire between crawl-mode walks and a neighbour API.
+
+A :class:`Transport` answers one question — "who are the neighbours of
+``v``?" — and is allowed to fail in every way a real online-social-
+network API does: latency spikes, transient and permanent errors, and
+HTTP-429-style rate-limit rejections.
+
+The reference implementation, :class:`InjectedFaultTransport`, wraps a
+local :class:`~repro.graph.CSRGraph` with *seeded* fault injection built
+on the :class:`~repro.resilience.FaultPlan` machinery: every fault is a
+pure function of ``(plan seed, node, per-node attempt)``, every delay is
+served through the injectable :class:`~repro.remote.Clock`, and the
+server-side rate limiter runs on the same clock — so a crawl under a
+:class:`~repro.remote.VirtualClock` is a deterministic simulation whose
+recovery behaviour tests assert exactly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import (
+    PermanentTransportError,
+    RateLimitedError,
+    TransientTransportError,
+    WalkError,
+)
+from ..graph import CSRGraph
+from ..resilience import FaultKind, FaultPlan
+from .clock import Clock, SystemClock
+
+
+class Transport(ABC):
+    """A remote neighbour API: id space size plus one fetch verb."""
+
+    @property
+    @abstractmethod
+    def num_nodes(self) -> int:
+        """Size of the node-id space the API serves."""
+
+    @abstractmethod
+    def fetch(self, node: int) -> tuple[np.ndarray, np.ndarray]:
+        """Neighbourhood of ``node`` as ``(ids, weights)`` arrays.
+
+        Raises a :class:`~repro.exceptions.TransportError` subclass on
+        failure; ids are ascending and aligned with their weights.
+        """
+
+
+class InjectedFaultTransport(Transport):
+    """A metered local-graph transport with seeded fault injection.
+
+    Parameters
+    ----------
+    graph:
+        The hidden ground-truth graph (only this transport sees it).
+    clock:
+        Injectable :class:`~repro.remote.Clock`; latency spikes and
+        rate-limit refills are served through it.
+    plans:
+        :class:`~repro.resilience.FaultPlan` schedules evaluated in
+        order per request, keyed by ``(node, per-node attempt)`` instead
+        of ``(chunk, attempt)`` — so a faulty *node* heals after
+        ``failures_per_chunk`` fetch attempts, exactly like a faulty
+        chunk heals across retries.  Kinds map as: ``LATENCY``/``HANG``
+        sleep on the clock then succeed, ``FLAKY`` raises
+        :class:`~repro.exceptions.TransientTransportError`, ``CRASH``
+        raises :class:`~repro.exceptions.PermanentTransportError`,
+        ``CORRUPT`` poisons the returned ids (callers must validate),
+        and ``DESYNC`` is a no-op (there is no RNG here to desync).
+    rate_limit:
+        Server-side requests-per-second capacity; ``None`` disables.
+        Requests over the limit raise
+        :class:`~repro.exceptions.RateLimitedError` with the exact
+        ``retry_after`` the token bucket implies.
+    burst:
+        Bucket capacity in requests (default ``max(1, rate_limit)``).
+    outages:
+        ``(start, end)`` windows, in seconds since construction, during
+        which *every* request fails transiently — the scenario that
+        drives the circuit breaker open.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        *,
+        clock: Clock | None = None,
+        plans: Sequence[FaultPlan] = (),
+        rate_limit: float | None = None,
+        burst: float | None = None,
+        outages: Sequence[tuple[float, float]] = (),
+    ) -> None:
+        if rate_limit is not None and rate_limit <= 0:
+            raise WalkError("rate_limit must be positive (or None)")
+        if burst is not None and burst < 1:
+            raise WalkError("burst must be >= 1 (or None)")
+        self.graph = graph
+        self.clock = clock if clock is not None else SystemClock()
+        self.plans = tuple(plans)
+        self.rate_limit = rate_limit
+        self.burst = float(burst) if burst is not None else (
+            max(1.0, rate_limit) if rate_limit is not None else 1.0
+        )
+        self.outages = tuple(
+            (float(start), float(end)) for start, end in outages
+        )
+        for start, end in self.outages:
+            if end <= start or start < 0:
+                raise WalkError(f"invalid outage window ({start}, {end})")
+        self._epoch = self.clock.monotonic()
+        self._tokens = self.burst
+        self._refill_at = self._epoch
+        self._attempts: dict[int, int] = {}
+        # metering — `calls` is the billable count the accuracy curves use.
+        self.calls = 0
+        self.successes = 0
+        self.rate_limited = 0
+        self.outage_failures = 0
+        self.fault_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Node-id space of the hidden graph."""
+        return self.graph.num_nodes
+
+    def elapsed(self) -> float:
+        """Seconds of (possibly virtual) time since construction."""
+        return self.clock.monotonic() - self._epoch
+
+    # ------------------------------------------------------------------
+    def _check_rate_limit(self) -> None:
+        """Refill the server bucket; raise 429 when no token is left."""
+        if self.rate_limit is None:
+            return
+        now = self.clock.monotonic()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._refill_at) * self.rate_limit
+        )
+        self._refill_at = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return
+        self.rate_limited += 1
+        raise RateLimitedError((1.0 - self._tokens) / self.rate_limit)
+
+    def _check_outage(self) -> None:
+        since = self.elapsed()
+        for start, end in self.outages:
+            if start <= since < end:
+                self.outage_failures += 1
+                raise TransientTransportError(
+                    f"remote API outage ({start:.3g}s..{end:.3g}s window)"
+                )
+
+    # ------------------------------------------------------------------
+    def fetch(self, node: int) -> tuple[np.ndarray, np.ndarray]:
+        """Serve ``node``'s neighbourhood through the fault schedule."""
+        if not 0 <= node < self.graph.num_nodes:
+            raise PermanentTransportError(f"node {node} out of id space")
+        self.calls += 1
+        self._check_rate_limit()
+        self._check_outage()
+        attempt = self._attempts.get(node, 0)
+        self._attempts[node] = attempt + 1
+        corrupt = False
+        for plan in self.plans:
+            kind = plan.fault_for(node, attempt)
+            if kind is None:
+                continue
+            self.fault_counts[kind.value] = (
+                self.fault_counts.get(kind.value, 0) + 1
+            )
+            if kind is FaultKind.LATENCY:
+                self.clock.sleep(plan.latency_for(node, attempt))
+            elif kind is FaultKind.HANG:
+                self.clock.sleep(plan.hang_seconds)
+            elif kind is FaultKind.FLAKY:
+                raise TransientTransportError(
+                    f"transient fault serving node {node} (attempt {attempt})"
+                )
+            elif kind is FaultKind.CRASH:
+                raise PermanentTransportError(
+                    f"permanent fault serving node {node}"
+                )
+            elif kind is FaultKind.CORRUPT:
+                corrupt = True
+            # FaultKind.DESYNC: nothing to desynchronise here.
+        ids = np.array(self.graph.neighbors(node), dtype=np.int64)
+        weights = np.array(self.graph.neighbor_weights(node), dtype=np.float64)
+        if corrupt and len(ids):
+            ids = ids.copy()
+            ids[0] = -1
+        self.successes += 1
+        return ids, weights
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Metering snapshot (billable calls, failures by cause)."""
+        return {
+            "calls": int(self.calls),
+            "successes": int(self.successes),
+            "rate_limited": int(self.rate_limited),
+            "outage_failures": int(self.outage_failures),
+            "faults": dict(self.fault_counts),
+        }

@@ -18,10 +18,11 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from enum import Enum
+from typing import Callable
 
 import numpy as np
 
-from ..exceptions import InjectedFaultError, WalkError
+from ..exceptions import InjectedFaultError, TransientFaultError, WalkError
 
 
 class FaultKind(str, Enum):
@@ -38,6 +39,15 @@ class FaultKind(str, Enum):
     #: nodes) so every structural validator passes — only the
     #: determinism sanitizer's stream fingerprint can catch it.
     DESYNC = "desync"
+    #: sleep a *seeded* latency (see :meth:`FaultPlan.latency_for`)
+    #: before doing the work, then succeed — a latency spike, not a
+    #: failure.  Under an injectable clock the spike is pure bookkeeping.
+    LATENCY = "latency"
+    #: raise :class:`~repro.exceptions.TransientFaultError` — a failure
+    #: that the schedule guarantees heals after ``failures_per_chunk``
+    #: attempts.  The crawl transport maps it onto
+    #: :class:`~repro.exceptions.TransientTransportError`.
+    FLAKY = "flaky"
 
 
 @dataclass(frozen=True)
@@ -60,6 +70,10 @@ class FaultPlan:
         fault, used to exercise dead-lettering).
     hang_seconds:
         Sleep duration of :attr:`FaultKind.HANG` faults.
+    latency_seconds:
+        Scale of :attr:`FaultKind.LATENCY` spikes; the actual spike is
+        drawn per ``(chunk, attempt)`` in ``[0.5, 1.5] × latency_seconds``
+        (see :meth:`latency_for`).
     chunks:
         Explicit faulty chunk indices; overrides ``rate``-based selection.
     """
@@ -69,6 +83,7 @@ class FaultPlan:
     kind: FaultKind = FaultKind.CRASH
     failures_per_chunk: int | None = 1
     hang_seconds: float = 30.0
+    latency_seconds: float = 0.05
     chunks: frozenset | None = None
 
     def __post_init__(self) -> None:
@@ -76,6 +91,8 @@ class FaultPlan:
             raise WalkError(f"fault rate must be in [0, 1], got {self.rate}")
         if self.hang_seconds < 0:
             raise WalkError("hang_seconds must be non-negative")
+        if self.latency_seconds < 0:
+            raise WalkError("latency_seconds must be non-negative")
         if self.failures_per_chunk is not None and self.failures_per_chunk < 1:
             raise WalkError("failures_per_chunk must be >= 1 or None")
         if self.chunks is not None:
@@ -120,16 +137,48 @@ class FaultPlan:
         """All faulty chunk indices among ``range(num_chunks)``."""
         return [i for i in range(num_chunks) if self.is_faulty(i)]
 
+    def latency_for(self, chunk_index: int, attempt: int) -> float:
+        """Seconds a :attr:`FaultKind.LATENCY` spike sleeps, or ``0.0``.
+
+        Drawn deterministically from ``(seed, chunk_index, attempt)`` in
+        ``[0.5, 1.5] × latency_seconds`` — the same schedule in every
+        process, on every rerun, so latency-dependent behaviour (retry
+        timing, circuit-breaker probes under a virtual clock) is exactly
+        reproducible.
+        """
+        if self.fault_for(chunk_index, attempt) is not FaultKind.LATENCY:
+            return 0.0
+        u = np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=int(self.seed),
+                spawn_key=(int(chunk_index), int(attempt), 1),
+            )
+        ).random()
+        return float(self.latency_seconds * (0.5 + u))
+
     # ------------------------------------------------------------------
     # worker-side hooks
     # ------------------------------------------------------------------
-    def before_chunk(self, chunk_index: int, attempt: int) -> None:
-        """Crash or hang hook, called before the chunk does any work."""
+    def before_chunk(
+        self,
+        chunk_index: int,
+        attempt: int,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        """Crash, flaky, hang, or latency hook, run before any work.
+
+        ``sleep`` is injectable so a virtual clock can account the
+        injected delays without wall-clock time passing.
+        """
         fault = self.fault_for(chunk_index, attempt)
         if fault is FaultKind.CRASH:
             raise InjectedFaultError(chunk_index, attempt)
+        if fault is FaultKind.FLAKY:
+            raise TransientFaultError(chunk_index, attempt)
         if fault is FaultKind.HANG:
-            time.sleep(self.hang_seconds)
+            sleep(self.hang_seconds)
+        if fault is FaultKind.LATENCY:
+            sleep(self.latency_for(chunk_index, attempt))
 
     def perturb_rng(
         self, chunk_index: int, attempt: int, rng: np.random.Generator

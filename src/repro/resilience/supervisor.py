@@ -147,6 +147,10 @@ class ChunkSupervisor:
     on_success:
         ``on_success(task, result)`` called once per completed chunk, in
         completion order — the checkpoint hook.
+    sleep, monotonic:
+        Injectable clock pair (defaults: :func:`time.sleep` /
+        :func:`time.monotonic`).  Tests substitute a virtual clock and
+        assert the exact backoff sleeps the supervisor performs.
     """
 
     def __init__(
@@ -159,6 +163,7 @@ class ChunkSupervisor:
         on_exhausted: str = "raise",
         on_success: Callable | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        monotonic: Callable[[], float] = time.monotonic,
     ) -> None:
         if on_exhausted not in EXHAUSTION_POLICIES:
             raise WalkError(
@@ -174,6 +179,7 @@ class ChunkSupervisor:
         self.on_exhausted = on_exhausted
         self.on_success = on_success
         self._sleep = sleep
+        self._monotonic = monotonic
 
     # ------------------------------------------------------------------
     def run_sequential(self, tasks: Sequence[Any]) -> SupervisedRun:
@@ -209,7 +215,7 @@ class ChunkSupervisor:
         terminated) and counts as a :class:`WalkTimeoutError` failure.
         """
         run = SupervisedRun()
-        now = time.monotonic()
+        now = self._monotonic()
         pending: dict[int, tuple] = {}  # index -> (async_result, deadline, attempt, task)
         backlog: list[tuple] = []  # (not_before, attempt, task)
 
@@ -218,7 +224,7 @@ class ChunkSupervisor:
             run.attempts[task.index] = attempt + 1
             handle = pool.apply_async(self.run_one, (attempted,))
             deadline = (
-                time.monotonic() + self.timeout
+                self._monotonic() + self.timeout
                 if self.timeout is not None
                 else None
             )
@@ -228,7 +234,7 @@ class ChunkSupervisor:
             submit(task, 0)
 
         while pending or backlog:
-            now = time.monotonic()
+            now = self._monotonic()
             # Promote retries whose backoff has elapsed.
             due = [item for item in backlog if item[0] <= now]
             for item in due:
@@ -257,14 +263,22 @@ class ChunkSupervisor:
                 elif self._handle_failure(run, attempted, attempt, failure):
                     backlog.append(
                         (
-                            time.monotonic()
+                            self._monotonic()
                             + self.policy.delay(index, attempt),
                             attempt + 1,
                             attempted,
                         )
                     )
             if not progressed:
-                self._sleep(_POLL_SECONDS)
+                # With workers still in flight there is nothing to wait
+                # on but their handles, so poll.  With only backed-off
+                # retries left, sleep exactly until the earliest backoff
+                # deadline instead of burning poll cycles.
+                if pending:
+                    self._sleep(_POLL_SECONDS)
+                else:
+                    wake = min(item[0] for item in backlog)
+                    self._sleep(max(0.0, wake - self._monotonic()))
         return run
 
     # ------------------------------------------------------------------

@@ -1,46 +1,60 @@
-"""Hot edge-state distribution cache for the batch walk engine.
+"""Byte-budgeted LRU caching for walk engines and crawl-mode clients.
 
 The paper's design space runs from the naive sampler (no persistent
 state, full rebuild per sample) to the alias sampler (everything
-materialised up front).  :class:`EdgeStateCache` is the dynamic point in
-between: e2e weight vectors of *hot* edge states ``(previous, current)``
-are kept after first materialisation and evicted least-recently-used when
-a byte budget fills — dynamic partial materialisation priced in the same
-currency as the optimizer's :class:`~repro.framework.MemoryBudget`.
+materialised up front).  The caches here are the dynamic point in
+between: hot entries are kept after first materialisation and evicted
+least-recently-used when a byte budget fills — dynamic partial
+materialisation priced in the same currency as the optimizer's
+:class:`~repro.framework.MemoryBudget`.
+
+Two concrete caches share the :class:`ByteLRUCache` substrate:
+
+* :class:`EdgeStateCache` — e2e weight vectors of hot edge states
+  ``(previous, current)``, used by the batch walk engine;
+* :class:`repro.remote.NeighborhoodCache` — fetched neighbourhoods of a
+  remote, rate-limited graph API, used by crawl-mode walks (the
+  "Leveraging History" reuse layer).
 
 Determinism contract
 --------------------
-The cache is a pure memoisation: a hit returns the exact array a rebuild
-would produce (the engine recomputes weight vectors with a deterministic
-per-state routine), and cache operations never consume walk RNG.  Walk
-output is therefore bit-identical for any cache size, including zero —
-the property the hash-pinned engine tests lock down.
+A cache is a pure memoisation: a hit returns exactly what a rebuild (or
+re-fetch) would produce, and cache operations never consume walk RNG.
+Walk output is therefore bit-identical for any cache size, including
+zero — the property the hash-pinned engine tests lock down.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Generic, Hashable, TypeVar
 
 import numpy as np
 
 from ..exceptions import BudgetError
 from ..framework.memory import MemoryBudget, format_bytes
 
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
 
-class EdgeStateCache:
-    """LRU cache of materialised e2e weight vectors, byte-accounted.
+
+class ByteLRUCache(Generic[K, V]):
+    """LRU cache with byte-accurate accounting against a
+    :class:`~repro.framework.MemoryBudget`.
 
     Parameters
     ----------
     budget:
         A :class:`~repro.framework.MemoryBudget`, a byte count, or ``None``
         / ``0`` for a disabled cache (every lookup misses, nothing is
-        stored).  The *actual* ``ndarray`` payload bytes are charged; the
-        invariant ``used_bytes <= budget.total_bytes`` holds at every
-        point in time, enforced by evicting least-recently-used entries
-        before insertion.
+        stored).  The *actual* payload bytes — as reported by
+        :meth:`entry_bytes` — are charged; the invariant
+        ``used_bytes <= budget.total_bytes`` holds at every point in
+        time, enforced by evicting least-recently-used entries before
+        insertion.
 
     Entries larger than the whole budget are simply not cached.
+    Subclasses pick the payload type by overriding :meth:`entry_bytes`.
     """
 
     def __init__(self, budget: "MemoryBudget | float | None") -> None:
@@ -49,7 +63,7 @@ class EdgeStateCache:
         elif not isinstance(budget, MemoryBudget):
             budget = MemoryBudget(float(budget))
         self.budget = budget
-        self._entries: "OrderedDict[tuple[int, int], np.ndarray]" = OrderedDict()
+        self._entries: "OrderedDict[K, V]" = OrderedDict()
         self._used = 0
         self.hits = 0
         self.misses = 0
@@ -57,6 +71,11 @@ class EdgeStateCache:
         self._peak = 0
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def entry_bytes(value: V) -> int:
+        """Bytes charged for storing ``value`` (payload arrays only)."""
+        return int(value.nbytes)  # type: ignore[attr-defined]
+
     @property
     def enabled(self) -> bool:
         """Whether the cache can hold anything at all."""
@@ -64,7 +83,7 @@ class EdgeStateCache:
 
     @property
     def used_bytes(self) -> int:
-        """Bytes currently charged (sum of stored array payloads)."""
+        """Bytes currently charged (sum of stored payloads)."""
         return self._used
 
     @property
@@ -75,12 +94,12 @@ class EdgeStateCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def __contains__(self, key: tuple[int, int]) -> bool:
+    def __contains__(self, key: K) -> bool:
         return key in self._entries
 
     # ------------------------------------------------------------------
-    def get(self, key: tuple[int, int]) -> np.ndarray | None:
-        """The cached weight vector of edge state ``key``, or ``None``.
+    def get(self, key: K) -> V | None:
+        """The cached value under ``key``, or ``None``.
 
         A hit refreshes the entry's recency; both outcomes update the
         hit/miss counters.
@@ -93,27 +112,32 @@ class EdgeStateCache:
         self.hits += 1
         return entry
 
-    def put(self, key: tuple[int, int], weights: np.ndarray) -> bool:
-        """Store ``weights`` under ``key``, evicting LRU entries to fit.
+    def peek(self, key: K) -> V | None:
+        """The cached value under ``key`` without touching recency or
+        the hit/miss counters (observability probes only)."""
+        return self._entries.get(key)
+
+    def put(self, key: K, value: V) -> bool:
+        """Store ``value`` under ``key``, evicting LRU entries to fit.
 
         Returns ``True`` when the entry was stored, ``False`` when it
         cannot fit even an empty cache (or the cache is disabled).  Never
         lets :attr:`used_bytes` exceed the budget.
         """
-        cost = int(weights.nbytes)
+        cost = self.entry_bytes(value)
         if cost > self.budget.total_bytes:
             return False
         old = self._entries.pop(key, None)
         if old is not None:
-            self._used -= int(old.nbytes)
+            self._used -= self.entry_bytes(old)
         while self._used + cost > self.budget.total_bytes:
             _, evicted = self._entries.popitem(last=False)
-            self._used -= int(evicted.nbytes)
+            self._used -= self.entry_bytes(evicted)
             self.evictions += 1
-        self._entries[key] = weights
+        self._entries[key] = value
         self._used += cost
         if self._used > self.budget.total_bytes:  # pragma: no cover
-            raise BudgetError("edge-state cache exceeded its byte budget")
+            raise BudgetError("byte-budgeted cache exceeded its budget")
         self._peak = max(self._peak, self._used)
         return True
 
@@ -141,9 +165,29 @@ class EdgeStateCache:
         """One-line summary in the ``repro.graph.stats`` reporting style."""
         s = self.stats()
         return (
-            f"edge-state cache: {s['entries']} entries, "
+            f"{self._describe_name()}: {s['entries']} entries, "
             f"{format_bytes(s['used_bytes'])}/{format_bytes(s['budget_bytes'])} "
             f"(peak {format_bytes(s['peak_bytes'])}), "
             f"hits={s['hits']} misses={s['misses']} "
             f"evictions={s['evictions']} hit_rate={s['hit_rate']:.2f}"
         )
+
+    def _describe_name(self) -> str:
+        return "byte-budget cache"
+
+
+class EdgeStateCache(ByteLRUCache[tuple[int, int], np.ndarray]):
+    """LRU cache of materialised e2e weight vectors, byte-accounted.
+
+    Keys are hot edge states ``(previous, current)``; values are the
+    weight vectors the batch walk engine materialises on demand.  See
+    :class:`ByteLRUCache` for the budget and determinism contracts.
+    """
+
+    @staticmethod
+    def entry_bytes(value: np.ndarray) -> int:
+        """The ``ndarray`` payload bytes of one weight vector."""
+        return int(value.nbytes)
+
+    def _describe_name(self) -> str:
+        return "edge-state cache"

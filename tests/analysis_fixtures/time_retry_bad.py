@@ -1,0 +1,22 @@
+# reprolint: module=remote/fetcher.py
+"""TIME002 fixture: ambient clock use where injection is mandatory.
+
+The ``module=`` directive places this file under ``remote/``, where any
+ambient ``time.*`` call is a finding; the retry helper below would be a
+finding in *any* module because it times its loop off the real clock.
+"""
+
+import time
+
+
+def fetch_with_backoff(transport, node):
+    for attempt in range(3):
+        try:
+            return transport.fetch(node)
+        except Exception:
+            time.sleep(0.1 * 2**attempt)  # finding: ambient sleep
+    raise RuntimeError("unreachable in fixture")
+
+
+def elapsed_budget(started):
+    return time.monotonic() - started  # finding: ambient read in remote/

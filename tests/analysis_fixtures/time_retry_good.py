@@ -1,0 +1,17 @@
+# reprolint: module=remote/fetcher.py
+"""TIME002 fixture: the compliant version — time flows through an
+injected clock object, so a virtual clock can drive the retry loop
+deterministically in tests."""
+
+
+def fetch_with_backoff(transport, node, clock, policy):
+    for attempt in range(policy.max_attempts):
+        try:
+            return transport.fetch(node)
+        except Exception:
+            clock.sleep(policy.delay(node, attempt))
+    raise RuntimeError("unreachable in fixture")
+
+
+def elapsed_budget(started, clock):
+    return clock.monotonic() - started

@@ -1,0 +1,16 @@
+# reprolint: module=walks/fetchers.py
+"""TIME002 fixture: a retry loop timed off the ambient clock, in a
+module with no blanket clock-injection requirement.  The function name
+matches the retry/backoff pattern, so the loop body is held to the
+injection standard."""
+
+import time
+
+
+def retry_until_ready(probe, timeout):
+    deadline = time.monotonic() + timeout  # legal: outside any loop
+    while not probe():
+        if time.monotonic() > deadline:  # finding: ambient read in loop
+            return False
+        time.sleep(0.01)  # finding: ambient sleep in loop
+    return True

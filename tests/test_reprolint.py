@@ -45,6 +45,8 @@ RULE_CASES = [
     ("RNG001", "rng_bad.py", "rng_good.py", 4),
     ("TIME001", "time_bad.py", "time_good.py", 2),
     ("TIME001", "time_bad_identity.py", "time_good.py", 2),
+    ("TIME002", "time_retry_bad.py", "time_retry_good.py", 2),
+    ("TIME002", "time_retry_loop_bad.py", "time_retry_good.py", 2),
     ("MP001", "mp_bad.py", "mp_good.py", 3),
     ("HOT001", "hot_bad.py", "hot_good.py", 3),
     ("HOT002", "hot_xp_bad.py", "hot_xp_good.py", 3),
