@@ -45,6 +45,7 @@ from .exceptions import (
     RngConfigError,
     SamplerConfigError,
     SamplerError,
+    ShardLayoutError,
     SimulatedOOMError,
     SimulatedTimeoutError,
     TransientFaultError,
@@ -53,7 +54,14 @@ from .exceptions import (
     WalkError,
     WalkTimeoutError,
 )
-from .graph import CSRGraph, GraphBuilder, from_edges
+from .graph import (
+    CSRGraph,
+    GraphBuilder,
+    ShardedCSRGraph,
+    VirtualShardLayout,
+    from_edges,
+    write_sharded_layout,
+)
 from .sampling import AliasTable, CumulativeSampler, NaiveSampler, RejectionSampler
 from .models import (
     AutoregressiveModel,
@@ -90,11 +98,14 @@ from .framework import (
     format_bytes,
     linear_budget_trace,
 )
+from .framework.outofcore import generate_walks
 from .walks import (
+    BucketedWalkScheduler,
     WalkCorpus,
     exact_second_order_pagerank,
     node2vec_walk_task,
     parallel_walks,
+    scheduled_walks,
     second_order_pagerank,
 )
 from .analysis import diagnose_walks, profile_assignment
@@ -132,6 +143,9 @@ __all__ = [
     "CSRGraph",
     "GraphBuilder",
     "from_edges",
+    "ShardedCSRGraph",
+    "VirtualShardLayout",
+    "write_sharded_layout",
     # sampling
     "AliasTable",
     "NaiveSampler",
@@ -177,6 +191,9 @@ __all__ = [
     "second_order_pagerank",
     "exact_second_order_pagerank",
     "parallel_walks",
+    "BucketedWalkScheduler",
+    "scheduled_walks",
+    "generate_walks",
     "EdgeSimilarityModel",
     "diagnose_walks",
     "profile_assignment",
@@ -214,6 +231,7 @@ __all__ = [
     "GraphFormatError",
     "DistributionError",
     "SamplerError",
+    "ShardLayoutError",
     "BoundingConstantError",
     "CostModelError",
     "BudgetError",

@@ -649,6 +649,89 @@ class BudgetDisciplineRule(Rule):
 
 
 # ----------------------------------------------------------------------
+# MEM002 — memmap residency discipline
+# ----------------------------------------------------------------------
+#: a function constructing a memory map must reference at least one of
+#: these residency/budget accounting names; a class is accounted when it
+#: exposes a ``resident_bytes`` surface (the residency-manager contract).
+_RESIDENCY_ACCOUNTING_NAMES = {
+    "budget_bytes",
+    "resident_bytes",
+    "max_resident",
+    "MemoryBudget",
+    "MemoryMeter",
+    "ShardResidencyManager",
+    "charge",
+    "can_charge",
+    "release",
+}
+
+
+@register_rule
+class MemmapResidencyRule(Rule):
+    """``np.memmap`` construction only inside a residency/budget scope.
+
+    The out-of-core layer's contract is that every mapped shard byte is
+    charged against the residency budget before the mapping exists
+    (``ShardResidencyManager.acquire``).  A stray ``np.memmap`` anywhere
+    else is an unaccounted file-backed allocation: it dodges the byte
+    ceiling the user configured, never shows up in the
+    ``shard_bytes_read`` counters, and keeps its file descriptor pinned
+    outside the eviction path.
+    """
+
+    id = "MEM002"
+    name = "memmap-residency"
+    description = (
+        "np.memmap construction must sit inside a shard-residency or "
+        "budget-accounting scope (budget_bytes / resident_bytes / "
+        "MemoryBudget charge), never in free code"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        accounted_classes: list[tuple[int, int]] = []
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ClassDef):
+                members = {
+                    sub.name
+                    for sub in node.body
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+                }
+                if "resident_bytes" in members:
+                    accounted_classes.append(
+                        (node.lineno, node.end_lineno or node.lineno)
+                    )
+
+        accounted_functions = [
+            (fn.lineno, fn.end_lineno or fn.lineno)
+            for fn in walk_functions(src.tree)
+            if names_in(fn) & _RESIDENCY_ACCOUNTING_NAMES
+        ]
+
+        def is_accounted(lineno: int) -> bool:
+            spans = accounted_classes + accounted_functions
+            return any(start <= lineno <= end for start, end in spans)
+
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_name(node.func)
+            tail = chain.rsplit(".", 1)[-1] if chain else ""
+            if tail != "memmap":
+                continue
+            if is_accounted(node.lineno):
+                continue
+            yield self.finding(
+                src,
+                node,
+                f"`{chain}(...)` outside any residency/budget scope; map "
+                "shards through ShardResidencyManager.acquire (or charge "
+                "the bytes against a MemoryBudget) so the mapping is "
+                "accounted and evictable",
+            )
+
+
+# ----------------------------------------------------------------------
 # EXC001 — exception discipline
 # ----------------------------------------------------------------------
 _FORBIDDEN_RAISES = {
@@ -826,6 +909,7 @@ __all__ = [
     "HotPathPurityRule",
     "HotPathArrayModuleRule",
     "BudgetDisciplineRule",
+    "MemmapResidencyRule",
     "ExceptionDisciplineRule",
     "MutableDefaultRule",
     "PublicDocstringRule",

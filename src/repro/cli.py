@@ -16,6 +16,13 @@ Two call styles:
       python -m repro.cli walk graph.txt --budget 5e8 --num-walks 10 \\
           --length 80 --output walks.txt
 
+* out-of-core sharded layouts::
+
+      python -m repro.cli shard build graph.txt --output shards/ --num-shards 8
+      python -m repro.cli shard inspect shards/ --verify
+      python -m repro.cli walk graph.txt --budget 5e8 --shards shards/ \\
+          --resident-shards 2               # bucketed bi-block scheduler
+
 * developer tooling::
 
       python -m repro.cli lint --check      # reprolint invariant linter
@@ -229,6 +236,41 @@ def build_tool_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the per-chunk RNG fingerprint report as JSON to PATH",
     )
+    walk.add_argument(
+        "--shards",
+        default=None,
+        metavar="DIR",
+        help=(
+            "run out-of-core through the bucketed bi-block scheduler over "
+            "the sharded CSR layout in DIR (built on demand from EDGELIST "
+            "with --num-shards if DIR holds no manifest).  --budget then "
+            "bounds resident shard bytes instead of sampler memory"
+        ),
+    )
+    walk.add_argument(
+        "--resident-shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="pin at most K shards in memory at once (with --shards)",
+    )
+    walk.add_argument(
+        "--num-shards",
+        type=int,
+        default=4,
+        help="shard count when --shards builds a new layout (default 4)",
+    )
+    walk.add_argument(
+        "--shard-policy",
+        default="bucketed",
+        choices=["bucketed", "lockstep"],
+        help=(
+            "walk scheduling policy with --shards: 'bucketed' parks walks "
+            "per shard and drains the fullest bucket first, 'lockstep' "
+            "faults shards on demand every global step (same corpus, "
+            "more shard loads)"
+        ),
+    )
 
     dsan = sub.add_parser(
         "dsan-report",
@@ -271,6 +313,39 @@ def build_tool_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="also verify against a previously saved report",
+    )
+
+    shard = sub.add_parser(
+        "shard",
+        help="build or inspect an out-of-core sharded CSR layout directory",
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+    shard_build = shard_sub.add_parser(
+        "build", help="split an edge list into a sharded layout on disk"
+    )
+    shard_build.add_argument("edgelist", help="whitespace edge-list file")
+    shard_build.add_argument(
+        "--output", required=True, metavar="DIR", help="layout directory to create"
+    )
+    shard_build.add_argument(
+        "--num-shards",
+        type=int,
+        default=4,
+        help="contiguous edge-balanced shards to cut (default 4)",
+    )
+    shard_build.add_argument(
+        "--overwrite",
+        action="store_true",
+        help="replace an existing layout at --output",
+    )
+    shard_inspect = shard_sub.add_parser(
+        "inspect", help="print the manifest summary of an existing layout"
+    )
+    shard_inspect.add_argument("layout", help="sharded layout directory")
+    shard_inspect.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-hash every shard file against the manifest",
     )
 
     crawl = sub.add_parser(
@@ -518,11 +593,125 @@ def _run_crawl(args) -> int:
     return 0
 
 
+def _run_shard(args) -> int:
+    """The ``shard build`` / ``shard inspect`` subcommands."""
+    from pathlib import Path
+
+    from .framework import format_bytes
+    from .graph import ShardedCSRGraph, load_edge_list, write_sharded_layout
+
+    if args.shard_command == "build":
+        graph = load_edge_list(args.edgelist)
+        layout = write_sharded_layout(
+            graph,
+            Path(args.output),
+            num_shards=args.num_shards,
+            overwrite=args.overwrite,
+        )
+        print(
+            f"wrote {layout.num_shards} shard(s) to {args.output}: "
+            f"|V|={layout.num_nodes:,} |E|={layout.num_edges:,} "
+            f"{format_bytes(layout.total_bytes)} on disk"
+        )
+    else:  # inspect
+        layout = ShardedCSRGraph.open(Path(args.layout))
+        print(
+            f"{args.layout}: {layout.num_shards} shard(s), "
+            f"|V|={layout.num_nodes:,} |E|={layout.num_edges:,} "
+            f"{format_bytes(layout.total_bytes)} on disk, "
+            f"signature {layout.layout_signature[:16]}"
+        )
+        for index in range(layout.num_shards):
+            spec = layout.shard_spec(index)
+            print(
+                f"  shard {spec.index}: nodes [{spec.start}, {spec.stop}) "
+                f"edges {spec.num_edges:,} {format_bytes(spec.nbytes)}"
+            )
+        if args.verify:
+            layout.verify()
+            print(f"verified: all {layout.num_shards} shard(s) match the manifest")
+    return 0
+
+
+def _run_sharded_walk(args) -> int:
+    """``walk --shards``: out-of-core corpus via the bucketed scheduler."""
+    from pathlib import Path
+
+    from .framework.outofcore import generate_walks
+    from .graph import load_edge_list
+    from .graph.sharded import MANIFEST_NAME, ShardedCSRGraph, write_sharded_layout
+    from .models import get_model
+
+    params = _parse_params(args.param)
+    model = get_model(args.model, **params)
+    root = Path(args.shards)
+    if (root / MANIFEST_NAME).exists():
+        layout = ShardedCSRGraph.open(root)
+    else:
+        layout = write_sharded_layout(
+            load_edge_list(args.edgelist), root, num_shards=args.num_shards
+        )
+        print(f"built {layout.num_shards}-shard layout at {args.shards}")
+    corpus = generate_walks(
+        layout,
+        model,
+        num_walks=args.num_walks,
+        length=args.length,
+        budget=args.budget,
+        max_resident=args.resident_shards,
+        backend=args.kernel_backend,
+        policy=args.shard_policy,
+        workers=args.workers if args.workers is not None else 1,
+        chunk_size=args.chunk_size,
+        rng=args.seed,
+        retry=args.max_retries,
+        timeout=args.chunk_timeout,
+        checkpoint=args.checkpoint,
+        on_exhausted="dead-letter" if args.dead_letter else "raise",
+        dsan=True if (args.dsan or args.dsan_report) else None,
+    )
+    print(
+        f"generated {len(corpus)} walks, {corpus.total_steps} steps, "
+        f"avg length {corpus.average_length:.1f}"
+    )
+    sharded = corpus.metadata.get("sharded", {})
+    if sharded:
+        print(
+            f"shards: {sharded['shard_loads']} load(s), "
+            f"{sharded['shard_evictions']} eviction(s), "
+            f"{sharded['shard_bytes_read']:,} byte(s) read, "
+            f"{sharded['crossings']} crossing(s)"
+        )
+    for letter in corpus.failed_chunks:
+        print(f"DEAD-LETTER: {letter.describe()}", file=sys.stderr)
+    if "dsan" in corpus.metadata:
+        from .analysis.dsan import DsanReport
+
+        report = DsanReport.from_dict(corpus.metadata["dsan"])
+        print(
+            f"dsan: {len(report)} chunk fingerprint(s), "
+            f"{report.total_draws} RNG draw(s)"
+        )
+        if args.dsan_report:
+            report.save(args.dsan_report)
+            print(f"dsan report written to {args.dsan_report}")
+    if args.output:
+        corpus.save(args.output)
+        print(f"written to {args.output}")
+    return 0 if corpus.is_complete else 3
+
+
 def _run_tool(argv: list[str]) -> int:
     args = build_tool_parser().parse_args(argv)
 
     if args.command == "crawl":
         return _run_crawl(args)
+
+    if args.command == "shard":
+        return _run_shard(args)
+
+    if args.command == "walk" and args.shards is not None:
+        return _run_sharded_walk(args)
 
     if args.command == "info":
         from .datasets import load_dataset, paper_graph_info
@@ -713,7 +902,7 @@ def main(argv: list[str] | None = None) -> int:
         from .analysis.lint import lint_main
 
         return lint_main(argv[1:])
-    if argv and argv[0] in ("info", "optimize", "walk", "dsan-report", "crawl"):
+    if argv and argv[0] in ("info", "optimize", "walk", "dsan-report", "crawl", "shard"):
         return _run_tool(argv)
     # Fall through to the experiment parser for its help/error message.
     return _run_experiments(argv)

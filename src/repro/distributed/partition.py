@@ -46,6 +46,66 @@ def degree_balanced_partition(degrees: np.ndarray, workers: int) -> np.ndarray:
     return partition
 
 
+def contiguous_partition(degrees: np.ndarray, shards: int) -> np.ndarray:
+    """Contiguous node-range partition balancing stored edges per shard.
+
+    Unlike :func:`hash_partition` and :func:`degree_balanced_partition`
+    (whose assignments interleave node ids), every shard here owns one
+    contiguous node range — the invariant the out-of-core sharded CSR
+    layout needs so each shard's ``indptr``/``indices``/``weights`` slices
+    are themselves contiguous.  A greedy sweep closes a shard once it has
+    accumulated ``total_degree / shards`` edge endpoints, while always
+    leaving enough nodes for the remaining shards to be non-empty.
+    """
+    if shards < 1:
+        raise OptimizerError("shards must be >= 1")
+    degrees = np.asarray(degrees, dtype=np.int64)
+    num_nodes = len(degrees)
+    if shards > num_nodes:
+        raise OptimizerError(
+            f"cannot split {num_nodes} nodes into {shards} contiguous shards"
+        )
+    # Cut the cumulative endpoint count at S-1 evenly spaced levels, then
+    # clamp each cut so every shard keeps at least one node.
+    cum = np.cumsum(degrees + 1)
+    total = float(cum[-1])
+    cuts = [0]
+    for s in range(1, shards):
+        cut = int(np.searchsorted(cum, total * s / shards, side="left")) + 1
+        cut = max(cut, cuts[-1] + 1)
+        cut = min(cut, num_nodes - (shards - s))
+        cuts.append(cut)
+    cuts.append(num_nodes)
+    sizes = np.diff(np.asarray(cuts, dtype=np.int64))
+    return np.repeat(np.arange(shards, dtype=np.int64), sizes)
+
+
+def partition_boundaries(partition: np.ndarray) -> np.ndarray:
+    """Shard boundaries ``[b_0 .. b_S]`` from a contiguous partition vector.
+
+    ``partition`` must label nodes with shard ids ``0..S-1`` such that each
+    shard's nodes form one contiguous ascending range (the shape produced
+    by :func:`contiguous_partition`).  Raises :class:`OptimizerError` for
+    interleaved partitions such as :func:`hash_partition` output.
+    """
+    partition = np.asarray(partition, dtype=np.int64)
+    num_nodes = len(partition)
+    if num_nodes == 0:
+        raise OptimizerError("partition is empty")
+    if int(partition[0]) != 0 or np.any(np.diff(partition) < 0) or np.any(
+        np.diff(partition) > 1
+    ):
+        raise OptimizerError(
+            "partition is not contiguous: shard ids must be ascending with "
+            "no gaps (use contiguous_partition for shard layouts)"
+        )
+    shards = int(partition[-1]) + 1
+    boundaries = np.empty(shards + 1, dtype=np.int64)
+    boundaries[0] = 0
+    boundaries[1:] = np.searchsorted(partition, np.arange(shards), side="right")
+    return boundaries
+
+
 @dataclass(frozen=True)
 class WorkerStats:
     """Assignment summary of one worker."""

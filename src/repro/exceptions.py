@@ -20,6 +20,12 @@ class EmptyGraphError(GraphFormatError):
     """An operation requires at least one node or edge but the graph is empty."""
 
 
+class ShardLayoutError(GraphFormatError):
+    """A sharded CSR layout on disk is malformed: missing or truncated
+    shard files, content-hash mismatches, an invalid manifest, or shard
+    metadata inconsistent with the arrays it describes."""
+
+
 class DistributionError(ReproError):
     """A discrete probability distribution is invalid (negative mass,
     zero total mass, NaNs, or mismatched lengths)."""

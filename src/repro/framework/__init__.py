@@ -23,6 +23,7 @@ from .extra_samplers import (
     binary_cdf_spec,
     extend_cost_table,
 )
+from .outofcore import generate_walks
 from .serialize import (
     load_assignment,
     load_bounding_constants,
@@ -44,6 +45,7 @@ __all__ = [
     "WalkEngine",
     "MemoryAwareFramework",
     "FrameworkTimings",
+    "generate_walks",
     "save_assignment",
     "load_assignment",
     "save_bounding_constants",

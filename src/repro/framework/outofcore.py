@@ -1,0 +1,94 @@
+"""Out-of-core corpus generation: the ``generate_walks(graph=...)`` path.
+
+The class-based :class:`~repro.framework.MemoryAwareFramework` optimises
+*sampler* memory for a graph that fits in RAM.  This module is the
+entry point for the complementary regime — the adjacency itself exceeds
+the budget — wiring a :class:`~repro.walks.BucketedWalkScheduler` over a
+sharded (or plain in-memory) graph into the supervised chunked runner, so
+checkpoints, retries, dead letters, worker fan-out, and the determinism
+sanitizer behave exactly as for the in-memory engines.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any
+
+from ..rng import RngLike
+
+if TYPE_CHECKING:
+    from ..graph import CSRGraph
+    from ..graph.sharded import ShardSource
+    from ..models import SecondOrderModel
+    from ..walks.corpus import WalkCorpus
+
+
+def generate_walks(
+    graph: "CSRGraph | ShardSource",
+    model: "SecondOrderModel",
+    *,
+    num_walks: int,
+    length: int,
+    budget: Any = None,
+    max_resident: int | None = None,
+    backend: str | None = None,
+    policy: str = "bucketed",
+    num_shards: int | None = None,
+    verify_hashes: bool = True,
+    workers: int | None = None,
+    nodes: "list[int] | None" = None,
+    chunk_size: int = 64,
+    rng: RngLike = None,
+    fault_plan: Any = None,
+    retry: Any = None,
+    timeout: float | None = None,
+    checkpoint: "str | os.PathLike | Any | None" = None,
+    on_exhausted: str = "raise",
+    dsan: bool | None = None,
+) -> "WalkCorpus":
+    """Generate a walk corpus from an in-memory **or out-of-core** graph.
+
+    ``graph`` may be a :class:`~repro.graph.CSRGraph` (optionally split
+    into ``num_shards`` virtual shards) or a
+    :class:`~repro.graph.ShardedCSRGraph` opened from disk — in which
+    case at most ``max_resident`` shards, byte-accounted against
+    ``budget`` (a byte count or :class:`~repro.framework.MemoryBudget`),
+    are ever memory-mapped at once.  Output is bit-identical across the
+    two, and across worker counts, shard geometries, scheduling policies,
+    and kernel backends: the scheduler's per-walker RNG streams make the
+    corpus a pure function of ``(rng, chunk_size, start order)``.
+
+    All resilience parameters (``fault_plan``, ``retry``, ``timeout``,
+    ``checkpoint``, ``on_exhausted``, ``dsan``) behave exactly as in
+    :func:`repro.walks.parallel_walks`; the checkpoint signature includes
+    the shard-layout hash, so a resume against a different layout is
+    refused.
+    """
+    from ..walks.parallel import parallel_walks
+    from ..walks.scheduler import BucketedWalkScheduler
+
+    engine = BucketedWalkScheduler(
+        graph,
+        model,
+        budget=budget,
+        max_resident=max_resident,
+        backend=backend,
+        policy=policy,
+        num_shards=num_shards,
+        verify_hashes=verify_hashes,
+    )
+    return parallel_walks(
+        engine,
+        num_walks=num_walks,
+        length=length,
+        workers=workers,
+        nodes=nodes,
+        chunk_size=chunk_size,
+        rng=rng,
+        fault_plan=fault_plan,
+        retry=retry,
+        timeout=timeout,
+        checkpoint=checkpoint,
+        on_exhausted=on_exhausted,
+        dsan=dsan,
+    )

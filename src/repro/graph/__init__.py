@@ -30,8 +30,17 @@ from .subgraph import induced_subgraph, largest_connected_component
 from .io import (
     load_csr_npz,
     load_edge_list,
+    load_sharded_csr,
     save_csr_npz,
     save_edge_list,
+    save_sharded_csr,
+)
+from .sharded import (
+    ShardData,
+    ShardResidencyManager,
+    ShardedCSRGraph,
+    VirtualShardLayout,
+    write_sharded_layout,
 )
 
 __all__ = [
@@ -63,4 +72,11 @@ __all__ = [
     "save_edge_list",
     "load_csr_npz",
     "save_csr_npz",
+    "load_sharded_csr",
+    "save_sharded_csr",
+    "ShardData",
+    "ShardResidencyManager",
+    "ShardedCSRGraph",
+    "VirtualShardLayout",
+    "write_sharded_layout",
 ]

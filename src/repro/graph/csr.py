@@ -281,6 +281,18 @@ class CSRGraph:
             size += self.num_edges * float_bytes
         return size
 
+    def storage_bytes(self) -> int:
+        """Actual bytes of the stored arrays (int64/float64, weights always).
+
+        Unlike the modeled :meth:`memory_bytes` (the paper's ``M_g``, which
+        assumes 4-byte entries and elides unit weights), this is the exact
+        footprint of ``indptr`` + ``indices`` + ``weights`` as held in RAM.
+        The sharded layout written by :func:`repro.graph.io.save_sharded_csr`
+        stores exactly these bytes plus one duplicated 8-byte ``indptr``
+        boundary entry per extra shard.
+        """
+        return int(self.indptr.nbytes + self.indices.nbytes + self.weights.nbytes)
+
     # ------------------------------------------------------------------
     # niceties
     # ------------------------------------------------------------------

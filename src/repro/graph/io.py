@@ -9,12 +9,16 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..exceptions import GraphFormatError
 from .builder import from_edges
 from .csr import CSRGraph
+
+if TYPE_CHECKING:
+    from .sharded import ShardedCSRGraph
 
 
 def load_edge_list(
@@ -98,3 +102,41 @@ def load_csr_npz(path: str | os.PathLike) -> CSRGraph:
         if missing:
             raise GraphFormatError(f"{path}: missing arrays {sorted(missing)}")
         return CSRGraph(data["indptr"], data["indices"], data["weights"])
+
+
+def save_sharded_csr(
+    graph: CSRGraph,
+    path: str | os.PathLike,
+    *,
+    num_shards: int = 1,
+    overwrite: bool = False,
+) -> "ShardedCSRGraph":
+    """Persist ``graph`` as an out-of-core sharded CSR layout directory.
+
+    Thin wrapper over :func:`repro.graph.sharded.write_sharded_layout`
+    with edge-balanced contiguous shards; returns the reopened (and
+    size-validated) :class:`~repro.graph.ShardedCSRGraph`.  The on-disk
+    footprint is :meth:`CSRGraph.storage_bytes` plus one duplicated
+    8-byte ``indptr`` boundary entry per extra shard; the test suite pins
+    the round-trip shard-by-shard.
+    """
+    from .sharded import write_sharded_layout
+
+    return write_sharded_layout(
+        graph, Path(path), num_shards=num_shards, overwrite=overwrite
+    )
+
+
+def load_sharded_csr(path: str | os.PathLike) -> CSRGraph:
+    """Reassemble the in-memory graph from a sharded layout directory.
+
+    Verifies every shard file's content hash before concatenating — a
+    corrupt or truncated layout raises
+    :class:`~repro.exceptions.ShardLayoutError`, never a numpy
+    ``IndexError``.  For out-of-core access keep the layout as a
+    :class:`~repro.graph.ShardedCSRGraph` (via ``ShardedCSRGraph.open``)
+    instead of materialising it.
+    """
+    from .sharded import ShardedCSRGraph
+
+    return ShardedCSRGraph.open(Path(path)).materialize()

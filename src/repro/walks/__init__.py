@@ -23,6 +23,11 @@ from .metrics import diff_counters, merge_counters
 from .parallel import parallel_walks
 from .node2vec_task import node2vec_walk_task
 from .pagerank import PageRankResult, second_order_pagerank
+from .scheduler import (
+    SCHEDULING_POLICIES,
+    BucketedWalkScheduler,
+    scheduled_walks,
+)
 
 __all__ = [
     "WalkCorpus",
@@ -42,4 +47,7 @@ __all__ = [
     "resolve_backend",
     "diff_counters",
     "merge_counters",
+    "BucketedWalkScheduler",
+    "scheduled_walks",
+    "SCHEDULING_POLICIES",
 ]

@@ -189,8 +189,26 @@ def _chunk_validator(
 
 
 def _engine_tag(engine: WalkEngine) -> str:
-    """Stable identifier of the engine's RNG-stream contract."""
+    """Stable identifier of the engine's RNG-stream contract.
+
+    Engines with their own stream contract (e.g. the bucketed scheduler's
+    per-walker streams) declare it via an ``engine_tag`` attribute; plain
+    chunk engines are ``"batch"`` and everything else ``"scalar"``.
+    """
+    tag = getattr(engine, "engine_tag", None)
+    if tag:
+        return str(tag)
     return "batch" if hasattr(engine, "walk_chunk") else "scalar"
+
+
+def _engine_layout(engine: WalkEngine) -> str:
+    """Shard-layout signature of an out-of-core engine (``""`` otherwise).
+
+    Part of the checkpoint signature: two runs only replay each other's
+    chunks if they walk the same graph content in the same shard geometry
+    — a resume against a re-sharded or edited layout is refused.
+    """
+    return str(getattr(engine, "layout_signature", ""))
 
 
 def _engine_backend(engine: WalkEngine) -> str:
@@ -300,6 +318,7 @@ def run_chunked_walks(
             # guaranteed for the backends shipped in-tree.
             "engine": _engine_tag(engine),
             "backend": _engine_backend(engine),
+            "layout": _engine_layout(engine),
         }
         for index, (seed, nodes, walks) in store.load(signature).items():
             if index >= len(tasks):
@@ -371,6 +390,8 @@ def run_chunked_walks(
     corpus.metadata["engine"] = _engine_tag(engine)
     if _engine_backend(engine):
         corpus.metadata["backend"] = _engine_backend(engine)
+    if _engine_layout(engine):
+        corpus.metadata["layout"] = _engine_layout(engine)
     corpus.metadata["num_chunks"] = len(chunks)
     corpus.metadata["workers"] = int(workers)
     if dsan_active:

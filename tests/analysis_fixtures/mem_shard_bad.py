@@ -1,0 +1,27 @@
+"""MEM002 fixture: memory maps constructed outside any residency scope."""
+
+import numpy as np
+from numpy import memmap
+
+
+def load_everything(path, count):
+    # finding: unaccounted file-backed allocation in free code
+    return np.memmap(path, dtype=np.int64, mode="r", shape=(count,))
+
+
+def load_bare(path, count):
+    # finding: the bare imported name is the same escape hatch
+    return memmap(path, dtype=np.float64, mode="r", shape=(count,))
+
+
+class UnmanagedShardCache:
+    """No resident_bytes surface, so its mappings are findings."""
+
+    def __init__(self):
+        self.shards = {}
+
+    def pin(self, path, count):
+        self.shards[path] = np.memmap(  # finding
+            path, dtype=np.int64, mode="r", shape=(count,)
+        )
+        return self.shards[path]

@@ -1,0 +1,34 @@
+"""MEM002 fixture: the same mappings, constructed under accounting."""
+
+import numpy as np
+
+
+class TinyResidencyManager:
+    """resident_bytes() marks the whole class as a residency scope."""
+
+    def __init__(self, budget_bytes):
+        self.budget_bytes = budget_bytes
+        self._resident = {}
+        self._bytes = 0
+
+    def resident_bytes(self):
+        return self._bytes
+
+    def pin(self, path, count):
+        mapped = np.memmap(path, dtype=np.int64, mode="r", shape=(count,))
+        self._bytes += mapped.nbytes
+        self._resident[path] = mapped
+        return mapped
+
+
+def map_charged(path, count, budget):
+    # Charging against a budget in the same function is accounted too.
+    mapped = np.memmap(path, dtype=np.int64, mode="r", shape=(count,))
+    budget.charge(mapped.nbytes)
+    return mapped
+
+
+def read_eagerly(path, count):
+    # An eager read is a plain allocation, not a mapping: MEM002 stays
+    # quiet (MEM001 owns degree-sized allocation accounting).
+    return np.fromfile(path, dtype=np.int64, count=count)

@@ -81,6 +81,60 @@ class TestToolSubcommands:
         corpus = WalkCorpus.load(walks_path)
         assert len(corpus) == 2 * 60
 
+    def test_shard_build_inspect_walk(self, tmp_path, capsys):
+        from repro.graph import barabasi_albert_graph, save_edge_list
+
+        graph_path = tmp_path / "g.txt"
+        save_edge_list(barabasi_albert_graph(60, 3, rng=0), graph_path)
+        layout_dir = tmp_path / "shards"
+
+        code = main(
+            [
+                "shard", "build", str(graph_path),
+                "--output", str(layout_dir), "--num-shards", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote 3 shard(s)" in out
+        assert (layout_dir / "manifest.json").exists()
+
+        code = main(["shard", "inspect", str(layout_dir), "--verify"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 shard(s)" in out and "verified" in out
+
+        walks_path = tmp_path / "walks.txt"
+        code = main(
+            [
+                "walk", str(graph_path), "--budget", "5e8",
+                "--shards", str(layout_dir), "--resident-shards", "2",
+                "--num-walks", "1", "--length", "5",
+                "--seed", "0", "--output", str(walks_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "generated" in out and "load(s)" in out
+        assert walks_path.exists()
+
+        # The same seed through the in-memory scheduler path (no layout
+        # on disk yet: built on demand) produces the identical corpus.
+        auto_dir = tmp_path / "auto"
+        other_path = tmp_path / "walks2.txt"
+        code = main(
+            [
+                "walk", str(graph_path), "--budget", "5e8",
+                "--shards", str(auto_dir), "--num-shards", "5",
+                "--shard-policy", "lockstep",
+                "--num-walks", "1", "--length", "5",
+                "--seed", "0", "--output", str(other_path),
+            ]
+        )
+        assert code == 0
+        assert "built 5-shard layout" in capsys.readouterr().out
+        assert other_path.read_text() == walks_path.read_text()
+
     def test_bad_param_format(self):
         import pytest as _pytest
 

@@ -51,6 +51,7 @@ RULE_CASES = [
     ("HOT001", "hot_bad.py", "hot_good.py", 3),
     ("HOT002", "hot_xp_bad.py", "hot_xp_good.py", 3),
     ("MEM001", "mem_bad.py", "mem_good.py", 3),
+    ("MEM002", "mem_shard_bad.py", "mem_shard_good.py", 3),
     ("EXC001", "exc_bad.py", "exc_good.py", 3),
     ("DEF001", "def_bad.py", "def_good.py", 4),
     ("DOC001", "doc_bad.py", "doc_good.py", 4),
@@ -252,6 +253,7 @@ def test_expected_rule_catalogue():
         "HOT001",
         "HOT002",
         "MEM001",
+        "MEM002",
         "EXC001",
         "DEF001",
         "DOC001",

@@ -396,6 +396,7 @@ class TestCheckpointResume:
             "num_nodes": framework.graph.num_nodes,
             "engine": "scalar",
             "backend": "",
+            "layout": "",
         }
         completed = store.load(signature)
         assert sorted(completed) == list(range(8))  # torn record ignored
