@@ -1,0 +1,102 @@
+"""``reprokcc`` — the kernel contract checker (``repro lint --kcc``).
+
+The static complement to the DSan runtime sanitizer: where DSan proves
+after the fact that every backend consumed the chunk generator's stream
+identically, the kcc passes prove *before* a backend ever runs that it
+can — the signatures agree (KCC101), the arithmetic stays on the
+declared dtypes and shapes (KCC102), nothing allocates degree-scaled
+buffers or raises inside a kernel (KCC103/KCC104), and the driver-side
+``kernel_scope`` blocks pre-draw exactly the uniforms the kernels
+consume (KCC105).  ``kernel-contracts.json`` (see
+:func:`collect_contracts`) serialises the derived contract for future
+backends — the CuPy port in the roadmap implements against that file.
+
+Findings ride the ordinary reprolint machinery: ``Finding`` objects,
+inline ``# reprolint: disable=KCC...`` suppressions, the committed
+baseline, and every CLI output format.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from .contracts import (
+    BackendModule,
+    KccProgram,
+    KernelCallSite,
+    KernelContract,
+    ParamContract,
+    ScopeSite,
+    build_kcc_program,
+    contracts_payload,
+    draws_per_call,
+    render_contracts_json,
+)
+from .rules import (
+    KCC_RULE_REGISTRY,
+    KccRule,
+    check_kcc_program,
+    iter_kcc_rules,
+    register_kcc_rule,
+)
+
+
+def collect_program(
+    paths: "Sequence[Path | str] | None" = None,
+    *,
+    root: "Path | None" = None,
+) -> KccProgram:
+    """Parse ``paths`` (default: the installed ``src/repro`` tree) and
+    extract the kernel-contract program — the library entry point the
+    contract-JSON writer and the DSan conformance test share."""
+    from ..lint.runner import default_baseline_path, discover_files
+    from ..lint.engine import parse_source_file
+
+    if paths is None:
+        paths = [str(Path(__file__).resolve().parents[2])]
+    if root is None:
+        root = default_baseline_path().parent
+    sources = {}
+    for path in discover_files(paths):
+        src = parse_source_file(path, root=root)
+        sources[src.display_path] = src
+    return build_kcc_program(sources)
+
+
+def collect_contracts(
+    paths: "Sequence[Path | str] | None" = None,
+    *,
+    root: "Path | None" = None,
+) -> dict:
+    """The ``kernel-contracts.json`` payload for ``paths``."""
+    return contracts_payload(collect_program(paths, root=root))
+
+
+def static_draw_table(
+    paths: "Sequence[Path | str] | None" = None,
+) -> dict[str, int]:
+    """Static per-invocation draw-call bound by kernel/scope name."""
+    return draws_per_call(collect_program(paths))
+
+
+__all__ = [
+    "BackendModule",
+    "KccProgram",
+    "KernelCallSite",
+    "KernelContract",
+    "ParamContract",
+    "ScopeSite",
+    "build_kcc_program",
+    "contracts_payload",
+    "draws_per_call",
+    "render_contracts_json",
+    "KccRule",
+    "KCC_RULE_REGISTRY",
+    "register_kcc_rule",
+    "iter_kcc_rules",
+    "check_kcc_program",
+    "collect_program",
+    "collect_contracts",
+    "static_draw_table",
+]

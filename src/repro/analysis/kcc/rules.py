@@ -1,0 +1,443 @@
+"""The ``reprokcc`` rule catalogue: KCC101–KCC105.
+
+Whole-program checks over the :class:`~repro.analysis.kcc.contracts.KccProgram`
+extracted from one lint run, emitted as ordinary
+:class:`~repro.analysis.lint.engine.Finding` objects so inline
+suppressions, the committed baseline, and every CLI output format work
+unchanged.  The pass split mirrors the tentpole design:
+
+* **KCC101 kernel-parity** — the reference backend's annotated
+  signatures are the contract; every other backend module must expose
+  the same kernels with the same parameter names, order and (normalised)
+  annotations, minus the leading ``xp`` handle, and its ``KERNEL_NAMES``
+  registration tuple must list exactly the contract kernels.
+* **KCC102 kernel-dtype** — dtype/shape abstract interpretation of each
+  kernel body (see :mod:`.abstract`): silent widening/narrowing against
+  buffers or the return annotation, float-typed fancy indexing, symbolic
+  shape-dim mismatches.
+* **KCC103 kernel-alloc** — in-kernel allocations sized by graph degree
+  quantities; degree-scaled buffers must be allocated (and byte-
+  accounted, MEM001) by the caller.
+* **KCC104 kernel-raise** — ``raise`` inside a kernel body; the contract
+  requires sentinel returns because ``raise`` does not port to compiled
+  or device backends.
+* **KCC105 uniform-accounting** — every ``kernel_scope(k)`` block must
+  pre-draw exactly as many chunk-generator arrays as kernel ``k`` has
+  uniform parameters, and every uniform argument at a kernel call site
+  must trace to a draw made under that kernel's scope — the static half
+  of the bit-identical-stream contract DSan checks at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..lint.engine import (
+    Finding,
+    LintConfigError,
+    SourceFile,
+    dotted_name,
+    names_in,
+)
+from ..lint.rules import _ALLOC_FUNCS, _DEGREE_NAMES
+from .abstract import interpret_kernel, seed_environment
+from .contracts import (
+    BackendModule,
+    KccProgram,
+    KernelContract,
+    normalise_annotation,
+)
+
+
+class KccRule:
+    """Base class: one kernel-contract invariant checked per lint run."""
+
+    id: str = ""
+    name: str = ""
+    severity: str = "error"
+    description: str = ""
+
+    def check(self, program: KccProgram) -> Iterator[Finding]:
+        """Yield every violation found in ``program``."""
+        raise NotImplementedError
+
+    def finding(self, src: SourceFile, node: ast.AST, message: str) -> Finding:
+        """A finding anchored at ``node``'s source position."""
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return self.finding_at(src, lineno, col + 1, message)
+
+    def finding_at(
+        self, src: SourceFile, line: int, col: int, message: str
+    ) -> Finding:
+        """A finding at an explicit ``line``/``col`` in ``src``."""
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=src.display_path,
+            line=line,
+            col=col,
+            message=message,
+            symbol=src.enclosing_symbol(line),
+        )
+
+
+KCC_RULE_REGISTRY: dict[str, KccRule] = {}
+
+
+def register_kcc_rule(cls: type[KccRule]) -> type[KccRule]:
+    """Class decorator adding a kcc pass to the registry."""
+    if not cls.id:
+        raise LintConfigError(f"kcc rule {cls.__name__} has no id")
+    if cls.id in KCC_RULE_REGISTRY:
+        raise LintConfigError(f"duplicate kcc rule id {cls.id}")
+    KCC_RULE_REGISTRY[cls.id] = cls()
+    return cls
+
+
+def iter_kcc_rules(only: "Iterable[str] | None" = None) -> list[KccRule]:
+    """Registered kcc rules, optionally restricted to ``only`` ids."""
+    if only is None:
+        return [KCC_RULE_REGISTRY[rid] for rid in sorted(KCC_RULE_REGISTRY)]
+    rules = []
+    for rid in only:
+        if rid not in KCC_RULE_REGISTRY:
+            known = ", ".join(sorted(KCC_RULE_REGISTRY))
+            raise LintConfigError(f"unknown kcc rule {rid!r} (known: {known})")
+        rules.append(KCC_RULE_REGISTRY[rid])
+    return rules
+
+
+def check_kcc_program(
+    program: KccProgram, rules: "Iterable[KccRule] | None" = None
+) -> list[Finding]:
+    """Run kcc rules over a program, honouring inline suppressions."""
+    out: list[Finding] = []
+    for rule in rules if rules is not None else iter_kcc_rules():
+        for finding in rule.check(program):
+            src = program.sources.get(finding.path)
+            if src is None or not src.is_suppressed(finding):
+                out.append(finding)
+    out.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return out
+
+
+def _kernel_functions(
+    program: KccProgram,
+) -> Iterator[tuple[SourceFile, ast.FunctionDef, KernelContract, bool]]:
+    """Every analysable kernel body: ``(src, func, contract, has_xp)``."""
+    if program.reference is not None:
+        for name, contract in program.contracts.items():
+            func = program.reference.functions.get(name)
+            if func is not None:
+                yield program.reference.src, func, contract, True
+    for backend in program.backends.values():
+        for name, contract in program.contracts.items():
+            func = backend.functions.get(name)
+            if func is not None:
+                yield backend.src, func, contract, False
+
+
+@register_kcc_rule
+class KernelParityRule(KccRule):
+    """KCC101: cross-backend signature parity against the reference."""
+
+    id = "KCC101"
+    name = "kernel-parity"
+    severity = "error"
+    description = (
+        "every kernel backend module must implement the reference "
+        "backend's contract: same kernels, same parameter names/order/"
+        "annotations (minus the leading xp handle), same return "
+        "annotation, and a KERNEL_NAMES tuple listing exactly the "
+        "contract kernels"
+    )
+
+    def check(self, program: KccProgram) -> Iterator[Finding]:
+        reference = program.reference
+        if reference is None:
+            return
+        for name in sorted(program.contracts):
+            contract = program.contracts[name]
+            func = reference.functions[name]
+            yield from self._check_reference(reference, func, contract)
+        for backend_name in sorted(program.backends):
+            yield from self._check_backend(
+                program, program.backends[backend_name]
+            )
+
+    def _check_reference(
+        self,
+        reference: BackendModule,
+        func: ast.FunctionDef,
+        contract: KernelContract,
+    ) -> Iterator[Finding]:
+        if not contract.params or contract.params[0].role != "xp":
+            yield self.finding(
+                reference.src,
+                func,
+                f"kernel {contract.name!r} must take the xp array-module "
+                "handle as its first parameter",
+            )
+        for param in contract.engine_params:
+            if param.dtype == "unknown":
+                yield self.finding(
+                    reference.src,
+                    func,
+                    f"kernel {contract.name!r} parameter {param.name!r} "
+                    "lacks a dtype-carrying annotation "
+                    "(use npt.NDArray[np.float64]-style annotations so "
+                    "the contract is machine-checkable)",
+                )
+
+    def _check_backend(
+        self, program: KccProgram, backend: BackendModule
+    ) -> Iterator[Finding]:
+        src = backend.src
+        for name in sorted(program.contracts):
+            contract = program.contracts[name]
+            func = backend.functions.get(name)
+            if func is None:
+                yield self.finding_at(
+                    src,
+                    1,
+                    1,
+                    f"backend {backend.name!r} is missing kernel {name!r} "
+                    "required by the reference contract",
+                )
+                continue
+            expected = contract.engine_params
+            actual = func.args.posonlyargs + func.args.args
+            got_names = [a.arg for a in actual]
+            want_names = [p.name for p in expected]
+            if got_names != want_names:
+                yield self.finding(
+                    src,
+                    func,
+                    f"kernel {name!r} parameter drift: backend "
+                    f"{backend.name!r} has {got_names}, contract requires "
+                    f"{want_names} (reference minus xp)",
+                )
+            else:
+                for arg, param in zip(actual, expected):
+                    got = normalise_annotation(arg.annotation)
+                    if got != param.annotation:
+                        yield self.finding(
+                            src,
+                            func,
+                            f"kernel {name!r} parameter {param.name!r} "
+                            f"annotation drift: backend {backend.name!r} "
+                            f"declares {got or 'nothing'}, contract "
+                            f"requires {param.annotation}",
+                        )
+            got_return = normalise_annotation(func.returns)
+            if got_return != contract.returns:
+                yield self.finding(
+                    src,
+                    func,
+                    f"kernel {name!r} return annotation drift: backend "
+                    f"{backend.name!r} declares {got_return or 'nothing'}, "
+                    f"contract requires {contract.returns}",
+                )
+        if backend.kernel_names is not None:
+            want = set(program.contracts)
+            got = set(backend.kernel_names)
+            missing = sorted(want - got)
+            extra = sorted(got - want)
+            if missing or extra:
+                detail = []
+                if missing:
+                    detail.append(f"missing {missing}")
+                if extra:
+                    detail.append(f"unknown {extra}")
+                yield self.finding_at(
+                    src,
+                    1,
+                    1,
+                    f"backend {backend.name!r} KERNEL_NAMES drift vs the "
+                    f"reference contract: {'; '.join(detail)}",
+                )
+
+
+@register_kcc_rule
+class KernelDtypeRule(KccRule):
+    """KCC102: dtype/shape abstract interpretation of kernel bodies."""
+
+    id = "KCC102"
+    name = "kernel-dtype"
+    severity = "error"
+    description = (
+        "abstract interpretation of kernel bodies over the "
+        "bool/int64/float64 dtype lattice and declared symbolic shape "
+        "dims: no silent widening/narrowing stores or returns, no "
+        "float-typed fancy indexing, no elementwise shape-dim mixing"
+    )
+
+    def check(self, program: KccProgram) -> Iterator[Finding]:
+        for src, func, contract, has_xp in _kernel_functions(program):
+            params = [
+                (p.name, p.role, p.dtype, p.dim)
+                for p in contract.params
+                if has_xp or p.role != "xp"
+            ]
+            env = seed_environment(params)
+            seen: set[tuple[int, int, str, str]] = set()
+            events: list[Finding] = []
+
+            def emit(node: ast.AST, category: str, message: str) -> None:
+                lineno = getattr(node, "lineno", func.lineno)
+                col = getattr(node, "col_offset", 0)
+                key = (lineno, col, category, message)
+                if key in seen:
+                    return
+                seen.add(key)
+                events.append(
+                    self.finding_at(src, lineno, col + 1, f"[{category}] {message}")
+                )
+
+            interpret_kernel(func, env, contract.return_dtypes, emit)
+            yield from events
+
+
+@register_kcc_rule
+class KernelAllocRule(KccRule):
+    """KCC103: no degree-scaled allocations inside kernel bodies."""
+
+    id = "KCC103"
+    name = "kernel-alloc"
+    severity = "error"
+    description = (
+        "kernels must not allocate buffers sized by graph degree "
+        "quantities; degree-scaled arrays are preallocated (and "
+        "byte-accounted) by the caller and passed in flat"
+    )
+
+    def check(self, program: KccProgram) -> Iterator[Finding]:
+        for src, func, contract, _ in _kernel_functions(program):
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = dotted_name(node.func).rsplit(".", 1)[-1]
+                if callee not in _ALLOC_FUNCS:
+                    continue
+                size_names: set[str] = set()
+                for arg in node.args:
+                    size_names |= names_in(arg)
+                for keyword in node.keywords:
+                    size_names |= names_in(keyword.value)
+                hits = sorted(size_names & _DEGREE_NAMES)
+                if hits:
+                    yield self.finding(
+                        src,
+                        node,
+                        f"kernel {contract.name!r} allocates a buffer "
+                        f"sized by degree quantities {hits}; degree-"
+                        "scaled buffers must be preallocated by the "
+                        "caller",
+                    )
+
+
+@register_kcc_rule
+class KernelRaiseRule(KccRule):
+    """KCC104: kernels signal errors via sentinels, never ``raise``."""
+
+    id = "KCC104"
+    name = "kernel-raise"
+    severity = "error"
+    description = (
+        "kernels must signal errors through sentinel return values, "
+        "never raise: exceptions do not port to compiled or device "
+        "backends"
+    )
+
+    def check(self, program: KccProgram) -> Iterator[Finding]:
+        for src, func, contract, _ in _kernel_functions(program):
+            for node in ast.walk(func):
+                if isinstance(node, ast.Raise):
+                    yield self.finding(
+                        src,
+                        node,
+                        f"kernel {contract.name!r} raises; the kernel "
+                        "contract requires sentinel returns (e.g. the "
+                        "offending segment index) so compiled backends "
+                        "can share the implementation",
+                    )
+
+
+@register_kcc_rule
+class UniformAccountingRule(KccRule):
+    """KCC105: static uniform-draw accounting of kernel_scope blocks."""
+
+    id = "KCC105"
+    name = "uniform-accounting"
+    severity = "error"
+    description = (
+        "each kernel_scope(k) block must pre-draw exactly as many "
+        "chunk-generator arrays as kernel k has uniform parameters, and "
+        "uniform arguments at kernel call sites must trace to draws "
+        "made under that kernel's scope"
+    )
+
+    def check(self, program: KccProgram) -> Iterator[Finding]:
+        for site in program.scopes:
+            src = program.sources.get(site.path)
+            if src is None or not site.scope:
+                continue
+            contract = program.contracts.get(site.scope)
+            if contract is not None:
+                expected = len(contract.uniform_params)
+                if site.draws != expected:
+                    kind = "over-draws" if site.draws > expected else "under-draws"
+                    yield self.finding_at(
+                        src,
+                        site.line,
+                        1,
+                        f"kernel_scope({site.scope!r}) {kind} the chunk "
+                        f"generator: {site.draws} draw call(s) in the "
+                        f"block, kernel consumes {expected} uniform "
+                        "array(s) per invocation",
+                    )
+            elif site.draws == 0 and program.contracts:
+                yield self.finding_at(
+                    src,
+                    site.line,
+                    1,
+                    f"kernel_scope({site.scope!r}) contains no chunk-"
+                    "generator draws: stale attribution scope (or a "
+                    "misspelled kernel name)",
+                )
+        for call in program.calls:
+            src = program.sources.get(call.path)
+            if src is None:
+                continue
+            for param_name, arg_name in call.uniform_args:
+                key = (call.path, call.function, arg_name)
+                if key not in program.drawn:
+                    continue  # not drawn from the chunk generator here
+                scope = program.drawn[key]
+                if scope != call.kernel:
+                    where = (
+                        f"under kernel_scope({scope!r})"
+                        if scope
+                        else "outside any kernel_scope"
+                    )
+                    yield self.finding_at(
+                        src,
+                        call.line,
+                        call.col,
+                        f"uniform argument {arg_name!r} for parameter "
+                        f"{param_name!r} of kernel {call.kernel!r} was "
+                        f"drawn {where}; draws must happen under "
+                        f"kernel_scope({call.kernel!r}) so DSan "
+                        "attribution matches the static bound",
+                    )
+
+
+__all__ = [
+    "KccRule",
+    "KCC_RULE_REGISTRY",
+    "register_kcc_rule",
+    "iter_kcc_rules",
+    "check_kcc_program",
+]

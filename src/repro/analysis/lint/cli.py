@@ -46,10 +46,17 @@ def build_lint_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--output-format",
         "--format",
-        choices=["text", "json"],
+        dest="output_format",
+        choices=["text", "json", "github"],
         default="text",
-        help="report format (default text)",
+        help=(
+            "report format (default text): 'json' prints the structured "
+            "LintResult payload, 'github' prints GitHub Actions "
+            "::error/::warning workflow annotations so findings surface "
+            "inline on pull requests"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -89,6 +96,26 @@ def build_lint_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--kcc",
+        action="store_true",
+        help=(
+            "also run the kernel contract checker (KCC101-KCC105): "
+            "backend signature parity, dtype/shape abstract "
+            "interpretation of kernel bodies, and static uniform-draw "
+            "accounting of kernel_scope blocks"
+        ),
+    )
+    parser.add_argument(
+        "--contracts-json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "additionally write the machine-readable kernel contract "
+            "(kernel-contracts.json) derived from the linted tree to "
+            "PATH — the signature a new kernel backend must satisfy"
+        ),
+    )
+    parser.add_argument(
         "--changed",
         nargs="?",
         const="origin/main",
@@ -121,15 +148,49 @@ def _default_paths() -> list[str]:
     return [str(package_root)]
 
 
+def _github_annotation(finding) -> str:
+    """One GitHub Actions workflow command for ``finding``.
+
+    ``::error file=...,line=...,col=...,title=RULE::message`` — the
+    runner turns these into inline annotations on the pull request.
+    Message text is %-escaped per the workflow-command grammar.
+    """
+    level = "error" if finding.severity == "error" else "warning"
+    message = finding.message
+    if finding.symbol:
+        message = f"{message} [{finding.symbol}]"
+    message = (
+        message.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+    return (
+        f"::{level} file={finding.path},line={finding.line},"
+        f"col={finding.col},title={finding.rule}::{message}"
+    )
+
+
+def _write_contracts(paths, output) -> None:
+    """Derive the kernel contract from ``paths`` and write it to disk."""
+    from pathlib import Path
+
+    from ..kcc import collect_contracts, render_contracts_json
+
+    payload = collect_contracts(paths)
+    Path(output).write_text(render_contracts_json(payload), encoding="utf-8")
+    print(f"kernel contracts written: {output} ({len(payload['kernels'])} kernel(s))")
+
+
 def lint_main(argv: "list[str] | None" = None) -> int:
     """Run the linter; returns the process exit code."""
     args = build_lint_parser().parse_args(argv)
 
     if args.list_rules:
         from ..flow.rules import FLOW_RULE_REGISTRY
+        from ..kcc.rules import KCC_RULE_REGISTRY
 
-        catalogue = list(RULE_REGISTRY.values()) + list(
-            FLOW_RULE_REGISTRY.values()
+        catalogue = (
+            list(RULE_REGISTRY.values())
+            + list(FLOW_RULE_REGISTRY.values())
+            + list(KCC_RULE_REGISTRY.values())
         )
         for rule in sorted(catalogue, key=lambda r: r.id):
             print(f"{rule.id}  {rule.name:24s} [{rule.severity}] {rule.description}")
@@ -153,8 +214,11 @@ def lint_main(argv: "list[str] | None" = None) -> int:
             rules=rules,
             baseline=baseline,
             flow=args.flow,
+            kcc=args.kcc,
             restrict_to=restrict,
         )
+        if args.contracts_json:
+            _write_contracts(paths, args.contracts_json)
     except LintConfigError as exc:
         print(f"reprolint: error: {exc}", file=sys.stderr)
         return 2
@@ -165,8 +229,19 @@ def lint_main(argv: "list[str] | None" = None) -> int:
         print(f"baseline written: {baseline_path} ({len(updated)} entr(y/ies))")
         return 0
 
-    if args.format == "json":
+    if args.output_format == "json":
         print(json.dumps(result.to_dict(), indent=2))
+    elif args.output_format == "github":
+        for finding in result.new_findings:
+            print(_github_annotation(finding))
+        for fingerprint in result.stale_baseline:
+            entry = baseline.entries[fingerprint]
+            print(
+                "::error title=reprolint::stale baseline entry "
+                f"{fingerprint} ({entry.rule} in {entry.path}): finding "
+                "no longer occurs - remove it or run --update-baseline"
+            )
+        print(result.summary())
     else:
         for finding in result.new_findings:
             print(finding.render())

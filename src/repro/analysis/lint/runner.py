@@ -78,27 +78,50 @@ class LintResult:
 
 
 def _partition_rule_ids(
-    rules: "Iterable[str] | None", flow: bool
-) -> tuple["list[str] | None", "list[str] | None", bool]:
-    """Split requested rule ids into (per-file, flow) selections.
+    rules: "Iterable[str] | None", flow: bool, kcc: bool = False
+) -> tuple[
+    "list[str] | None",
+    "list[str] | None",
+    bool,
+    "list[str] | None",
+    bool,
+]:
+    """Split requested rule ids into (per-file, flow, kcc) selections.
 
     ``None`` means "all rules of that kind".  Explicitly requesting a
-    ``FLOW-*`` id enables the flow pass even without ``flow=True``.
+    ``FLOW-*`` id enables the flow pass even without ``flow=True``, and
+    a ``KCC*`` id the kernel-contract pass without ``kcc=True``.
     """
     from ..flow.rules import FLOW_RULE_REGISTRY
+    from ..kcc.rules import KCC_RULE_REGISTRY
 
     if rules is None:
-        return None, (None if flow else []), flow
+        return (
+            None,
+            (None if flow else []),
+            flow,
+            (None if kcc else []),
+            kcc,
+        )
     file_ids: list[str] = []
     flow_ids: list[str] = []
+    kcc_ids: list[str] = []
     for rid in rules:
         if rid in FLOW_RULE_REGISTRY:
             flow_ids.append(rid)
+        elif rid in KCC_RULE_REGISTRY:
+            kcc_ids.append(rid)
         else:
             file_ids.append(rid)  # unknown ids rejected by iter_rules
-    if flow and not flow_ids:
-        return file_ids, None, True
-    return file_ids, flow_ids, flow or bool(flow_ids)
+    run_flow = flow or bool(flow_ids)
+    run_kcc = kcc or bool(kcc_ids)
+    return (
+        file_ids,
+        None if (flow and not flow_ids) else flow_ids,
+        run_flow,
+        None if (kcc and not kcc_ids) else kcc_ids,
+        run_kcc,
+    )
 
 
 def run_lint(
@@ -108,22 +131,26 @@ def run_lint(
     baseline: "Baseline | Path | str | None" = None,
     root: "Path | None" = None,
     flow: bool = False,
+    kcc: bool = False,
     restrict_to: "Iterable[str] | None" = None,
 ) -> tuple[LintResult, "list[tuple[Finding, str]]"]:
     """Lint ``paths`` and split findings against ``baseline``.
 
     ``flow=True`` additionally builds the whole-program call graph over
-    *all* discovered files and runs the interprocedural FLOW passes.
-    ``restrict_to`` (display paths, e.g. from ``--changed``) limits
-    which files are rule-checked and reported — the flow pass still
-    sees the whole program so cross-file reasoning stays sound, but
-    only findings in restricted files are reported.
+    *all* discovered files and runs the interprocedural FLOW passes;
+    ``kcc=True`` runs the kernel-contract checker (KCC101–KCC105) the
+    same way.  ``restrict_to`` (display paths, e.g. from ``--changed``)
+    limits which files are rule-checked and reported — the whole-program
+    passes still see everything so cross-file reasoning stays sound,
+    but only findings in restricted files are reported.
 
     Returns the :class:`LintResult` plus the full fingerprinted finding
     list (the raw material for ``--update-baseline``).
     """
     rule_list = list(rules) if rules is not None else None
-    file_ids, flow_ids, run_flow = _partition_rule_ids(rule_list, flow)
+    file_ids, flow_ids, run_flow, kcc_ids, run_kcc = _partition_rule_ids(
+        rule_list, flow, kcc
+    )
     selected: list[Rule] = iter_rules(file_ids)
     if not isinstance(baseline, Baseline):
         baseline = Baseline.load(baseline)
@@ -157,6 +184,16 @@ def run_lint(
         findings.extend(flow_findings)
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
 
+    if run_kcc:
+        from ..kcc import build_kcc_program, check_kcc_program, iter_kcc_rules
+
+        kcc_program = build_kcc_program(sources)
+        kcc_findings = check_kcc_program(kcc_program, iter_kcc_rules(kcc_ids))
+        if restricted is not None:
+            kcc_findings = [f for f in kcc_findings if f.path in restricted]
+        findings.extend(kcc_findings)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
     fingerprinted = fingerprint_findings(findings, sources)
     # A not-yet-migrated version-1 baseline still matches through the
     # legacy hashing scheme; ``--update-baseline`` rewrites it to v2.
@@ -177,17 +214,20 @@ def run_lint(
         else:
             result.new_findings.append(finding)
     from ..flow.rules import FLOW_RULE_REGISTRY
+    from ..kcc.rules import KCC_RULE_REGISTRY
 
     checked = set(files)
 
     def judgeable(entry: "object") -> bool:
         # Only entries for files/rules we actually ran can be judged
-        # stale; a partial lint (single file, --changed, no --flow) must
-        # not report the rest of the baseline as obsolete.
+        # stale; a partial lint (single file, --changed, no --flow/--kcc)
+        # must not report the rest of the baseline as obsolete.
         rule = getattr(entry, "rule", "")
         path = getattr(entry, "path", "")
         if rule in FLOW_RULE_REGISTRY:
             return run_flow and restricted is None and path in sources
+        if rule in KCC_RULE_REGISTRY:
+            return run_kcc and restricted is None and path in sources
         return path in checked
 
     result.stale_baseline = sorted(

@@ -359,7 +359,24 @@ class KernelBackendWarning(UserWarning, ReproError):
     is a performance event, not a correctness one.  Inherits
     :class:`ReproError` so the hierarchy stays single rooted;
     ``warnings.filterwarnings`` targets it via ``UserWarning``.
+
+    ``requested`` and ``effective`` carry the backend names as data so
+    callers catching the warning (``warnings.catch_warnings``) need not
+    parse the message: ``requested`` is the name that was asked for and
+    failed to load, ``effective`` the name actually used.  The corpus
+    records the same effective name in ``metadata["backend"]``.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        requested: "str | None" = None,
+        effective: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.requested = requested
+        self.effective = effective
 
 
 class DegradedRunWarning(UserWarning, ReproError):

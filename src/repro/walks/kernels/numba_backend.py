@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
+from numpy import typing as npt
 
 from ...exceptions import KernelBackendError
 
@@ -48,7 +49,9 @@ KERNEL_NAMES = (
 )
 
 
-def regroup_pairs(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def regroup_pairs(
+    keys: npt.NDArray[np.int64],
+) -> tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]:
     """Loop form of :func:`..numpy_backend.regroup_pairs`.
 
     Sort-based grouping: equal keys land adjacent after the argsort, so
@@ -73,8 +76,10 @@ def regroup_pairs(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
 
 
 def gather_segments(
-    starts: np.ndarray, sizes: np.ndarray, values: np.ndarray
-) -> np.ndarray:
+    starts: npt.NDArray[np.int64],
+    sizes: npt.NDArray[np.int64],
+    values: npt.NDArray[np.float64],
+) -> npt.NDArray[np.float64]:
     """Loop form of :func:`..numpy_backend.gather_segments`."""
     total = 0
     for i in range(sizes.shape[0]):
@@ -90,11 +95,11 @@ def gather_segments(
 
 
 def segmented_inverse_cdf(
-    flat: np.ndarray,
-    sizes: np.ndarray,
-    group: np.ndarray,
-    uniforms: np.ndarray,
-) -> tuple[np.ndarray, int]:
+    flat: npt.NDArray[np.float64],
+    sizes: npt.NDArray[np.int64],
+    group: npt.NDArray[np.int64],
+    uniforms: npt.NDArray[np.float64],
+) -> tuple[npt.NDArray[np.int64], int]:
     """Loop form of :func:`..numpy_backend.segmented_inverse_cdf`.
 
     The prefix sum accumulates strictly left-to-right (``np.cumsum``
@@ -146,13 +151,13 @@ def segmented_inverse_cdf(
 
 
 def flat_alias_pick(
-    prob_flat: np.ndarray,
-    alias_flat: np.ndarray,
-    base: np.ndarray,
-    sizes: np.ndarray,
-    u_column: np.ndarray,
-    u_keep: np.ndarray,
-) -> np.ndarray:
+    prob_flat: npt.NDArray[np.float64],
+    alias_flat: npt.NDArray[np.int64],
+    base: npt.NDArray[np.int64],
+    sizes: npt.NDArray[np.int64],
+    u_column: npt.NDArray[np.float64],
+    u_keep: npt.NDArray[np.float64],
+) -> npt.NDArray[np.int64]:
     """Loop form of :func:`..numpy_backend.flat_alias_pick`."""
     k = base.shape[0]
     picks = np.empty(k, np.int64)
@@ -169,14 +174,14 @@ def flat_alias_pick(
 
 
 def gathered_alias_pick(
-    prob_flat: np.ndarray,
-    alias_flat: np.ndarray,
-    starts_flat: np.ndarray,
-    sizes: np.ndarray,
-    group: np.ndarray,
-    u_column: np.ndarray,
-    u_keep: np.ndarray,
-) -> np.ndarray:
+    prob_flat: npt.NDArray[np.float64],
+    alias_flat: npt.NDArray[np.int64],
+    starts_flat: npt.NDArray[np.int64],
+    sizes: npt.NDArray[np.int64],
+    group: npt.NDArray[np.int64],
+    u_column: npt.NDArray[np.float64],
+    u_keep: npt.NDArray[np.float64],
+) -> npt.NDArray[np.int64]:
     """Loop form of :func:`..numpy_backend.gathered_alias_pick`."""
     k = group.shape[0]
     picks = np.empty(k, np.int64)
@@ -195,8 +200,10 @@ def gathered_alias_pick(
 
 
 def acceptance_mask(
-    ratios: np.ndarray, factors: np.ndarray, uniforms: np.ndarray
-) -> np.ndarray:
+    ratios: npt.NDArray[np.float64],
+    factors: npt.NDArray[np.float64],
+    uniforms: npt.NDArray[np.float64],
+) -> npt.NDArray[np.bool_]:
     """Loop form of :func:`..numpy_backend.acceptance_mask`."""
     n = ratios.shape[0]
     out = np.empty(n, np.bool_)
@@ -209,12 +216,12 @@ def acceptance_mask(
 
 
 def advance_frontier(
-    idx: np.ndarray,
-    step: np.ndarray,
-    previous: np.ndarray,
-    current: np.ndarray,
-    active: np.ndarray,
-    degrees: np.ndarray,
+    idx: npt.NDArray[np.int64],
+    step: npt.NDArray[np.int64],
+    previous: npt.NDArray[np.int64],
+    current: npt.NDArray[np.int64],
+    active: npt.NDArray[np.bool_],
+    degrees: npt.NDArray[np.int64],
 ) -> None:
     """Loop form of :func:`..numpy_backend.advance_frontier`."""
     for i in range(idx.shape[0]):

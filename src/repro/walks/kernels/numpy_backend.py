@@ -33,6 +33,7 @@ from types import ModuleType
 from typing import Any
 
 import numpy as np
+from numpy import typing as npt
 
 from ...hotpath import hot_path
 
@@ -41,7 +42,9 @@ ArrayModule = ModuleType
 
 
 @hot_path
-def regroup_pairs(xp: Any, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def regroup_pairs(
+    xp: Any, keys: npt.NDArray[np.int64]
+) -> tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]:
     """Group the frontier by integer state key.
 
     Returns ``(uk, group)``: the sorted distinct keys and, per walker,
@@ -50,20 +53,25 @@ def regroup_pairs(xp: Any, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     algorithm — numpy's introsort, a compiled radix sort, a device
     segmented sort — produces the identical result.
     """
+    # kcc: dims=keys:W
     uk, group = xp.unique(keys, return_inverse=True)
     return uk, group
 
 
 @hot_path
 def gather_segments(
-    xp: Any, starts: np.ndarray, sizes: np.ndarray, values: np.ndarray
-) -> np.ndarray:
+    xp: Any,
+    starts: npt.NDArray[np.int64],
+    sizes: npt.NDArray[np.int64],
+    values: npt.NDArray[np.float64],
+) -> npt.NDArray[np.float64]:
     """Concatenate ``values[starts[i] : starts[i] + sizes[i]]`` segments.
 
     The frontier *gather* phase: pulls each group's slice of a flat
     per-edge array (e.g. ``graph.weights``) into one contiguous buffer,
     in group order, without a Python loop over groups.
     """
+    # kcc: dims=starts:G,sizes:G,values:A
     total = sizes.sum()
     offsets = xp.concatenate(
         (xp.zeros(1, dtype=xp.int64), xp.cumsum(sizes)[:-1])
@@ -79,11 +87,11 @@ def gather_segments(
 @hot_path
 def segmented_inverse_cdf(
     xp: Any,
-    flat: np.ndarray,
-    sizes: np.ndarray,
-    group: np.ndarray,
-    uniforms: np.ndarray,
-) -> tuple[np.ndarray, int]:
+    flat: npt.NDArray[np.float64],
+    sizes: npt.NDArray[np.int64],
+    group: npt.NDArray[np.int64],
+    uniforms: npt.NDArray[np.float64],
+) -> tuple[npt.NDArray[np.int64], int]:
     """One inverse-CDF pick per walker over per-group weight segments.
 
     ``flat`` concatenates the segments, ``sizes`` their lengths,
@@ -93,6 +101,7 @@ def segmented_inverse_cdf(
     of the first zero-total-mass segment (``-1`` when every segment is
     sampleable; ``picks`` is then valid).
     """
+    # kcc: dims=flat:E,sizes:G,group:W,uniforms:W
     ends = xp.cumsum(sizes)
     starts = ends - sizes
     cumulative = xp.cumsum(flat)
@@ -110,13 +119,13 @@ def segmented_inverse_cdf(
 @hot_path
 def flat_alias_pick(
     xp: Any,
-    prob_flat: np.ndarray,
-    alias_flat: np.ndarray,
-    base: np.ndarray,
-    sizes: np.ndarray,
-    u_column: np.ndarray,
-    u_keep: np.ndarray,
-) -> np.ndarray:
+    prob_flat: npt.NDArray[np.float64],
+    alias_flat: npt.NDArray[np.int64],
+    base: npt.NDArray[np.int64],
+    sizes: npt.NDArray[np.int64],
+    u_column: npt.NDArray[np.float64],
+    u_keep: npt.NDArray[np.float64],
+) -> npt.NDArray[np.int64]:
     """Walker-parallel alias draw over consolidated flat tables.
 
     Walker ``w`` resolves the ``sizes[w]``-wide alias table starting at
@@ -124,6 +133,7 @@ def flat_alias_pick(
     column, ``u_keep`` the keep-vs-alias branch.  Returns the picked
     column within each walker's table.
     """
+    # kcc: dims=prob_flat:T,alias_flat:T,base:W,sizes:W,u_column:W,u_keep:W
     columns = xp.minimum((u_column * sizes).astype(xp.int64), sizes - 1)
     flat_pos = base + columns
     keep = u_keep <= prob_flat[flat_pos]
@@ -133,14 +143,14 @@ def flat_alias_pick(
 @hot_path
 def gathered_alias_pick(
     xp: Any,
-    prob_flat: np.ndarray,
-    alias_flat: np.ndarray,
-    starts_flat: np.ndarray,
-    sizes: np.ndarray,
-    group: np.ndarray,
-    u_column: np.ndarray,
-    u_keep: np.ndarray,
-) -> np.ndarray:
+    prob_flat: npt.NDArray[np.float64],
+    alias_flat: npt.NDArray[np.int64],
+    starts_flat: npt.NDArray[np.int64],
+    sizes: npt.NDArray[np.int64],
+    group: npt.NDArray[np.int64],
+    u_column: npt.NDArray[np.float64],
+    u_keep: npt.NDArray[np.float64],
+) -> npt.NDArray[np.int64]:
     """Alias draw over per-*group* gathered tables.
 
     Same two-uniform decision as :func:`flat_alias_pick`, but the table
@@ -148,6 +158,7 @@ def gathered_alias_pick(
     ``starts_flat[group[w]]`` and is ``sizes[group[w]]`` wide.  Both
     addressing modes consume the pre-drawn uniforms identically.
     """
+    # kcc: dims=prob_flat:T,alias_flat:T,starts_flat:G,sizes:G,group:W,u_column:W,u_keep:W
     width = sizes[group]
     columns = xp.minimum((u_column * width).astype(xp.int64), width - 1)
     flat_pos = starts_flat[group] + columns
@@ -158,15 +169,16 @@ def gathered_alias_pick(
 @hot_path
 def acceptance_mask(
     xp: Any,
-    ratios: np.ndarray,
-    factors: np.ndarray,
-    uniforms: np.ndarray,
-) -> np.ndarray:
+    ratios: npt.NDArray[np.float64],
+    factors: npt.NDArray[np.float64],
+    uniforms: npt.NDArray[np.float64],
+) -> npt.NDArray[np.bool_]:
     """Rejection-round acceptance test: ``u <= min(1, ratio * factor)``.
 
     One boolean per pending walker; the engine loops rejection rounds
     over the (geometrically shrinking) ``False`` remainder.
     """
+    # kcc: dims=ratios:W,factors:W,uniforms:W
     acceptance = xp.minimum(1.0, ratios * factors)
     return uniforms <= acceptance
 
@@ -174,12 +186,12 @@ def acceptance_mask(
 @hot_path
 def advance_frontier(
     xp: Any,
-    idx: np.ndarray,
-    step: np.ndarray,
-    previous: np.ndarray,
-    current: np.ndarray,
-    active: np.ndarray,
-    degrees: np.ndarray,
+    idx: npt.NDArray[np.int64],
+    step: npt.NDArray[np.int64],
+    previous: npt.NDArray[np.int64],
+    current: npt.NDArray[np.int64],
+    active: npt.NDArray[np.bool_],
+    degrees: npt.NDArray[np.int64],
 ) -> None:
     """State-*update* phase: shift the edge state of the active walkers.
 
@@ -188,6 +200,7 @@ def advance_frontier(
     place for the walkers listed in ``idx``.  A walker whose new node
     has no out-edges goes inactive.
     """
+    # kcc: dims=idx:K,step:W,previous:W,current:W,active:W,degrees:N
     previous[idx] = current[idx]
     current[idx] = step[idx]
     active[idx] = degrees[current[idx]] > 0

@@ -162,7 +162,9 @@ def resolve_backend(
             KernelBackendWarning(
                 f"kernel backend {name!r} is unavailable ({exc}); "
                 f"falling back to {DEFAULT_BACKEND!r} (bit-identical "
-                f"output, uncompiled speed)"
+                f"output, uncompiled speed)",
+                requested=name,
+                effective=DEFAULT_BACKEND,
             ),
             stacklevel=2,
         )

@@ -1,0 +1,35 @@
+# reprolint: module=walks/kernels/numpy_backend.py
+"""KCC103/KCC104 fixture: degree-scaled allocation and raise in kernels.
+
+Acts as its own reference module (linted in a run of its own).
+"""
+
+from typing import Any
+
+import numpy as np
+from numpy import typing as npt
+
+from repro.hotpath import hot_path
+
+KERNEL_NAMES = ("degree_buffer", "checked_pick")
+
+
+@hot_path
+def degree_buffer(
+    xp: Any, degrees: npt.NDArray[np.int64], group: npt.NDArray[np.int64]
+) -> npt.NDArray[np.float64]:
+    """finding: allocates a buffer sized by a graph-degree quantity."""
+    # kcc: dims=degrees:N,group:W
+    scratch = xp.zeros(int(degrees.sum()), dtype=xp.float64)  # finding: KCC103
+    return scratch
+
+
+@hot_path
+def checked_pick(
+    xp: Any, sizes: npt.NDArray[np.int64], u_column: npt.NDArray[np.float64]
+) -> npt.NDArray[np.int64]:
+    """finding: raises instead of returning a sentinel."""
+    # kcc: dims=sizes:W,u_column:W
+    if bool(xp.any(sizes <= 0)):
+        raise ValueError("empty segment")  # finding: KCC104
+    return (u_column * sizes).astype(xp.int64)

@@ -1,0 +1,54 @@
+# reprolint: module=walks/kernels/numpy_backend.py
+"""KCC102 fixture: dtype/shape violations abstract interpretation catches.
+
+Acts as its own reference module (linted in a run of its own) so the
+contract dtypes/dims come from these annotations.
+"""
+
+from typing import Any
+
+import numpy as np
+from numpy import typing as npt
+
+from repro.hotpath import hot_path
+
+KERNEL_NAMES = ("widening_store", "float_fancy_index", "narrowing_return", "mixed_dims")
+
+
+@hot_path
+def widening_store(
+    xp: Any, counts: npt.NDArray[np.int64], weights: npt.NDArray[np.float64]
+) -> npt.NDArray[np.int64]:
+    """finding: float64 values silently stored into an int64 buffer."""
+    # kcc: dims=counts:W,weights:W
+    out = xp.zeros(counts.shape[0], dtype=xp.int64)
+    out[:] = counts * weights  # finding: implicit-cast narrowing store
+    return out
+
+
+@hot_path
+def float_fancy_index(
+    xp: Any, values: npt.NDArray[np.float64], u_pick: npt.NDArray[np.float64]
+) -> npt.NDArray[np.float64]:
+    """finding: fancy indexing with a float-typed array."""
+    # kcc: dims=values:T,u_pick:W
+    positions = u_pick * values.shape[0]
+    return values[positions]  # finding: float-index (missing astype(int64))
+
+
+@hot_path
+def narrowing_return(
+    xp: Any, sizes: npt.NDArray[np.int64], uniforms: npt.NDArray[np.float64]
+) -> npt.NDArray[np.int64]:
+    """finding: returns float64 against an int64 return annotation."""
+    # kcc: dims=sizes:W,uniforms:W
+    return uniforms * sizes  # finding: implicit-cast return mismatch
+
+
+@hot_path
+def mixed_dims(
+    xp: Any, totals: npt.NDArray[np.float64], masses: npt.NDArray[np.float64]
+) -> npt.NDArray[np.float64]:
+    """finding: elementwise combination of per-group and per-walker arrays."""
+    # kcc: dims=totals:G,masses:W
+    return masses / totals  # finding: shape-mismatch (W vs G)

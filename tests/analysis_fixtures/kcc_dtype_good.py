@@ -1,0 +1,56 @@
+# reprolint: module=walks/kernels/numpy_backend.py
+"""KCC102 fixture: the explicit-conversion twins of ``kcc_dtype_bad``.
+
+Same shapes of computation, every cast spelled out — zero findings.
+"""
+
+from typing import Any
+
+import numpy as np
+from numpy import typing as npt
+
+from repro.hotpath import hot_path
+
+KERNEL_NAMES = ("rounding_store", "int_fancy_index", "widened_return", "aligned_dims")
+
+
+@hot_path
+def rounding_store(
+    xp: Any, counts: npt.NDArray[np.int64], weights: npt.NDArray[np.float64]
+) -> npt.NDArray[np.int64]:
+    """Explicit ``astype`` makes the narrowing store intentional."""
+    # kcc: dims=counts:W,weights:W
+    out = xp.zeros(counts.shape[0], dtype=xp.int64)
+    out[:] = (counts * weights).astype(xp.int64)
+    return out
+
+
+@hot_path
+def int_fancy_index(
+    xp: Any, values: npt.NDArray[np.float64], u_pick: npt.NDArray[np.float64]
+) -> npt.NDArray[np.float64]:
+    """Index array is truncated to int64 before the gather."""
+    # kcc: dims=values:T,u_pick:W
+    positions = (u_pick * values.shape[0]).astype(xp.int64)
+    return values[positions]
+
+
+@hot_path
+def widened_return(
+    xp: Any, sizes: npt.NDArray[np.int64], uniforms: npt.NDArray[np.float64]
+) -> npt.NDArray[np.float64]:
+    """Return annotation matches the promoted float64 result."""
+    # kcc: dims=sizes:W,uniforms:W
+    return uniforms * sizes
+
+
+@hot_path
+def aligned_dims(
+    xp: Any,
+    totals: npt.NDArray[np.float64],
+    group: npt.NDArray[np.int64],
+    masses: npt.NDArray[np.float64],
+) -> npt.NDArray[np.float64]:
+    """Per-group totals gathered to walker alignment before combining."""
+    # kcc: dims=totals:G,group:W,masses:W
+    return masses / totals[group]

@@ -1,0 +1,29 @@
+# reprolint: module=walks/kernels/broken_backend.py
+"""KCC101 fixture: every class of backend parity drift.
+
+Linted together with ``kcc_parity_ref.py`` (the contract source).
+"""
+
+import numpy as np
+from numpy import typing as npt
+
+KERNEL_NAMES = ("scale_mass", "mask_accept", "bogus_kernel")
+# finding: KERNEL_NAMES drift (missing pick_columns, unknown bogus_kernel)
+# finding: missing kernel pick_columns
+
+
+def scale_mass(
+    factors: npt.NDArray[np.float64], values: npt.NDArray[np.float64]
+) -> npt.NDArray[np.float64]:
+    """finding: parameter drift — values/factors swapped vs the contract."""
+    return values * factors
+
+
+def mask_accept(
+    ratios: np.ndarray,  # finding: annotation drift (contract: NDArray[float64])
+    uniforms: npt.NDArray[np.float64],
+) -> np.ndarray:  # finding: return annotation drift
+    """Body is contract-clean; only the signature drifts."""
+    acceptance = np.minimum(1.0, ratios)
+    mask = uniforms <= acceptance
+    return mask

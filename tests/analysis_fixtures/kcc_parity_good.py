@@ -1,0 +1,46 @@
+# reprolint: module=walks/kernels/loopy_backend.py
+"""KCC101 fixture: a fully conformant loop-form backend (no findings).
+
+Linted together with ``kcc_parity_ref.py`` (the contract source).
+"""
+
+import numpy as np
+from numpy import typing as npt
+
+KERNEL_NAMES = ("scale_mass", "pick_columns", "mask_accept")
+
+
+def scale_mass(
+    values: npt.NDArray[np.float64], factors: npt.NDArray[np.float64]
+) -> npt.NDArray[np.float64]:
+    """Loop form of the reference ``scale_mass``."""
+    out = np.empty(values.shape[0], np.float64)
+    for i in range(values.shape[0]):
+        out[i] = values[i] * factors[i]
+    return out
+
+
+def pick_columns(
+    sizes: npt.NDArray[np.int64], u_column: npt.NDArray[np.float64]
+) -> npt.NDArray[np.int64]:
+    """Loop form of the reference ``pick_columns``."""
+    out = np.empty(sizes.shape[0], np.int64)
+    for i in range(sizes.shape[0]):
+        column = int(u_column[i] * sizes[i])
+        if column > sizes[i] - 1:
+            column = sizes[i] - 1
+        out[i] = column
+    return out
+
+
+def mask_accept(
+    ratios: npt.NDArray[np.float64], uniforms: npt.NDArray[np.float64]
+) -> npt.NDArray[np.bool_]:
+    """Loop form of the reference ``mask_accept``."""
+    out = np.empty(ratios.shape[0], np.bool_)
+    for i in range(ratios.shape[0]):
+        acceptance = ratios[i]
+        if acceptance > 1.0:
+            acceptance = 1.0
+        out[i] = uniforms[i] <= acceptance
+    return out

@@ -1,0 +1,47 @@
+# reprolint: module=walks/kernels/numpy_backend.py
+"""KCC fixture reference backend: a three-kernel contract.
+
+Impersonates the numpy reference module so the kcc fixtures exercise
+contract extraction and cross-backend parity without depending on the
+real kernel set.  Linted together with the ``kcc_parity_*``/
+``kcc_uniform_*`` fixtures, never alone.
+"""
+
+from typing import Any
+
+import numpy as np
+from numpy import typing as npt
+
+from repro.hotpath import hot_path
+
+KERNEL_NAMES = ("scale_mass", "pick_columns", "mask_accept")
+
+
+@hot_path
+def scale_mass(
+    xp: Any, values: npt.NDArray[np.float64], factors: npt.NDArray[np.float64]
+) -> npt.NDArray[np.float64]:
+    """Reference kernel: elementwise mass rescale."""
+    # kcc: dims=values:W,factors:W
+    return values * factors
+
+
+@hot_path
+def pick_columns(
+    xp: Any, sizes: npt.NDArray[np.int64], u_column: npt.NDArray[np.float64]
+) -> npt.NDArray[np.int64]:
+    """Reference kernel: one uniform-driven column pick per walker."""
+    # kcc: dims=sizes:W,u_column:W
+    columns = (u_column * sizes).astype(xp.int64)
+    return xp.minimum(columns, sizes - 1)
+
+
+@hot_path
+def mask_accept(
+    xp: Any, ratios: npt.NDArray[np.float64], uniforms: npt.NDArray[np.float64]
+) -> npt.NDArray[np.bool_]:
+    """Reference kernel: Metropolis-style acceptance mask."""
+    # kcc: dims=ratios:W,uniforms:W
+    acceptance = xp.minimum(1.0, ratios)
+    mask: npt.NDArray[np.bool_] = uniforms <= acceptance
+    return mask

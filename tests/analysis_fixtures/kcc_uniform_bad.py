@@ -1,0 +1,41 @@
+# reprolint: module=walks/batch.py
+"""KCC105 fixture: every class of uniform-draw accounting drift.
+
+Linted together with ``kcc_parity_ref.py`` — the contract gives
+``pick_columns`` one uniform parameter and ``mask_accept`` one.
+"""
+
+from repro.walks.dsan import kernel_scope
+
+
+def over_drawing_driver(kb, gen, sizes, ratios):
+    """Scope draws more than the kernel consumes."""
+    with kernel_scope("pick_columns"):
+        u_column = gen.random(sizes.shape[0])
+        u_spare = gen.random(sizes.shape[0])  # finding: over-draw (2 vs 1)
+    picks = kb.pick_columns(sizes, u_column)
+    return picks, u_spare
+
+
+def under_drawing_driver(kb, gen, sizes, ratios, u_stale):
+    """Scope draws nothing although the kernel consumes one array."""
+    with kernel_scope("mask_accept"):  # finding: under-draw (0 vs 1)
+        kept = kb.mask_accept(ratios, u_stale)
+    return kept
+
+
+def unscoped_uniform_driver(kb, gen, sizes, ratios):
+    """Uniforms drawn outside the consuming kernel's scope."""
+    u_accept = gen.random(ratios.shape[0])
+    with kernel_scope("mask_accept"):
+        unused = gen.random(ratios.shape[0])
+    # finding: u_accept was drawn outside kernel_scope('mask_accept')
+    kept = kb.mask_accept(ratios, u_accept)
+    return kept, unused
+
+
+def stale_scope_driver(kb, gen, ratios):
+    """Pseudo-scope that attributes nothing."""
+    with kernel_scope("warmup"):  # finding: no draws under pseudo-scope
+        threshold = ratios.sum()
+    return threshold

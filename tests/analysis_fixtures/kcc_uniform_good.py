@@ -1,0 +1,25 @@
+# reprolint: module=walks/batch.py
+"""KCC105 fixture: correctly accounted uniform draws (no findings).
+
+Linted together with ``kcc_parity_ref.py`` (the contract source).
+"""
+
+from repro.walks.dsan import kernel_scope
+
+
+def scoped_driver(kb, gen, sizes, ratios):
+    """Each scope pre-draws exactly the kernel's uniform arity."""
+    with kernel_scope("pick_columns"):
+        u_column = gen.random(sizes.shape[0])
+    picks = kb.pick_columns(sizes, u_column)
+    with kernel_scope("mask_accept"):
+        u_accept = gen.random(ratios.shape[0])
+    kept = kb.mask_accept(ratios, u_accept)
+    return picks, kept
+
+
+def pseudo_scope_driver(kb, gen, walkers):
+    """A non-kernel attribution scope containing real driver draws."""
+    with kernel_scope("walker_streams"):
+        seeds = gen.integers(0, 2**63, size=walkers)
+    return seeds

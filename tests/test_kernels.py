@@ -126,9 +126,41 @@ class TestRegistry:
 
     @pytest.mark.skipif(HAS_NUMBA, reason="numba is installed")
     def test_missing_numba_falls_back_with_warning(self):
-        with pytest.warns(KernelBackendWarning, match="falling back"):
+        with pytest.warns(KernelBackendWarning, match="falling back") as caught:
             backend = resolve_backend("numba")
         assert backend.name == "numpy"
+        # The warning carries both names as data: what was asked for and
+        # what the run actually uses (the latter also lands in corpus
+        # metadata, pinned below).
+        assert caught[0].message.requested == "numba"
+        assert caught[0].message.effective == "numpy"
+
+    def test_fallback_warning_carries_requested_and_effective(self, graph, model):
+        def broken_loader():
+            raise KernelBackendError("deliberately unavailable")
+
+        register_backend("flaky", broken_loader)
+        try:
+            with pytest.warns(KernelBackendWarning) as caught:
+                backend = resolve_backend("flaky")
+            assert backend.name == "numpy"
+            warning = caught[0].message
+            assert warning.requested == "flaky"
+            assert warning.effective == "numpy"
+            assert "'flaky'" in str(warning)
+
+            from repro.walks import BatchWalkEngine
+
+            with pytest.warns(KernelBackendWarning):
+                engine = BatchWalkEngine(graph, model, backend="flaky")
+            corpus = parallel_walks(
+                engine, num_walks=1, length=8, workers=1, chunk_size=16, rng=3
+            )
+            # The *effective* backend is what metadata records — a resumed
+            # or audited corpus must never claim the backend that failed.
+            assert corpus.metadata["backend"] == "numpy"
+        finally:
+            unregister_backend("flaky")
 
     @pytest.mark.skipif(not HAS_NUMBA, reason="numba not installed")
     def test_numba_backend_loads(self):
