@@ -49,13 +49,14 @@ def build_lint_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
         "--output-format",
         "--format",
         dest="output_format",
-        choices=["text", "json", "github"],
+        choices=["text", "json", "github", "sarif"],
         default="text",
         help=(
             "report format (default text): 'json' prints the structured "
             "LintResult payload, 'github' prints GitHub Actions "
             "::error/::warning workflow annotations so findings surface "
-            "inline on pull requests"
+            "inline on pull requests, 'sarif' prints a SARIF 2.1.0 log "
+            "suitable for GitHub code scanning upload"
         ),
     )
     parser.add_argument(
@@ -106,6 +107,17 @@ def build_lint_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--mcc",
+        action="store_true",
+        help=(
+            "also run the memory-cost contract checker (MCC201-MCC205): "
+            "symbolic byte expressions extracted from allocation sites "
+            "diffed against the analytical cost model, charge-ordering "
+            "and accounting-coverage path analysis, and cache/shard "
+            "byte-arithmetic conformance"
+        ),
+    )
+    parser.add_argument(
         "--contracts-json",
         default=None,
         metavar="PATH",
@@ -113,6 +125,17 @@ def build_lint_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
             "additionally write the machine-readable kernel contract "
             "(kernel-contracts.json) derived from the linted tree to "
             "PATH — the signature a new kernel backend must satisfy"
+        ),
+    )
+    parser.add_argument(
+        "--memory-contracts-json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "additionally write the machine-readable memory contracts "
+            "(memory-contracts.json) derived from the linted tree to "
+            "PATH — the per-structure byte formulas the runtime "
+            "sanitizer (REPRO_MSAN=1) verifies allocations against"
         ),
     )
     parser.add_argument(
@@ -179,20 +202,113 @@ def _write_contracts(paths, output) -> None:
     print(f"kernel contracts written: {output} ({len(payload['kernels'])} kernel(s))")
 
 
+def _write_memory_contracts(paths, output) -> None:
+    """Derive the memory contracts from ``paths`` and write them to disk."""
+    from pathlib import Path
+
+    from ..mcc import collect_memory_contracts, render_memory_contracts_json
+
+    payload = collect_memory_contracts(paths)
+    Path(output).write_text(
+        render_memory_contracts_json(payload), encoding="utf-8"
+    )
+    print(
+        f"memory contracts written: {output} "
+        f"({len(payload['structures'])} structure(s))"
+    )
+
+
+def _rule_catalogue() -> list:
+    """Every registered rule across the per-file, FLOW, KCC, MCC passes."""
+    from ..flow.rules import FLOW_RULE_REGISTRY
+    from ..kcc.rules import KCC_RULE_REGISTRY
+    from ..mcc.rules import MCC_RULE_REGISTRY
+
+    return (
+        list(RULE_REGISTRY.values())
+        + list(FLOW_RULE_REGISTRY.values())
+        + list(KCC_RULE_REGISTRY.values())
+        + list(MCC_RULE_REGISTRY.values())
+    )
+
+
+def _sarif_log(result) -> dict:
+    """SARIF 2.1.0 log for GitHub code scanning upload.
+
+    Only *new* findings become results — baselined findings are the
+    repository's accepted debt and would otherwise re-alert on every
+    scan.  Rule metadata covers the full catalogue so code scanning can
+    render help text even for rules with no current results.
+    """
+    rules = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {
+                "level": "error" if rule.severity == "error" else "warning",
+            },
+        }
+        for rule in sorted(_rule_catalogue(), key=lambda r: r.id)
+    ]
+    results = []
+    for finding in result.new_findings:
+        message = finding.message
+        if finding.symbol:
+            message = f"{message} [{finding.symbol}]"
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "level": (
+                    "error" if finding.severity == "error" else "warning"
+                ),
+                "message": {"text": message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": max(1, finding.col),
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": (
+                            "https://github.com/repro/repro"
+                            "/blob/main/docs/static_analysis.md"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
 def lint_main(argv: "list[str] | None" = None) -> int:
     """Run the linter; returns the process exit code."""
     args = build_lint_parser().parse_args(argv)
 
     if args.list_rules:
-        from ..flow.rules import FLOW_RULE_REGISTRY
-        from ..kcc.rules import KCC_RULE_REGISTRY
-
-        catalogue = (
-            list(RULE_REGISTRY.values())
-            + list(FLOW_RULE_REGISTRY.values())
-            + list(KCC_RULE_REGISTRY.values())
-        )
-        for rule in sorted(catalogue, key=lambda r: r.id):
+        for rule in sorted(_rule_catalogue(), key=lambda r: r.id):
             print(f"{rule.id}  {rule.name:24s} [{rule.severity}] {rule.description}")
         return 0
 
@@ -215,10 +331,13 @@ def lint_main(argv: "list[str] | None" = None) -> int:
             baseline=baseline,
             flow=args.flow,
             kcc=args.kcc,
+            mcc=args.mcc,
             restrict_to=restrict,
         )
         if args.contracts_json:
             _write_contracts(paths, args.contracts_json)
+        if args.memory_contracts_json:
+            _write_memory_contracts(paths, args.memory_contracts_json)
     except LintConfigError as exc:
         print(f"reprolint: error: {exc}", file=sys.stderr)
         return 2
@@ -231,6 +350,8 @@ def lint_main(argv: "list[str] | None" = None) -> int:
 
     if args.output_format == "json":
         print(json.dumps(result.to_dict(), indent=2))
+    elif args.output_format == "sarif":
+        print(json.dumps(_sarif_log(result), indent=2))
     elif args.output_format == "github":
         for finding in result.new_findings:
             print(_github_annotation(finding))

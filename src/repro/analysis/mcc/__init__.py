@@ -1,0 +1,105 @@
+"""``repromcc`` — the memory-cost contract checker (``repro lint --mcc``).
+
+The static complement to the MSan runtime byte tracer: where MSan
+(:mod:`repro.analysis.msan`, ``REPRO_MSAN=1``) proves after the fact
+that a run's real per-structure allocations matched the analytical cost
+model, the mcc passes prove *before* anything runs that they must —
+each builder's persistent allocation sites sum, symbolically, to
+exactly the ``cost/model.py`` formula the optimizer budgets with
+(MCC201), every graph-scaled allocation in a governed module is
+budget- or cache-accounted on every path (MCC202) and charged *before*
+it is committed (MCC203), cache entry sizes are real payload bytes
+(MCC204), and the out-of-core shard arithmetic is consistent from
+manifest to residency counter (MCC205).  ``memory-contracts.json``
+(see :func:`collect_memory_contracts`) serialises the derived
+contracts — the same terms MSan evaluates numerically at runtime.
+
+Findings ride the ordinary reprolint machinery: ``Finding`` objects,
+inline ``# reprolint: disable=MCC...`` suppressions, the committed
+baseline, and every CLI output format.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from .contracts import (
+    ITEMSIZE,
+    AllocationSite,
+    MccProgram,
+    STRUCTURE_SPECS,
+    StructureContract,
+    StructureSpec,
+    build_mcc_program,
+    contracts_payload,
+    diff_polys,
+    eval_terms,
+    parse_poly,
+    poly_terms,
+    render_memory_contracts_json,
+    render_poly,
+)
+from .rules import (
+    MCC_RULE_REGISTRY,
+    MccRule,
+    check_mcc_program,
+    iter_mcc_rules,
+    register_mcc_rule,
+)
+
+
+def collect_mcc_program(
+    paths: "Sequence[Path | str] | None" = None,
+    *,
+    root: "Path | None" = None,
+) -> MccProgram:
+    """Parse ``paths`` (default: the installed ``src/repro`` tree) and
+    extract the memory-contract program — the library entry point the
+    contract-JSON writer and the MSan conformance layer share."""
+    from ..lint.engine import parse_source_file
+    from ..lint.runner import default_baseline_path, discover_files
+
+    if paths is None:
+        paths = [str(Path(__file__).resolve().parents[2])]
+    if root is None:
+        root = default_baseline_path().parent
+    sources = {}
+    for path in discover_files(paths):
+        src = parse_source_file(path, root=root)
+        sources[src.display_path] = src
+    return build_mcc_program(sources)
+
+
+def collect_memory_contracts(
+    paths: "Sequence[Path | str] | None" = None,
+    *,
+    root: "Path | None" = None,
+) -> dict:
+    """The ``memory-contracts.json`` payload for ``paths``."""
+    return contracts_payload(collect_mcc_program(paths, root=root))
+
+
+__all__ = [
+    "ITEMSIZE",
+    "AllocationSite",
+    "MccProgram",
+    "STRUCTURE_SPECS",
+    "StructureContract",
+    "StructureSpec",
+    "build_mcc_program",
+    "contracts_payload",
+    "diff_polys",
+    "eval_terms",
+    "parse_poly",
+    "poly_terms",
+    "render_memory_contracts_json",
+    "render_poly",
+    "MccRule",
+    "MCC_RULE_REGISTRY",
+    "register_mcc_rule",
+    "iter_mcc_rules",
+    "check_mcc_program",
+    "collect_mcc_program",
+    "collect_memory_contracts",
+]

@@ -29,6 +29,8 @@ Two call styles:
       python -m repro.cli lint --flow       # + interprocedural FLOW passes
       python -m repro.cli dsan-report graph.txt --budget 5e8 \\
           --workers 1,2,4                   # runtime determinism sanitizer
+      python -m repro.cli msan-report graph.txt --budget 5e8 \\
+          --output msan.json                # runtime memory sanitizer
 """
 
 from __future__ import annotations
@@ -313,6 +315,51 @@ def build_tool_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="also verify against a previously saved report",
+    )
+
+    msan = sub.add_parser(
+        "msan-report",
+        parents=[common],
+        help=(
+            "run a representative workload (sampler builds, cached batch "
+            "walks, a sharded-layout residency sweep) under the memory "
+            "sanitizer and verify every structure's real allocation "
+            "bytes against memory-contracts.json"
+        ),
+    )
+    msan.add_argument("--num-walks", type=int, default=4)
+    msan.add_argument("--length", type=int, default=20)
+    msan.add_argument(
+        "--cache-budget",
+        type=float,
+        default=None,
+        help=(
+            "bytes for the batch engine's edge-state cache (default: the "
+            "assignment budget headroom) — exercised so admitted entries "
+            "are byte-checked"
+        ),
+    )
+    msan.add_argument(
+        "--num-shards",
+        type=int,
+        default=4,
+        help="shard count for the temporary residency sweep (default 4)",
+    )
+    msan.add_argument(
+        "--contracts",
+        default=None,
+        metavar="PATH",
+        help=(
+            "memory-contracts.json to verify against (default: the "
+            "committed file at the repo root, else re-derived from the "
+            "installed source tree)"
+        ),
+    )
+    msan.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the conformance report JSON to PATH",
     )
 
     shard = sub.add_parser(
@@ -713,6 +760,11 @@ def _run_tool(argv: list[str]) -> int:
     if args.command == "walk" and args.shards is not None:
         return _run_sharded_walk(args)
 
+    if args.command == "msan-report":
+        # The framework build itself is part of the sanitized workload,
+        # so dispatch happens before _build_framework below.
+        return _run_msan_report(args)
+
     if args.command == "info":
         from .datasets import load_dataset, paper_graph_info
         from .graph import compute_stats
@@ -891,6 +943,94 @@ def _run_dsan_report(args, framework) -> int:
     return 0
 
 
+def _run_msan_report(args) -> int:
+    """Runtime byte-conformance check against ``memory-contracts.json``.
+
+    Runs a workload covering every contract structure — the framework
+    build materialises alias/rejection/naive sampler state, cached batch
+    walks admit edge-state cache entries, and a temporary sharded layout
+    is swept through the residency manager — inside an
+    :func:`~repro.analysis.msan.msan_trace` scope, then verifies each
+    recorded allocation's real bytes against the contracts.
+
+    Exit codes: 0 conformant, 4 divergence (or an empty trace), 2 bad
+    arguments.
+    """
+    import json as _json
+    import tempfile
+    from pathlib import Path
+
+    from .analysis.lint.runner import default_baseline_path
+    from .analysis.msan import build_report, msan_trace
+
+    payload = None
+    contracts = (
+        Path(args.contracts)
+        if args.contracts
+        else default_baseline_path().parent / "memory-contracts.json"
+    )
+    if contracts.exists():
+        payload = _json.loads(contracts.read_text(encoding="utf-8"))
+        print(f"verifying against {contracts}")
+    elif args.contracts:
+        print(f"no such contracts file: {contracts}", file=sys.stderr)
+        return 2
+    else:
+        print("no committed memory-contracts.json; verifying against "
+              "contracts re-derived from the source tree")
+
+    with msan_trace() as tracer:
+        framework = _build_framework(args)
+        print(framework.assignment.describe())
+        engine = framework.batch_engine(cache_budget=args.cache_budget)
+        corpus = engine.walks(
+            num_walks=args.num_walks, length=args.length, rng=args.seed
+        )
+        print(
+            f"generated {len(corpus)} walks, {corpus.total_steps} steps "
+            "(batch engine, edge-state cache exercised)"
+        )
+        from .graph import load_edge_list
+        from .graph.sharded import ShardResidencyManager, write_sharded_layout
+
+        with tempfile.TemporaryDirectory(prefix="repro-msan-") as tmp:
+            layout = write_sharded_layout(
+                load_edge_list(args.edgelist), tmp, num_shards=args.num_shards
+            )
+            manager = ShardResidencyManager(layout)
+            for index in range(layout.num_shards):
+                manager.acquire(index)
+            print(
+                f"swept {layout.num_shards} shard(s) through the "
+                "residency manager"
+            )
+
+    report = build_report(tracer, payload)
+    for structure, bucket in report.by_structure.items():
+        print(
+            f"  {structure}: {bucket['builds']} build(s), "
+            f"{bucket['bytes']} byte(s)"
+        )
+    if args.output:
+        Path(args.output).write_text(
+            _json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"msan report written to {args.output}")
+
+    if not report.ok:
+        if not report.divergences:
+            print("MSAN: no structure builds were traced", file=sys.stderr)
+        for line in report.divergences:
+            print(f"MSAN DIVERGENCE: {line}", file=sys.stderr)
+        return 4
+    print(
+        f"msan: {report.records} allocation(s) across "
+        f"{len(report.by_structure)} structure(s) conform to the "
+        "memory contracts"
+    )
+    return 0
+
+
 # ----------------------------------------------------------------------
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
@@ -902,7 +1042,15 @@ def main(argv: list[str] | None = None) -> int:
         from .analysis.lint import lint_main
 
         return lint_main(argv[1:])
-    if argv and argv[0] in ("info", "optimize", "walk", "dsan-report", "crawl", "shard"):
+    if argv and argv[0] in (
+        "info",
+        "optimize",
+        "walk",
+        "dsan-report",
+        "msan-report",
+        "crawl",
+        "shard",
+    ):
         return _run_tool(argv)
     # Fall through to the experiment parser for its help/error message.
     return _run_experiments(argv)

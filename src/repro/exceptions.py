@@ -337,6 +337,35 @@ class DeterminismError(ReproError):
         )
 
 
+class MemoryConformanceError(ReproError):
+    """The runtime memory sanitizer observed contract divergence.
+
+    Raised by :mod:`repro.analysis.msan` when a structure's real
+    allocated bytes (``ndarray.nbytes``, observed at build time) differ
+    from what the committed ``memory-contracts.json`` terms predict for
+    the observed dims.  Exact by design: the contracts are closed-form
+    in degree/shard dims, so any mismatch means the analytical cost
+    model — the currency of every budget decision the optimizer makes —
+    has drifted from allocation reality.  The message lists the
+    diverging structures; each entry carries the observed dims, the real
+    bytes, and the contract's prediction.
+    """
+
+    def __init__(self, divergences: list, detail: str = "") -> None:
+        self.divergences = list(divergences)
+        lines = "; ".join(str(d) for d in self.divergences[:5])
+        more = (
+            f" (+{len(self.divergences) - 5} more)"
+            if len(self.divergences) > 5
+            else ""
+        )
+        suffix = f" — {detail}" if detail else ""
+        super().__init__(
+            f"memory sanitizer: {len(self.divergences)} diverging "
+            f"structure(s): {lines}{more}{suffix}"
+        )
+
+
 class CheckpointError(ReproError):
     """A walk checkpoint file is unreadable or belongs to a different run
     (mismatched signature, seeds, or chunking)."""

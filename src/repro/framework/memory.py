@@ -77,6 +77,19 @@ class MemoryMeter:
         self.physical_bytes = physical_bytes
         self._used = 0.0
         self._peak = 0.0
+        self._ledger: dict[str, float] = {}
+
+    @property
+    def ledger(self) -> dict[str, float]:
+        """Net charged bytes per ``what`` label.
+
+        The modeled-side twin of the MSan runtime trace: meter charges
+        are priced in the cost model's units (4-byte paper itemsizes by
+        default), MSan records physical ``nbytes`` (8-byte numpy dtypes)
+        — see the cost-model invariants section of ``docs/performance.md``
+        for why the two currencies differ by exactly the itemsize ratio.
+        """
+        return dict(self._ledger)
 
     @property
     def used_bytes(self) -> float:
@@ -120,16 +133,23 @@ class MemoryMeter:
             )
         self._used = prospective
         self._peak = max(self._peak, self._used)
+        if what:
+            self._ledger[what] = self._ledger.get(what, 0.0) + amount
 
-    def release(self, amount: float) -> None:
+    def release(self, amount: float, what: str = "") -> None:
         """Return ``amount`` bytes to the pool."""
         if amount < 0:
             raise BudgetError("cannot release a negative amount")
         self._used = max(0.0, self._used - amount)
+        if what and what in self._ledger:
+            self._ledger[what] -= amount
+            if self._ledger[what] <= 0:
+                del self._ledger[what]
 
     def reset(self) -> None:
-        """Zero the meter (peak retained)."""
+        """Zero the meter (peak retained, ledger cleared)."""
         self._used = 0.0
+        self._ledger.clear()
 
 
 def linear_budget_trace(max_budget: float, *, steps: int = 10) -> list[float]:

@@ -34,6 +34,19 @@ from ..sampling import AliasTable
 from .interfaces import NodeSampler
 
 
+def _msan_trace(
+    structure: str,
+    nbytes: int,
+    variant: "str | None" = None,
+    **dims: float,
+) -> None:
+    # Deferred import: repro.analysis pulls in the walk layers, which
+    # import the framework — binding at first build keeps the cycle open.
+    from ..analysis.msan import trace_alloc
+
+    trace_alloc(structure, nbytes, variant=variant, **dims)
+
+
 class NaiveNodeSampler(NodeSampler):
     """On-demand sampling: ``O(1)`` memory, ``O(d_v (c+1))`` time.
 
@@ -169,6 +182,13 @@ class RejectionNodeSampler(NodeSampler):
                     ],
                     dtype=np.float64,
                 )
+        factors_nbytes = 0 if self._factors is None else int(self._factors.nbytes)
+        _msan_trace(
+            "rejection_state",
+            self._proposal.nbytes + factors_nbytes,
+            variant="bounded" if self._factors is None else None,
+            d=len(self._neighbors),
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -285,6 +305,11 @@ class AliasNodeSampler(NodeSampler):
             for u in self._neighbors
         ]
         self._extra_tables: dict[int, AliasTable] = {}
+        _msan_trace(
+            "alias_state",
+            self._first_order.nbytes + sum(t.nbytes for t in self._tables),
+            d=len(self._neighbors),
+        )
 
     @property
     def first_order(self) -> AliasTable:

@@ -39,6 +39,15 @@ import numpy as np
 from ..exceptions import BudgetError, EmptyGraphError, ShardLayoutError
 from .csr import CSRGraph
 
+
+def _msan_trace(structure: str, nbytes: int, **dims: float) -> None:
+    # Deferred import: repro.analysis pulls in layers that import the
+    # graph package — binding at first shard load keeps the cycle open.
+    from ..analysis.msan import trace_alloc
+
+    trace_alloc(structure, nbytes, **dims)
+
+
 MANIFEST_NAME = "manifest.json"
 LAYOUT_FORMAT = "sharded-csr"
 LAYOUT_VERSION = 1
@@ -330,7 +339,10 @@ class ShardedCSRGraph:
                 f"{len(boundaries) - 1} boundary ranges",
             )
 
-        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        # The structural indptr is the one O(N) array deliberately kept
+        # RAM-resident (paper Section 5: only edge payloads go out of
+        # core) — it is layout metadata, not budget-governed shard state.
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)  # reprolint: disable=MCC202
         specs: list[ShardSpec] = []
         edge_offset = 0
         for index, entry in enumerate(shard_entries):
@@ -558,8 +570,11 @@ class ShardedCSRGraph:
     def materialize(self) -> CSRGraph:
         """Reassemble the full in-memory :class:`CSRGraph` (hash-verified)."""
         self.verify()
-        indices = np.empty(self.num_edges, dtype=np.int64)
-        weights = np.empty(self.num_edges, dtype=np.float64)
+        # Materialising is the explicit opt-out from out-of-core mode:
+        # the caller asks for the whole O(E) graph in RAM, so these two
+        # buffers are intentionally outside the residency budget.
+        indices = np.empty(self.num_edges, dtype=np.int64)  # reprolint: disable=MCC202
+        weights = np.empty(self.num_edges, dtype=np.float64)  # reprolint: disable=MCC202
         for index in range(self.num_shards):
             shard = self.read_shard(index)
             lo = shard.edge_offset
@@ -792,6 +807,16 @@ class ShardResidencyManager:
         ):
             self._evict_lru()
         shard = self._load(spec)
+        _msan_trace(
+            "resident_shard",
+            int(
+                shard.indptr.nbytes
+                + shard.indices.nbytes
+                + shard.weights.nbytes
+            ),
+            n_s=spec.stop - spec.start,
+            E_s=spec.num_edges,
+        )
         self._resident[index] = shard
         self._resident_bytes += shard.nbytes
         self._loads += 1

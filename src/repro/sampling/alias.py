@@ -14,6 +14,14 @@ from .base import DiscreteSampler
 from .utils import normalize_distribution
 
 
+def _msan_trace(structure: str, nbytes: int, **dims: float) -> None:
+    # Deferred import: repro.analysis pulls in the walk layers, which
+    # import sampling — binding at first build keeps the cycle open.
+    from ..analysis.msan import trace_alloc
+
+    trace_alloc(structure, nbytes, **dims)
+
+
 class AliasTable(DiscreteSampler):
     """O(1) sampler over a fixed discrete distribution.
 
@@ -62,10 +70,17 @@ class AliasTable(DiscreteSampler):
 
         self._prob = prob
         self._alias = alias
+        _msan_trace("alias_table", self.nbytes, d=n)
 
     @property
     def num_outcomes(self) -> int:
         return len(self._prob)
+
+    @property
+    def nbytes(self) -> int:
+        """Real resident bytes of the two tables (physical, not the
+        4-byte paper units :meth:`memory_bytes` prices in)."""
+        return int(self._prob.nbytes + self._alias.nbytes)
 
     @property
     def probability_table(self) -> np.ndarray:

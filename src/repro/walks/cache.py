@@ -38,6 +38,14 @@ K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
 
 
+def _msan_trace(structure: str, nbytes: int, **dims: float) -> None:
+    # Deferred import: repro.analysis pulls in the walk layers — binding
+    # at first admitted entry keeps the cycle open.
+    from ..analysis.msan import trace_alloc
+
+    trace_alloc(structure, nbytes, **dims)
+
+
 class ByteLRUCache(Generic[K, V]):
     """LRU cache with byte-accurate accounting against a
     :class:`~repro.framework.MemoryBudget`.
@@ -54,8 +62,15 @@ class ByteLRUCache(Generic[K, V]):
         insertion.
 
     Entries larger than the whole budget are simply not cached.
-    Subclasses pick the payload type by overriding :meth:`entry_bytes`.
+    Subclasses pick the payload type by overriding :meth:`entry_bytes`;
+    subclasses whose entries are memory-contract structures additionally
+    set :attr:`_msan_structure` (and override :meth:`_msan_dims`) so the
+    runtime sanitizer can verify every admitted entry's bytes against
+    ``memory-contracts.json``.
     """
+
+    #: memory-contract structure name traced per admitted entry, or None.
+    _msan_structure: "str | None" = None
 
     def __init__(self, budget: "MemoryBudget | float | None") -> None:
         if budget is None:
@@ -124,6 +139,10 @@ class ByteLRUCache(Generic[K, V]):
         cannot fit even an empty cache (or the cache is disabled).  Never
         lets :attr:`used_bytes` exceed the budget.
         """
+        if not self.enabled:
+            # A zero-byte payload would otherwise slip into a disabled
+            # cache ("cost 0 fits budget 0") and turn lookups into hits.
+            return False
         cost = self.entry_bytes(value)
         if cost > self.budget.total_bytes:
             return False
@@ -139,6 +158,10 @@ class ByteLRUCache(Generic[K, V]):
         if self._used > self.budget.total_bytes:  # pragma: no cover
             raise BudgetError("byte-budgeted cache exceeded its budget")
         self._peak = max(self._peak, self._used)
+        if self._msan_structure is not None:
+            dims = self._msan_dims(value)
+            if dims is not None:
+                _msan_trace(self._msan_structure, int(cost), **dims)
         return True
 
     def clear(self) -> None:
@@ -175,6 +198,10 @@ class ByteLRUCache(Generic[K, V]):
     def _describe_name(self) -> str:
         return "byte-budget cache"
 
+    def _msan_dims(self, value: V) -> "dict[str, float] | None":
+        """Contract dims of one entry, or ``None`` to skip tracing."""
+        return None
+
 
 class EdgeStateCache(ByteLRUCache[tuple[int, int], np.ndarray]):
     """LRU cache of materialised e2e weight vectors, byte-accounted.
@@ -184,6 +211,8 @@ class EdgeStateCache(ByteLRUCache[tuple[int, int], np.ndarray]):
     :class:`ByteLRUCache` for the budget and determinism contracts.
     """
 
+    _msan_structure = "edge_state_cache_entry"
+
     @staticmethod
     def entry_bytes(value: np.ndarray) -> int:
         """The ``ndarray`` payload bytes of one weight vector."""
@@ -191,3 +220,6 @@ class EdgeStateCache(ByteLRUCache[tuple[int, int], np.ndarray]):
 
     def _describe_name(self) -> str:
         return "edge-state cache"
+
+    def _msan_dims(self, value: np.ndarray) -> dict[str, float]:
+        return {"d": float(value.size)}

@@ -1,0 +1,31 @@
+# reprolint: module=walks/scratch_cache.py
+"""MCC204 fixture: entry sizing drift and accounting-internal poking.
+
+``entry_bytes`` overrides that guess at the payload size instead of
+reading ``nbytes``, plus an outsider resetting the cache's private
+accounting fields.
+"""
+
+
+class GuessingCache:
+    """finding: element count is not a byte count."""
+
+    @staticmethod
+    def entry_bytes(value) -> int:
+        """finding: len(value) * 8 drifts for any non-8-byte payload."""
+        return len(value) * 8  # finding: MCC204
+
+
+class FlatRateCache:
+    """finding: constant per-entry charge."""
+
+    @staticmethod
+    def entry_bytes(value) -> int:
+        """finding: a flat rate ignores the payload entirely."""
+        return 1024  # finding: MCC204
+
+
+def reset_accounting(cache) -> None:
+    """finding: cache internals mutated from outside walks/cache.py."""
+    cache._used = 0  # finding: MCC204
+    cache._peak = 0  # finding: MCC204

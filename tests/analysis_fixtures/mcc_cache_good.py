@@ -1,0 +1,25 @@
+# reprolint: module=walks/scratch_cache.py
+"""MCC204 twin: payload-derived sizes, accounting via the public API."""
+
+
+class PayloadCache:
+    """Clean: charges exactly the stored payload's bytes."""
+
+    @staticmethod
+    def entry_bytes(value) -> int:
+        """The real ndarray payload bytes."""
+        return int(value.nbytes)
+
+
+class WrappedCache:
+    """Clean: a wrapper payload still sizes through nbytes."""
+
+    @staticmethod
+    def entry_bytes(value) -> int:
+        """Sum of the wrapped arrays' real bytes."""
+        return int(value.weights.nbytes + value.indices.nbytes)
+
+
+def reset_accounting(cache) -> None:
+    """Clean: eviction goes through the cache's own API."""
+    cache.clear()

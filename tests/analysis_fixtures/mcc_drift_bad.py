@@ -1,0 +1,33 @@
+# reprolint: module=sampling/alias.py
+"""MCC201 fixture: builder allocation drifted from the cost model.
+
+Impersonates ``sampling/alias.py`` so the ``alias_table`` structure
+contract extracts from this file: the builder persists an extra scratch
+float array per outcome (``2*d*b_f + d*b_i``) that the model formula
+(``d*b_f + d*b_i``) knows nothing about.
+"""
+
+import numpy as np
+
+
+class AliasTable:
+    """finding: allocation 2*d*b_f + d*b_i vs model d*b_f + d*b_i."""
+
+    def __init__(self, weights: np.ndarray) -> None:
+        n = len(weights)
+        prob = np.ones(n, dtype=np.float64)
+        alias = np.arange(n, dtype=np.int64)
+        # The planted drift: a persistent per-outcome scratch array the
+        # memory_bytes model below does not price.
+        self._scratch = np.zeros(n, dtype=np.float64)
+        self._prob = prob
+        self._alias = alias
+
+    @property
+    def num_outcomes(self) -> int:
+        """Number of discrete outcomes."""
+        return len(self._prob)
+
+    def memory_bytes(self, int_bytes: int = 4, float_bytes: int = 4) -> int:
+        """The Table 1 formula: one float + one int per outcome."""
+        return self.num_outcomes * (int_bytes + float_bytes)

@@ -1,0 +1,24 @@
+# reprolint: module=sampling/alias.py
+"""MCC201 twin: builder allocation matches the cost model exactly."""
+
+import numpy as np
+
+
+class AliasTable:
+    """Allocates d*b_f + d*b_i, exactly what memory_bytes promises."""
+
+    def __init__(self, weights: np.ndarray) -> None:
+        n = len(weights)
+        prob = np.ones(n, dtype=np.float64)
+        alias = np.arange(n, dtype=np.int64)
+        self._prob = prob
+        self._alias = alias
+
+    @property
+    def num_outcomes(self) -> int:
+        """Number of discrete outcomes."""
+        return len(self._prob)
+
+    def memory_bytes(self, int_bytes: int = 4, float_bytes: int = 4) -> int:
+        """The Table 1 formula: one float + one int per outcome."""
+        return self.num_outcomes * (int_bytes + float_bytes)

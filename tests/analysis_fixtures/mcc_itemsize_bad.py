@@ -1,0 +1,29 @@
+# reprolint: module=sampling/alias.py
+"""MCC201 fixture: itemsize drift (float32 table under a b_f model).
+
+The builder allocates the probability table at 4 bytes per element
+while the contract's canonical ``b_f`` width is 8 — MCC201 reports the
+non-canonical dtype at the allocation site.
+"""
+
+import numpy as np
+
+
+class AliasTable:
+    """finding: float32 probability table drifts from the b_f itemsize."""
+
+    def __init__(self, weights: np.ndarray) -> None:
+        n = len(weights)
+        prob = np.ones(n, dtype=np.float32)
+        alias = np.arange(n, dtype=np.int64)
+        self._prob = prob
+        self._alias = alias
+
+    @property
+    def num_outcomes(self) -> int:
+        """Number of discrete outcomes."""
+        return len(self._prob)
+
+    def memory_bytes(self, int_bytes: int = 4, float_bytes: int = 4) -> int:
+        """The Table 1 formula: one float + one int per outcome."""
+        return self.num_outcomes * (int_bytes + float_bytes)

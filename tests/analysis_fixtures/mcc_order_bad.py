@@ -1,0 +1,28 @@
+# reprolint: module=framework/framework.py
+"""MCC203 fixture: allocation precedes the budget charge.
+
+Impersonates the framework orchestration module (scanned for charge
+ordering): the builder commits the degree-scaled buffer before the
+meter has had a chance to refuse it.
+"""
+
+import numpy as np
+
+
+def build_sampler_state(meter, graph, node):
+    """finding: allocate-then-charge defeats the OOM gate."""
+    degree = graph.degree(node)
+    state = np.zeros(degree, dtype=np.float64)  # finding: MCC203
+    meter.charge(degree * 8, "sampler-state")
+    return state
+
+
+def rebuild_on_branch(meter, graph, node, bounded):
+    """finding: one branch allocates before the charge."""
+    degree = graph.degree(node)
+    if bounded:
+        state = np.ones(degree, dtype=np.float64)  # finding: MCC203
+    else:
+        meter.charge(degree * 8, "sampler-state")
+        state = np.zeros(degree, dtype=np.float64)
+    return state

@@ -1,0 +1,20 @@
+# reprolint: module=framework/framework.py
+"""MCC203 twin: the charge precedes every scaled allocation."""
+
+import numpy as np
+
+
+def build_sampler_state(meter, graph, node):
+    """Clean: charge first, allocate once the meter has accepted."""
+    degree = graph.degree(node)
+    meter.charge(degree * 8, "sampler-state")
+    return np.zeros(degree, dtype=np.float64)
+
+
+def rebuild_on_branch(meter, graph, node, bounded):
+    """Clean: both branches allocate after the shared charge."""
+    degree = graph.degree(node)
+    meter.charge(degree * 8, "sampler-state")
+    if bounded:
+        return np.ones(degree, dtype=np.float64)
+    return np.zeros(degree, dtype=np.float64)

@@ -1,0 +1,38 @@
+# reprolint: module=graph/sharded.py
+"""MCC205 fixture: every class of shard byte-arithmetic drift.
+
+Impersonates the out-of-core backend: the layout formula, the memmap
+shape, the residency update, and the manifest byte record each drift
+from the ``resident_shard`` contract in their own way.
+"""
+
+import numpy as np
+
+
+def shard_nbytes(start: int, stop: int, num_edges: int) -> int:
+    """finding: 12 bytes/edge and no indptr sentinel vs the contract."""
+    return (stop - start) * 8 + num_edges * 12  # finding: MCC205
+
+
+class ShardResidencyManager:
+    """Residency bookkeeping with planted arithmetic drift."""
+
+    def _load(self, path, spec):
+        """finding: memmap shaped by a recomputed guess, not the manifest."""
+        return np.memmap(
+            path,
+            dtype=np.int64,
+            mode="r",
+            shape=(spec.num_edges,),  # finding: MCC205
+        )
+
+    def _admit(self, shard, spec) -> None:
+        """finding: residency bytes from an estimate, not real nbytes."""
+        self._resident_bytes += spec.estimated_bytes  # finding: MCC205
+
+    def _record(self, name: str, num_edges: int) -> dict:
+        """finding: manifest bytes recomputed instead of recorded."""
+        return {
+            "name": name,
+            "bytes": num_edges * 8,  # finding: MCC205
+        }

@@ -1,0 +1,33 @@
+# reprolint: module=graph/sharded.py
+"""MCC205 twin: shard byte arithmetic agrees with the contract."""
+
+import numpy as np
+
+
+def shard_nbytes(start: int, stop: int, num_edges: int) -> int:
+    """Clean: int64 indptr slice (n_s+1) + int64 indices + float64 weights."""
+    return (stop - start + 1) * 8 + num_edges * 16
+
+
+class ShardResidencyManager:
+    """Residency bookkeeping pinned to manifest counts and real nbytes."""
+
+    def _load(self, path, shard_file):
+        """Clean: the map is shaped by the manifest element count."""
+        return np.memmap(
+            path,
+            dtype=np.int64,
+            mode="r",
+            shape=(shard_file.count,),
+        )
+
+    def _admit(self, shard) -> None:
+        """Clean: residency charged with the mapped arrays' real bytes."""
+        self._resident_bytes += shard.nbytes
+
+    def _record(self, name: str, array) -> dict:
+        """Clean: manifest bytes recorded straight from the array."""
+        return {
+            "name": name,
+            "bytes": int(array.nbytes),
+        }

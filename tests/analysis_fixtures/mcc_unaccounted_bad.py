@@ -1,0 +1,25 @@
+# reprolint: module=sampling/scratch.py
+"""MCC202 fixture: graph-scaled allocations with no accounting path.
+
+Impersonates a module under the budget-governed ``sampling/`` prefix;
+no path to either allocation passes a ``MemoryBudget.charge`` or a
+cache admission.
+"""
+
+import numpy as np
+
+
+def materialize_weights(graph, node):
+    """finding: degree-sized buffer, never charged."""
+    degree = graph.degree(node)
+    weights = np.empty(degree, dtype=np.float64)  # finding: MCC202
+    weights[:] = graph.neighbor_weights(node)
+    return weights
+
+
+def build_offsets(graph, partial):
+    """finding: node-count buffer allocated on the uncharged branch."""
+    if partial:
+        return None
+    num_nodes = graph.num_nodes
+    return np.zeros(num_nodes + 1, dtype=np.int64)  # finding: MCC202
